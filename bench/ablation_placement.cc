@@ -1,0 +1,69 @@
+/** @file Heap-placement sensitivity: the µbenchmarks run over the
+ *  simulated heap with slot placement either sequential (bump
+ *  allocator) or randomised (churned heap). This probes the CST's
+ *  ±8kB short-delta reach (paper section 5) and SMS's dependence on
+ *  dense regions: scattering the heap hurts the spatial prefetcher
+ *  far more than the semantic one. */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/simulator.h"
+#include "workloads/registry.h"
+
+namespace {
+
+double
+speedupFor(const csp::trace::TraceBuffer &trace,
+           const std::string &pf_name, const csp::SystemConfig &config)
+{
+    auto none = csp::sim::makePrefetcher("none", config);
+    auto prefetcher = csp::sim::makePrefetcher(pf_name, config);
+    csp::sim::Simulator sim_a(config);
+    csp::sim::Simulator sim_b(config);
+    return sim_b.run(trace, *prefetcher).ipc() /
+           sim_a.run(trace, *none).ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace csp;
+    bench::banner("Heap-placement sensitivity (speedups)",
+                  "probe of the CST delta reach & SMS density needs");
+    const std::vector<std::string> workload_names = {
+        "list", "listsort", "bst", "hashtest", "maptest"};
+    SystemConfig config;
+
+    sim::Table table({"benchmark", "ctx seq", "ctx rand", "sms seq",
+                      "sms rand"});
+    for (const std::string &name : workload_names) {
+        workloads::WorkloadParams params =
+            bench::benchParams(bench::sweepScale());
+        params.placement = runtime::Placement::Sequential;
+        const trace::TraceBuffer seq_trace =
+            workloads::Registry::builtin().create(name)->generate(
+                params);
+        params.placement = runtime::Placement::Randomized;
+        const trace::TraceBuffer rand_trace =
+            workloads::Registry::builtin().create(name)->generate(
+                params);
+        table.addRow(
+            {name,
+             sim::Table::num(speedupFor(seq_trace, "context", config),
+                             3),
+             sim::Table::num(
+                 speedupFor(rand_trace, "context", config), 3),
+             sim::Table::num(speedupFor(seq_trace, "sms", config), 3),
+             sim::Table::num(speedupFor(rand_trace, "sms", config),
+                             3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nScattered placement degrades spatial prefetching"
+                 " more than semantic prefetching wherever the\n"
+                 "structure's semantic neighbours stay within the"
+                 " CST's short-pointer (±8kB) reach.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benchmark binaries: default
+ * trace scale (overridable through CSP_SCALE), the paper's benchmark
+ * ordering, and small printing helpers.
+ *
+ * Every binary regenerates one table or figure of the paper's
+ * evaluation section; see DESIGN.md's per-experiment index.
+ */
+
+#ifndef CSP_BENCH_BENCH_COMMON_H
+#define CSP_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+namespace csp::bench {
+
+/** Default per-workload memory-access budget for full-suite sweeps. */
+inline std::uint64_t
+sweepScale()
+{
+    return sim::effectiveScale(250000);
+}
+
+/** Default budget for focused single-workload experiments. */
+inline std::uint64_t
+focusedScale()
+{
+    return sim::effectiveScale(400000);
+}
+
+/** Workload parameters used by all benches. */
+inline workloads::WorkloadParams
+benchParams(std::uint64_t scale)
+{
+    workloads::WorkloadParams params;
+    params.scale = scale;
+    params.seed = 1;
+    return params;
+}
+
+/** Banner naming the figure/table a binary regenerates. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "==============================================\n"
+              << title << "\n(" << paper_ref << ")\n"
+              << "==============================================\n";
+}
+
+} // namespace csp::bench
+
+#endif // CSP_BENCH_BENCH_COMMON_H

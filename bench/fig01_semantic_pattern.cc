@@ -1,0 +1,61 @@
+/** @file Regenerates paper Figure 1: memory accesses of linked-list
+ *  insertion sort (100 random elements) indexed by real address and by
+ *  logical list position. Prints both series plus summary statistics
+ *  showing that addresses scatter while logical indices stay linear. */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/ubench/listsort.h"
+
+int
+main()
+{
+    csp::bench::banner(
+        "Memory accesses for list insertion sort (100 elements)",
+        "paper Figure 1");
+    const auto samples =
+        csp::workloads::ubench::ListSort::accessPattern(100, 1);
+
+    csp::sim::Table table(
+        {"access#", "address(hex)", "logical-index"});
+    // Print a readable subsample of the stream (every 16th access).
+    for (std::size_t i = 0; i < samples.size(); i += 16) {
+        char hex[32];
+        std::snprintf(hex, sizeof hex, "0x%llx",
+                      static_cast<unsigned long long>(
+                          samples[i].addr));
+        table.addRow({std::to_string(i), hex,
+                      std::to_string(samples[i].logical_index)});
+    }
+    table.print(std::cout);
+
+    // Quantify the contrast the figure makes visually: correlation of
+    // each series with the access number, per insertion walk the
+    // logical index is perfectly linear while addresses jump.
+    std::uint64_t addr_jumps = 0;
+    std::uint64_t logical_steps = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        const bool same_walk = samples[i].logical_index ==
+                               samples[i - 1].logical_index + 1;
+        if (!same_walk)
+            continue;
+        ++logical_steps;
+        const auto delta = static_cast<std::int64_t>(
+            samples[i].addr - samples[i - 1].addr);
+        if (delta < 0 || delta > 256)
+            ++addr_jumps;
+    }
+    std::cout << "\nWithin-walk steps: " << logical_steps
+              << "; of those, address jumps (>4 lines or backwards): "
+              << addr_jumps << " ("
+              << csp::sim::Table::num(
+                     100.0 * static_cast<double>(addr_jumps) /
+                         static_cast<double>(logical_steps),
+                     1)
+              << "%)\n"
+              << "Logical traversal is always +1 per step (semantic "
+                 "linearity); the address stream is not.\n";
+    return 0;
+}

@@ -1,0 +1,35 @@
+/** @file Regenerates paper Figure 5: the bell-shaped reward function
+ *  over prefetch-queue hit depth. */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "prefetch/context/reward.h"
+
+int
+main()
+{
+    csp::bench::banner("Reward function for context-based prefetcher",
+                       "paper Figure 5");
+    const csp::RewardConfig config;
+    const csp::prefetch::ctx::RewardFunction reward(config);
+    csp::sim::Table table({"depth", "reward", "plot"});
+    const auto values = reward.tabulate(80);
+    for (unsigned depth = 0; depth < values.size(); depth += 2) {
+        const int r = values[depth];
+        std::string bar;
+        if (r >= 0)
+            bar = std::string(6, ' ') + '|' +
+                  std::string(static_cast<std::size_t>(r), '#');
+        else
+            bar = std::string(static_cast<std::size_t>(6 + r), ' ') +
+                  std::string(static_cast<std::size_t>(-r), '#') + '|';
+        table.addRow({std::to_string(depth), std::to_string(r), bar});
+    }
+    table.print(std::cout);
+    std::cout << "\nPositive window: depths " << config.window_lo
+              << "-" << config.window_hi << ", peaking at "
+              << config.window_center
+              << " (the target prefetch distance).\n";
+    return 0;
+}

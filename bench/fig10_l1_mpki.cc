@@ -1,0 +1,49 @@
+/** @file Regenerates paper Figure 10: L1 misses per kilo-instruction
+ *  per prefetcher, for the memory-intensive benchmarks (baseline L1
+ *  MPKI > 5) plus the all-benchmark average. */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace csp;
+    bench::banner("L1 MPKI per prefetcher",
+                  "paper Figure 10; benchmarks with MPKI > 5");
+    SystemConfig config;
+    const auto all = sim::allWorkloads();
+    const sim::SweepResult sweep =
+        sim::runSweep(all, sim::paperPrefetchers(),
+                      bench::benchParams(bench::sweepScale()), config);
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &pf : sweep.prefetcher_names)
+        headers.push_back(pf);
+    sim::Table table(headers);
+
+    std::vector<double> sums(sweep.prefetcher_names.size(), 0.0);
+    for (const std::string &workload : all) {
+        std::vector<std::string> row = {workload};
+        const double base_mpki = sweep.at(workload, "none").l1Mpki();
+        for (std::size_t p = 0; p < sweep.prefetcher_names.size();
+             ++p) {
+            const double mpki =
+                sweep.at(workload, sweep.prefetcher_names[p])
+                    .l1Mpki();
+            sums[p] += mpki;
+            row.push_back(sim::Table::num(mpki, 1));
+        }
+        if (base_mpki > 5.0)
+            table.addRow(row);
+    }
+    std::vector<std::string> avg = {"AVERAGE(all)"};
+    for (double sum : sums) {
+        avg.push_back(sim::Table::num(
+            sum / static_cast<double>(all.size()), 1));
+    }
+    table.addRow(avg);
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/** @file Regenerates paper Figure 12: speedups over the no-prefetch
+ *  baseline for every prefetcher across the full benchmark suite, with
+ *  the SPEC-only and overall geometric means the paper quotes (SPEC
+ *  avg 20%, overall avg 32%, context ~76% better than the best
+ *  spatio-temporal prefetcher on average). */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace csp;
+    bench::banner("Speedup over no-prefetching baseline",
+                  "paper Figure 12");
+    SystemConfig config;
+    const auto all = sim::allWorkloads();
+    const sim::SweepResult sweep =
+        sim::runSweep(all, sim::paperPrefetchers(),
+                      bench::benchParams(bench::sweepScale()), config);
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &pf : sweep.prefetcher_names) {
+        if (pf != "none")
+            headers.push_back(pf);
+    }
+    sim::Table table(headers);
+    for (const std::string &workload : all) {
+        std::vector<std::string> row = {workload};
+        for (const auto &pf : sweep.prefetcher_names) {
+            if (pf == "none")
+                continue;
+            row.push_back(
+                sim::Table::num(sweep.speedup(workload, pf), 3));
+        }
+        table.addRow(row);
+    }
+
+    const auto geo_over = [&](const std::vector<std::string> &group,
+                              const std::string &pf) {
+        std::vector<double> speedups;
+        for (const auto &w : group)
+            speedups.push_back(sweep.speedup(w, pf));
+        return sim::geomean(speedups);
+    };
+    std::vector<std::string> spec_row = {"GEOMEAN(spec2006)"};
+    std::vector<std::string> all_row = {"GEOMEAN(all)"};
+    for (const auto &pf : sweep.prefetcher_names) {
+        if (pf == "none")
+            continue;
+        spec_row.push_back(
+            sim::Table::num(geo_over(sim::specWorkloads(), pf), 3));
+        all_row.push_back(sim::Table::num(geo_over(all, pf), 3));
+    }
+    table.addRow(spec_row);
+    table.addRow(all_row);
+    table.print(std::cout);
+
+    const double ctx = geo_over(all, "context");
+    double best_spatial = 0.0;
+    std::string best_name;
+    for (const std::string pf :
+         {"stride", "ghb-gdc", "ghb-pcdc", "sms"}) {
+        const double g = geo_over(all, pf);
+        if (g > best_spatial) {
+            best_spatial = g;
+            best_name = pf;
+        }
+    }
+    std::cout << "\nContext speedup (all): "
+              << sim::Table::num(100.0 * (ctx - 1.0), 1)
+              << "% (paper: 32%);  SPEC2006: "
+              << sim::Table::num(
+                     100.0 * (geo_over(sim::specWorkloads(),
+                                       "context") -
+                              1.0),
+                     1)
+              << "% (paper: 20%)\nBest spatio-temporal (" << best_name
+              << "): " << sim::Table::num(100.0 * (best_spatial - 1.0), 1)
+              << "%;  context advantage: "
+              << sim::Table::num(
+                     100.0 * (ctx - best_spatial) /
+                         (best_spatial - 1.0 + 1e-12),
+                     0)
+              << "% of its gain (paper: ~76%)\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/** @file Regenerates paper Figure 13: overall speedup as a function of
+ *  the context prefetcher's storage size. CST entries sweep from 256
+ *  to 16K with the Reducer held at 8x the CST size (paper section
+ *  7.4); the two series are the 10 workloads that benefit most
+ *  ("Top10") and the whole set ("All"). */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "prefetch/context/context_prefetcher.h"
+#include "sim/simulator.h"
+#include "workloads/registry.h"
+
+int
+main()
+{
+    using namespace csp;
+    bench::banner("Impact of CST size on overall speedup",
+                  "paper Figure 13");
+    // A representative subset keeps the sweep tractable; Top10 is
+    // picked from the baseline run exactly like the paper does.
+    const std::vector<std::string> workload_names = {
+        "array",    "list",      "listsort",    "bst",
+        "maptest",  "prim",      "graph500-list", "ssca2-list",
+        "mcf",      "omnetpp",   "lbm",         "sphinx3",
+        "h264ref",  "soplex"};
+    const std::vector<unsigned> cst_sizes = {256, 512, 1024, 2048,
+                                             4096, 8192, 16384};
+
+    SystemConfig config;
+    workloads::WorkloadParams params =
+        bench::benchParams(bench::sweepScale());
+
+    // Generate each trace once; baseline once.
+    std::map<std::string, trace::TraceBuffer> traces;
+    std::map<std::string, double> baseline_ipc;
+    for (const auto &name : workload_names) {
+        traces[name] = workloads::Registry::builtin()
+                           .create(name)
+                           ->generate(params);
+        auto none = sim::makePrefetcher("none", config);
+        sim::Simulator simulator(config);
+        baseline_ipc[name] =
+            simulator.run(traces[name], *none).ipc();
+    }
+
+    // Per size: speedup per workload.
+    std::map<unsigned, std::map<std::string, double>> speedups;
+    for (unsigned entries : cst_sizes) {
+        SystemConfig sized = config;
+        sized.context.cst_entries = entries;
+        sized.context.reducer_entries = entries * 8;
+        for (const auto &name : workload_names) {
+            prefetch::ctx::ContextPrefetcher prefetcher(
+                sized.context, sized.seed);
+            sim::Simulator simulator(sized);
+            const double ipc =
+                simulator.run(traces[name], prefetcher).ipc();
+            speedups[entries][name] = ipc / baseline_ipc[name];
+        }
+    }
+
+    // Top10 = the 10 workloads with the best speedup at the paper's
+    // default size (2048 entries).
+    std::vector<std::string> by_benefit = workload_names;
+    std::sort(by_benefit.begin(), by_benefit.end(),
+              [&](const std::string &a, const std::string &b) {
+                  return speedups[2048][a] > speedups[2048][b];
+              });
+    by_benefit.resize(10);
+
+    sim::Table table(
+        {"CST entries", "storage(kB)", "Top10 speedup", "All speedup"});
+    for (unsigned entries : cst_sizes) {
+        SystemConfig sized = config;
+        sized.context.cst_entries = entries;
+        sized.context.reducer_entries = entries * 8;
+        std::vector<double> top10;
+        std::vector<double> all;
+        for (const auto &name : workload_names) {
+            all.push_back(speedups[entries][name]);
+            if (std::find(by_benefit.begin(), by_benefit.end(),
+                          name) != by_benefit.end())
+                top10.push_back(speedups[entries][name]);
+        }
+        table.addRow({std::to_string(entries),
+                      sim::Table::num(
+                          static_cast<double>(
+                              sized.context.storageBytes()) /
+                              1024.0,
+                          1),
+                      sim::Table::num(sim::geomean(top10), 3),
+                      sim::Table::num(sim::geomean(all), 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper section 7.4): speedup rises"
+                 " with size, then flattens or dips — larger tables\n"
+                 "are not automatically better for a learning"
+                 " prefetcher.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/** @file Google-benchmark microbenchmarks of per-access prefetcher
+ *  overhead: how much host time each prefetcher's observe() costs on a
+ *  mixed synthetic stream. Not a paper figure — engineering data for
+ *  simulator users sizing long sweeps. */
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "sim/experiment.h"
+#include "trace/hw_state.h"
+
+namespace {
+
+using namespace csp;
+
+/** Pre-baked mixed access stream (strided + pointer-ish + random). */
+const std::vector<prefetch::AccessInfo> &
+stream(const trace::ContextSnapshot &ctx)
+{
+    static std::vector<prefetch::AccessInfo> accesses = [&] {
+        std::vector<prefetch::AccessInfo> out;
+        Rng rng(7);
+        Addr strided = 0x100000;
+        out.reserve(8192);
+        for (int i = 0; i < 8192; ++i) {
+            prefetch::AccessInfo info;
+            const int kind = i % 3;
+            if (kind == 0) {
+                strided += 64;
+                info.vaddr = strided;
+                info.pc = 0x400;
+            } else if (kind == 1) {
+                info.vaddr = 0x900000 + rng.below(4096) * 64;
+                info.pc = 0x404;
+            } else {
+                info.vaddr = 0x4000000 + rng.below(1 << 22);
+                info.pc = 0x408;
+            }
+            info.line_addr = alignDown(info.vaddr, 64);
+            info.seq = static_cast<AccessSeq>(i);
+            info.l1_miss = true;
+            info.free_l1_mshrs = 4;
+            out.push_back(info);
+        }
+        return out;
+    }();
+    for (auto &info : accesses)
+        info.context = &ctx;
+    return accesses;
+}
+
+void
+runPrefetcher(benchmark::State &state, const std::string &name)
+{
+    SystemConfig config;
+    auto prefetcher = sim::makePrefetcher(name, config);
+    trace::ContextSnapshot ctx;
+    ctx.set(trace::Attr::IP, 0x400);
+    const auto &accesses = stream(ctx);
+    std::vector<prefetch::PrefetchRequest> out;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        prefetcher->observe(accesses[i % accesses.size()], out);
+        benchmark::DoNotOptimize(out.data());
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+void BM_Stride(benchmark::State &s) { runPrefetcher(s, "stride"); }
+void BM_GhbGdc(benchmark::State &s) { runPrefetcher(s, "ghb-gdc"); }
+void BM_GhbPcdc(benchmark::State &s) { runPrefetcher(s, "ghb-pcdc"); }
+void BM_Sms(benchmark::State &s) { runPrefetcher(s, "sms"); }
+void BM_Markov(benchmark::State &s) { runPrefetcher(s, "markov"); }
+void BM_Context(benchmark::State &s) { runPrefetcher(s, "context"); }
+
+BENCHMARK(BM_Stride);
+BENCHMARK(BM_GhbGdc);
+BENCHMARK(BM_GhbPcdc);
+BENCHMARK(BM_Sms);
+BENCHMARK(BM_Markov);
+BENCHMARK(BM_Context);
+
+} // namespace
+
+BENCHMARK_MAIN();

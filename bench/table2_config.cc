@@ -1,0 +1,15 @@
+/** @file Regenerates paper Table 2: simulator parameters. */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/config.h"
+
+int
+main()
+{
+    csp::bench::banner("Simulator parameters", "paper Table 2");
+    const csp::SystemConfig config;
+    std::cout << config.describe() << '\n';
+    return 0;
+}

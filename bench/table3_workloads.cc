@@ -1,0 +1,27 @@
+/** @file Regenerates paper Table 3: workloads and benchmarks used. */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/registry.h"
+
+int
+main()
+{
+    csp::bench::banner("Workloads and benchmarks used",
+                       "paper Table 3");
+    const auto &registry = csp::workloads::Registry::builtin();
+    csp::sim::Table table({"suite", "workloads"});
+    for (const std::string suite :
+         {"spec2006", "pbbs", "graph500", "hpcs", "ubench"}) {
+        std::string row;
+        for (const std::string &name : registry.namesInSuite(suite)) {
+            if (!row.empty())
+                row += ", ";
+            row += name;
+        }
+        table.addRow({suite, row});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Layout-agnostic programming demo (paper sections 2.2 and 7.5): run
+ * the same graph-analysis workload in its naive pointer-linked and its
+ * spatially optimised CSR implementations, and show how much of the
+ * naive layout's penalty each prefetcher recovers.
+ *
+ * Usage: layout_comparison [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace csp;
+    workloads::WorkloadParams params;
+    params.scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                            : sim::effectiveScale(300000);
+
+    SystemConfig config;
+    const auto &registry = workloads::Registry::builtin();
+
+    std::cout << "Generating both layouts of Graph500 BFS ("
+              << params.scale << " accesses each)...\n\n";
+    const trace::TraceBuffer csr =
+        registry.create("graph500")->generate(params);
+    const trace::TraceBuffer linked =
+        registry.create("graph500-list")->generate(params);
+
+    sim::Table table({"prefetcher", "CSR CPI", "linked CPI",
+                      "naive penalty", "penalty recovered"});
+    double base_penalty = 0.0;
+    for (const std::string &pf_name : sim::paperPrefetchers()) {
+        auto pf_csr = sim::makePrefetcher(pf_name, config);
+        auto pf_linked = sim::makePrefetcher(pf_name, config);
+        sim::Simulator sim_a(config);
+        sim::Simulator sim_b(config);
+        const double cpi_csr = sim_a.run(csr, *pf_csr).cpi();
+        const double cpi_linked = sim_b.run(linked, *pf_linked).cpi();
+        const double penalty = cpi_linked / cpi_csr;
+        if (pf_name == "none")
+            base_penalty = penalty;
+        const double recovered =
+            base_penalty <= 1.0
+                ? 0.0
+                : 100.0 * (base_penalty - penalty) /
+                      (base_penalty - 1.0);
+        table.addRow({pf_name, sim::Table::num(cpi_csr, 2),
+                      sim::Table::num(cpi_linked, 2),
+                      sim::Table::num(penalty, 2) + "x",
+                      sim::Table::num(recovered, 0) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\n'penalty recovered' is how much of the naive"
+                 " layout's CPI gap to CSR the prefetcher closes —\n"
+                 "the paper's argument that semantic prefetching lets"
+                 " programmers skip spatial hand-tuning.\n";
+    return 0;
+}

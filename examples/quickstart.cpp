@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: build a workload, run it through the simulator with and
+ * without the context-based prefetcher, and print what happened.
+ *
+ * Usage: quickstart [workload] [scale]
+ *   workload  any registered name (default: listsort); see
+ *             `table3_workloads` for the full list.
+ *   scale     approximate memory accesses to simulate (default 200000).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload_name = argc > 1 ? argv[1] : "listsort";
+    csp::workloads::WorkloadParams params;
+    params.scale = argc > 2
+                       ? std::strtoull(argv[2], nullptr, 10)
+                       : csp::sim::effectiveScale(200000);
+
+    csp::SystemConfig config;
+    const auto &registry = csp::workloads::Registry::builtin();
+    const auto workload = registry.create(workload_name);
+
+    std::cout << "Generating trace for '" << workload_name << "' ("
+              << workload->suite() << ")...\n";
+    const csp::trace::TraceBuffer trace = workload->generate(params);
+    std::cout << "  " << trace.instructions() << " instructions, "
+              << trace.memAccesses() << " memory accesses\n\n";
+
+    csp::sim::Table table({"prefetcher", "IPC", "speedup", "L1 MPKI",
+                           "L2 MPKI", "hit-prefetched%",
+                           "covered-miss%"});
+    double baseline_ipc = 0.0;
+    for (const std::string &pf_name : csp::sim::paperPrefetchers()) {
+        auto prefetcher = csp::sim::makePrefetcher(pf_name, config);
+        csp::sim::Simulator simulator(config);
+        const csp::sim::RunStats stats =
+            simulator.run(trace, *prefetcher);
+        if (pf_name == "none")
+            baseline_ipc = stats.ipc();
+        const double covered =
+            stats.classFraction(
+                csp::sim::AccessClass::HitPrefetchedLine) +
+            stats.classFraction(csp::sim::AccessClass::ShorterWait);
+        table.addRow(
+            {pf_name, csp::sim::Table::num(stats.ipc(), 3),
+             csp::sim::Table::num(
+                 baseline_ipc > 0 ? stats.ipc() / baseline_ipc : 0.0,
+                 3),
+             csp::sim::Table::num(stats.l1Mpki(), 1),
+             csp::sim::Table::num(stats.l2Mpki(), 2),
+             csp::sim::Table::num(
+                 100.0 * stats.classFraction(
+                             csp::sim::AccessClass::HitPrefetchedLine),
+                 1),
+             csp::sim::Table::num(100.0 * covered, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

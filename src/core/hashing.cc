@@ -1,0 +1,16 @@
+#include "core/hashing.h"
+
+namespace csp {
+
+std::uint64_t
+fnv1a(std::span<const std::uint8_t> bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace csp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hash primitives used to fold machine contexts into table indices.
+ *
+ * The context-based prefetcher hashes a variable-length list of context
+ * attribute values twice (paper section 4.4 / Figure 7): once over the full
+ * attribute vector to index the Reducer, and once over the active subset to
+ * index the Context-States Table. Both hashes are built from the primitives
+ * here.
+ */
+
+#ifndef CSP_CORE_HASHING_H
+#define CSP_CORE_HASHING_H
+
+#include <cstdint>
+#include <span>
+
+namespace csp {
+
+/** 64-bit FNV-1a over a byte span. */
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes);
+
+/** Strong 64-bit integer mix (splitmix64 finalizer). */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine an accumulated hash with one more 64-bit value. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return mix64(seed ^ (mix64(value) + 0x9e3779b97f4a7c15ull +
+                         (seed << 6) + (seed >> 2)));
+}
+
+/**
+ * Incremental hasher over 64-bit words. The order of added words matters,
+ * which is what we want: context attributes are position-significant.
+ */
+class WordHasher
+{
+  public:
+    /** Add one word to the running hash. */
+    void
+    add(std::uint64_t value)
+    {
+        state_ = hashCombine(state_, value);
+    }
+
+    /** Current digest. */
+    std::uint64_t digest() const { return state_; }
+
+    /** Digest truncated to the low @p bits bits. */
+    std::uint64_t
+    digestBits(unsigned bits) const
+    {
+        return bits >= 64 ? state_ : (state_ & ((1ull << bits) - 1));
+    }
+
+  private:
+    std::uint64_t state_ = 0x51ed270b35ae7d25ull;
+};
+
+} // namespace csp
+
+#endif // CSP_CORE_HASHING_H

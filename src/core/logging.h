@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated: a bug in this library.
+ *            Aborts (may dump core).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef CSP_CORE_LOGGING_H
+#define CSP_CORE_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace csp {
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user/configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion that is kept in release builds. Use for cheap invariants on
+ * non-hot paths; falls through to panic() on failure.
+ */
+#define CSP_ASSERT(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::csp::panic("assertion failed: %s (%s:%d)", #cond, __FILE__,    \
+                         __LINE__);                                          \
+        }                                                                    \
+    } while (0)
+
+} // namespace csp
+
+#endif // CSP_CORE_LOGGING_H

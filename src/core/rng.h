@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (workload generators, arena
+ * placement randomisation, epsilon-greedy exploration) draws from Rng so
+ * that every experiment is exactly reproducible from its seed. The
+ * implementation is xoshiro256** (public-domain algorithm by Blackman &
+ * Vigna), which is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef CSP_CORE_RNG_H
+#define CSP_CORE_RNG_H
+
+#include <cstdint>
+
+#include "core/logging.h"
+
+namespace csp {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that nearby seeds give unrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        CSP_ASSERT(bound != 0);
+        // Lemire's nearly-divisionless bounded generation (biased by at
+        // most 2^-64, irrelevant at simulation scales).
+        const unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(product >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        CSP_ASSERT(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish skewed pick in [0, n): smaller indices are more
+     * likely. Used by workload models for hot/cold working-set skew.
+     */
+    std::uint64_t
+    skewedBelow(std::uint64_t n, double skew)
+    {
+        if (n == 0)
+            return 0;
+        double u = uniform();
+        // Map the uniform variate through a power curve; skew = 1 is
+        // uniform, larger values concentrate mass near zero.
+        double mapped = 1.0;
+        for (double s = skew; s >= 1.0; s -= 1.0)
+            mapped *= u;
+        return static_cast<std::uint64_t>(mapped * static_cast<double>(n)) %
+               n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace csp
+
+#endif // CSP_CORE_RNG_H

@@ -1,0 +1,69 @@
+#include "core/stats.h"
+
+namespace csp {
+
+Histogram::Histogram(std::uint64_t max, std::size_t buckets)
+    : max_(max), width_((max + buckets - 1) / buckets), counts_(buckets, 0)
+{
+    CSP_ASSERT(max > 0 && buckets > 0);
+    if (width_ == 0)
+        width_ = 1;
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    ++total_;
+    sum_ += value < max_ ? value : max_;
+    if (value >= max_) {
+        ++overflow_;
+        return;
+    }
+    std::size_t idx = value / width_;
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+std::uint64_t
+Histogram::bucketEdge(std::size_t i) const
+{
+    return (i + 1) * width_ - 1;
+}
+
+double
+Histogram::cdfAt(std::uint64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (bucketEdge(i) <= value)
+            below += counts_[i];
+        else
+            break;
+    }
+    if (value >= max_)
+        below += overflow_;
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+void
+Histogram::clear()
+{
+    for (auto &c : counts_)
+        c = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0;
+}
+
+} // namespace csp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental type aliases and address arithmetic helpers used across the
+ * library.
+ *
+ * The simulator models a 64-bit virtual address space; all addresses are
+ * simulated addresses produced by the csp::runtime::Arena or by the
+ * synthetic workload generators, never raw host pointers.
+ */
+
+#ifndef CSP_CORE_TYPES_H
+#define CSP_CORE_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace csp {
+
+/** Simulated virtual address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonic index of a retired instruction within a run. */
+using InstSeq = std::uint64_t;
+
+/** Monotonic index of a memory access within a run. */
+using AccessSeq = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kInvalidCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Align @p addr down to a power-of-two @p granularity (e.g. a cache-line
+ * boundary).
+ */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t granularity)
+{
+    return addr & ~(granularity - 1);
+}
+
+/** Align @p addr up to a power-of-two @p granularity. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t granularity)
+{
+    return (addr + granularity - 1) & ~(granularity - 1);
+}
+
+/** True iff @p value is a non-zero power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Base-2 logarithm of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned log = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++log;
+    }
+    return log;
+}
+
+/**
+ * Signed distance between two block-aligned addresses, in units of
+ * @p granularity blocks. Used by delta-correlating prefetchers and by the
+ * CST's compact delta encoding.
+ */
+constexpr std::int64_t
+blockDelta(Addr from, Addr to, std::uint64_t granularity)
+{
+    return (static_cast<std::int64_t>(to >> floorLog2(granularity)) -
+            static_cast<std::int64_t>(from >> floorLog2(granularity)));
+}
+
+} // namespace csp
+
+#endif // CSP_CORE_TYPES_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compiler-injected semantic hints (substitute for the paper's LLVM pass).
+ *
+ * The paper modifies LLVM to tag pointer-based memory accesses with three
+ * pieces of semantic information, packed into an extended-NOP immediate
+ * that precedes the memory instruction (paper section 6):
+ *
+ *  - a unique enumeration of the accessed object's type,
+ *  - the offset of the link field inside the object, and
+ *  - the form of reference used (".", "->", "*", array index).
+ *
+ * In this reproduction the workload kernels are the "compiler": they call
+ * the trace recorder with a Hint at exactly the program points where the
+ * LLVM pass would have emitted the NOP — i.e. only for accesses through
+ * program-level pointers (paper rule), not for pointer+offset member
+ * accesses.
+ */
+
+#ifndef CSP_HINTS_HINT_H
+#define CSP_HINTS_HINT_H
+
+#include <cstdint>
+
+namespace csp::hints {
+
+/** The syntactic form of the memory reference (paper Table 1). */
+enum class RefForm : std::uint8_t
+{
+    None = 0, ///< no hint available for this access
+    Dot,      ///< object.member
+    Arrow,    ///< pointer->member
+    Deref,    ///< *pointer
+    Index,    ///< array[index]
+};
+
+/** Sentinel link offset meaning "not a link field". */
+inline constexpr std::uint16_t kNoLinkOffset = 0xffff;
+
+/**
+ * The 32-bit immediate payload of the paper's extended NOP, unpacked.
+ * A default-constructed Hint means "no hint" (non-pointer access).
+ */
+struct Hint
+{
+    std::uint16_t type_id = 0; ///< unique object-type enumeration (0=none)
+    std::uint16_t link_offset = kNoLinkOffset; ///< link field offset
+    RefForm ref_form = RefForm::None;
+
+    /** True iff the compiler attached semantic information. */
+    bool valid() const { return ref_form != RefForm::None; }
+
+    /** Pack into the 32-bit NOP immediate encoding. */
+    std::uint32_t
+    pack() const
+    {
+        return static_cast<std::uint32_t>(type_id) |
+               (static_cast<std::uint32_t>(link_offset & 0x1fff) << 16) |
+               (static_cast<std::uint32_t>(ref_form) << 29);
+    }
+
+    /** Unpack from the 32-bit NOP immediate encoding. */
+    static Hint
+    unpack(std::uint32_t imm)
+    {
+        Hint h;
+        h.type_id = static_cast<std::uint16_t>(imm & 0xffff);
+        h.link_offset = static_cast<std::uint16_t>((imm >> 16) & 0x1fff);
+        h.ref_form = static_cast<RefForm>((imm >> 29) & 0x7);
+        if (h.ref_form == RefForm::None)
+            h.link_offset = kNoLinkOffset;
+        return h;
+    }
+
+    bool
+    operator==(const Hint &o) const
+    {
+        return type_id == o.type_id && link_offset == o.link_offset &&
+               ref_form == o.ref_form;
+    }
+};
+
+/**
+ * Process-wide type enumerator, mirroring the LLVM pass's "unique value
+ * within the compiled program" per object type. Workloads grab stable ids
+ * from a per-workload instance.
+ */
+class TypeEnumerator
+{
+  public:
+    /** Next fresh type id (starts at 1; 0 means "no type"). */
+    std::uint16_t
+    fresh()
+    {
+        return next_++;
+    }
+
+  private:
+    std::uint16_t next_ = 1;
+};
+
+} // namespace csp::hints
+
+#endif // CSP_HINTS_HINT_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Set-associative cache state model with LRU replacement, in-flight fill
+ * tracking (a line inserted on miss carries the cycle at which its data
+ * arrives), and per-line prefetch/used bits for the accuracy
+ * classification of paper Figure 9.
+ */
+
+#ifndef CSP_MEM_CACHE_H
+#define CSP_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/types.h"
+
+namespace csp::mem {
+
+/** State of one cache line. */
+struct LineState
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool prefetched = false; ///< filled by a prefetch
+    bool used = false;       ///< demand-touched since fill
+    bool dirty = false;      ///< written since fill (writeback needed)
+    Cycle ready = 0;         ///< fill completion cycle (in-flight if > now)
+    std::uint64_t lru = 0;   ///< global LRU stamp
+};
+
+/** Outcome of an eviction, reported so callers can account accuracy. */
+struct EvictInfo
+{
+    bool valid = false;           ///< a line was displaced
+    bool prefetched_unused = false; ///< it was a never-used prefetch
+    bool dirty = false;           ///< it carried unwritten data
+    Addr line_addr = kInvalidAddr;///< address of the displaced line
+};
+
+/** See file comment. */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, std::string name);
+
+    /**
+     * Find the line holding @p addr. Returns nullptr on miss. When
+     * @p touch is true a hit refreshes the LRU stamp.
+     */
+    LineState *lookup(Addr addr, bool touch = true);
+    const LineState *peek(Addr addr) const;
+
+    /**
+     * Install @p addr (victimising LRU in its set) with fill-completion
+     * time @p ready. @p evicted reports what was displaced. With
+     * @p lru_insert the new line enters at LRU priority (LIP) instead
+     * of MRU — used for L2 prefetch fills so that wrong prefetches are
+     * evicted before they damage the demand working set; a demand hit
+     * promotes the line normally.
+     */
+    LineState &insert(Addr addr, Cycle ready, bool prefetched,
+                      EvictInfo *evicted = nullptr,
+                      bool lru_insert = false);
+
+    /** Invalidate a line if present. */
+    void invalidate(Addr addr);
+
+    /**
+     * Count valid lines that were prefetched and never demand-used —
+     * called at end of simulation to close the "prefetch never hit"
+     * accounting.
+     */
+    std::uint64_t countUnusedPrefetches() const;
+
+    /** Drop all lines and stats. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    const std::string &name() const { return name_; }
+
+    /** Line-aligned address. */
+    Addr lineAddr(Addr addr) const { return alignDown(addr, line_bytes_); }
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig config_;
+    std::string name_;
+    std::uint64_t line_bytes_;
+    std::uint64_t sets_;
+    unsigned ways_;
+    std::vector<LineState> lines_; ///< sets_ * ways_, set-major
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace csp::mem
+
+#endif // CSP_MEM_CACHE_H

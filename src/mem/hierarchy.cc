@@ -1,0 +1,212 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+
+namespace csp::mem {
+
+Hierarchy::Hierarchy(const MemoryConfig &config)
+    : config_(config),
+      l1_(config.l1d, "L1D"),
+      l2_(config.l2, "L2"),
+      l1_mshrs_(config.l1d.mshrs),
+      l2_mshrs_(config.l2.mshrs)
+{}
+
+Cycle
+Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
+                         bool *went_to_memory,
+                         bool *served_by_l2_prefetch)
+{
+    *went_to_memory = false;
+    if (served_by_l2_prefetch != nullptr)
+        *served_by_l2_prefetch = false;
+    const Cycle l2_lat = config_.l2.access_latency;
+    if (LineState *line = l2_.lookup(addr)) {
+        if (served_by_l2_prefetch != nullptr) {
+            *served_by_l2_prefetch =
+                !is_prefetch && line->prefetched && !line->used;
+        }
+        line->used = line->used || !is_prefetch;
+        if (line->ready <= start)
+            return start + l2_lat;
+        // In-flight at L2: data arrives when the older fill completes
+        // (plus the L2 read it still needs).
+        return std::max(line->ready, start) + l2_lat;
+    }
+    // L2 miss: take an L2 MSHR, then a DRAM issue slot (bandwidth).
+    const Cycle slot = l2_mshrs_.availableAt(start);
+    const Cycle dram_start =
+        std::max(slot + l2_lat, dram_next_free_);
+    dram_next_free_ = dram_start + config_.dram_issue_interval;
+    const Cycle fill = dram_start + config_.dram_latency;
+    l2_mshrs_.allocate(fill);
+    EvictInfo evicted;
+    l2_.insert(addr, fill, is_prefetch, &evicted,
+               /*lru_insert=*/is_prefetch);
+    if (evicted.prefetched_unused)
+        ++stats_.prefetch_evicted_unused;
+    handleL2Eviction(evicted);
+    *went_to_memory = true;
+    return fill;
+}
+
+AccessResult
+Hierarchy::access(Addr addr, Cycle now, bool is_store)
+{
+    AccessResult result;
+    const Addr line_addr = l1_.lineAddr(addr);
+    const Cycle l1_lat = config_.l1d.access_latency;
+    ++stats_.demand_accesses;
+
+    if (LineState *line = l1_.lookup(line_addr)) {
+        if (line->ready <= now) {
+            // Ready L1 hit.
+            result.complete = now + l1_lat;
+            result.level = ServiceLevel::L1;
+            result.hit_prefetched_line = line->prefetched && !line->used;
+            line->used = true;
+            line->dirty = line->dirty || is_store;
+            return result;
+        }
+        // Line still filling: the access waits only for the remainder.
+        result.complete = std::max(line->ready, now + l1_lat);
+        result.level = ServiceLevel::L1InFlight;
+        result.l1_miss = true;
+        ++stats_.l1_misses;
+        result.shorter_wait = line->prefetched && !line->used;
+        line->used = true;
+        line->dirty = line->dirty || is_store;
+        return result;
+    }
+
+    // Full L1 miss: wait for an MSHR, then look below.
+    result.l1_miss = true;
+    ++stats_.l1_misses;
+    const Cycle start = l1_mshrs_.availableAt(now) + l1_lat;
+    bool went_to_memory = false;
+    bool served_by_l2_prefetch = false;
+    const Cycle fill = fillFromBelow(line_addr, start, false,
+                                     &went_to_memory,
+                                     &served_by_l2_prefetch);
+    if (went_to_memory) {
+        result.l2_miss = true;
+        ++stats_.l2_demand_misses;
+        result.level = ServiceLevel::Memory;
+    } else {
+        result.level = ServiceLevel::L2;
+        result.shorter_wait = served_by_l2_prefetch;
+    }
+    l1_mshrs_.allocate(fill);
+    EvictInfo evicted;
+    LineState &line = l1_.insert(line_addr, fill, false, &evicted);
+    if (evicted.prefetched_unused)
+        ++stats_.prefetch_evicted_unused;
+    handleL1Eviction(evicted);
+    line.used = true;
+    line.dirty = is_store;
+    result.complete = fill;
+    return result;
+}
+
+void
+Hierarchy::handleL1Eviction(const EvictInfo &evicted)
+{
+    if (!evicted.valid || !evicted.dirty)
+        return;
+    // Write-back to L2: mark the L2 copy dirty; if L2 already lost the
+    // line (non-inclusive), the writeback goes straight to DRAM and
+    // consumes write bandwidth.
+    ++stats_.l1_writebacks;
+    if (LineState *l2line = l2_.lookup(evicted.line_addr, false)) {
+        l2line->dirty = true;
+    } else {
+        // Non-inclusive L2 already lost the line: the dirty data goes
+        // straight to DRAM, costing write bandwidth like an L2
+        // writeback.
+        ++stats_.l2_writebacks;
+        dram_next_free_ += config_.dram_issue_interval;
+    }
+}
+
+void
+Hierarchy::handleL2Eviction(const EvictInfo &evicted)
+{
+    if (!evicted.valid || !evicted.dirty)
+        return;
+    // Dirty data leaves the chip: one DRAM write's worth of bandwidth.
+    ++stats_.l2_writebacks;
+    dram_next_free_ += config_.dram_issue_interval;
+}
+
+PrefetchOutcome
+Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs)
+{
+    const Addr line_addr = l1_.lineAddr(addr);
+    if (l1_.lookup(line_addr, false) != nullptr) {
+        ++stats_.prefetches_duplicate;
+        return PrefetchOutcome::AlreadyHere;
+    }
+
+    // The prefetch always targets L2 (like gem5's queued prefetcher it
+    // is not starved out by demand traffic at L1), and additionally
+    // fills L1 when MSHR headroom exists; otherwise the demand that
+    // comes later still sees a cheap L2 hit.
+    const bool l2_has =
+        l2_.lookup(line_addr, false) != nullptr;
+    if (!l2_has &&
+        l2_mshrs_.freeWithin(now, config_.prefetch_mshr_wait_limit) <=
+            config_.l2_mshr_reserve) {
+        ++stats_.prefetches_dropped;
+        return PrefetchOutcome::NoMshr;
+    }
+    const Cycle start = now + config_.l1d.access_latency;
+    bool went_to_memory = false;
+    const Cycle fill =
+        fillFromBelow(line_addr, start, true, &went_to_memory,
+                      nullptr);
+    ++stats_.prefetches_issued;
+
+    const unsigned free =
+        l1_mshrs_.freeWithin(now, config_.dram_latency);
+    if (free > min_free_mshrs) {
+        l1_mshrs_.allocate(fill);
+        EvictInfo evicted;
+        // LIP for L1 prefetch fills too: a wrong prefetch must not
+        // displace a hot line in an at-capacity working set.
+        l1_.insert(line_addr, fill, true, &evicted,
+                   /*lru_insert=*/true);
+        if (evicted.prefetched_unused)
+            ++stats_.prefetch_evicted_unused;
+        handleL1Eviction(evicted);
+        // The L1 copy carries the usefulness tracking from here on.
+        if (LineState *l2line = l2_.lookup(line_addr, false))
+            l2line->used = true;
+    }
+    return PrefetchOutcome::Issued;
+}
+
+unsigned
+Hierarchy::freeL1Mshrs(Cycle now) const
+{
+    return l1_mshrs_.freeWithin(now, config_.dram_latency);
+}
+
+void
+Hierarchy::finish()
+{
+    stats_.prefetch_unused_at_end =
+        l1_.countUnusedPrefetches() + l2_.countUnusedPrefetches();
+}
+
+void
+Hierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    l1_mshrs_.reset();
+    l2_mshrs_.reset();
+    dram_next_free_ = 0;
+    stats_ = HierarchyStats{};
+}
+
+} // namespace csp::mem

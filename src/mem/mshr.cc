@@ -1,0 +1,61 @@
+#include "mem/mshr.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace csp::mem {
+
+MshrFile::MshrFile(unsigned slots) : busy_(slots, 0)
+{
+    CSP_ASSERT(slots > 0);
+}
+
+unsigned
+MshrFile::freeAt(Cycle now) const
+{
+    unsigned free = 0;
+    for (Cycle completion : busy_) {
+        if (completion <= now)
+            ++free;
+    }
+    return free;
+}
+
+unsigned
+MshrFile::freeWithin(Cycle now, Cycle window) const
+{
+    unsigned free = 0;
+    for (Cycle completion : busy_) {
+        if (completion <= now + window)
+            ++free;
+    }
+    return free;
+}
+
+Cycle
+MshrFile::availableAt(Cycle now) const
+{
+    Cycle earliest = kInvalidCycle;
+    for (Cycle completion : busy_) {
+        if (completion <= now)
+            return now;
+        earliest = std::min(earliest, completion);
+    }
+    return earliest;
+}
+
+void
+MshrFile::allocate(Cycle completion)
+{
+    auto slot = std::min_element(busy_.begin(), busy_.end());
+    *slot = completion;
+}
+
+void
+MshrFile::reset()
+{
+    std::fill(busy_.begin(), busy_.end(), 0);
+}
+
+} // namespace csp::mem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Miss-status holding register file, modelled in time rather than by
+ * event: each slot records the cycle at which its outstanding fill
+ * completes. A requester that finds every slot busy is delayed until the
+ * earliest completion — this is the mechanism that bounds memory-level
+ * parallelism exactly as the paper's gem5 configuration does (L1: 4
+ * MSHRs, L2: 20).
+ */
+
+#ifndef CSP_MEM_MSHR_H
+#define CSP_MEM_MSHR_H
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace csp::mem {
+
+/** See file comment. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned slots);
+
+    /** Number of slots free at @p now. */
+    unsigned freeAt(Cycle now) const;
+
+    /**
+     * Number of slots that will be free by @p now + @p window. Because
+     * the timing model books fills into the future, instantaneous
+     * freeness is pessimistic; throttling decisions use a one
+     * memory-round-trip window instead.
+     */
+    unsigned freeWithin(Cycle now, Cycle window) const;
+
+    /**
+     * Earliest cycle >= @p now at which at least one slot is free.
+     * Returns @p now itself when a slot is already free.
+     */
+    Cycle availableAt(Cycle now) const;
+
+    /**
+     * Occupy a slot until @p completion. The caller must have chosen a
+     * start cycle >= availableAt(now); the slot holding the earliest
+     * completion is reused.
+     */
+    void allocate(Cycle completion);
+
+    /** Total slot count. */
+    unsigned slots() const { return static_cast<unsigned>(busy_.size()); }
+
+    /** Forget all outstanding fills. */
+    void reset();
+
+  private:
+    std::vector<Cycle> busy_; ///< completion cycle per slot (0 = idle)
+};
+
+} // namespace csp::mem
+
+#endif // CSP_MEM_MSHR_H

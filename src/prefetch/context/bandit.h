@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The contextual-bandit action-selection policy (paper sections 4.1 and
+ * 5): epsilon-greedy exploration over the CST's per-context action sets,
+ * with the exploration rate adapted to prediction accuracy in the spirit
+ * of Tokic's adaptive epsilon-greedy [29] — exploration shrinks as the
+ * predictor converges — and a prediction degree throttled by the same
+ * accuracy signal plus memory-system pressure (paper section 4.2).
+ */
+
+#ifndef CSP_PREFETCH_CONTEXT_BANDIT_H
+#define CSP_PREFETCH_CONTEXT_BANDIT_H
+
+#include "core/config.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace csp::prefetch::ctx {
+
+/** See file comment. */
+class BanditPolicy
+{
+  public:
+    explicit BanditPolicy(const ContextPrefetcherConfig &config,
+                          std::uint64_t seed, bool explore_enabled = true);
+
+    /** Record the outcome of one queued prediction (hit or expired). */
+    void recordOutcome(bool hit) { accuracy_.record(hit); }
+
+    /** Smoothed prefetch-queue hit rate. */
+    double accuracy() const { return accuracy_.value(); }
+
+    /**
+     * Current exploration rate: linear between epsilon_min (converged)
+     * and epsilon_max (untrained).
+     */
+    double epsilon() const;
+
+    /** Draw: should this lookup issue an exploratory shadow prefetch? */
+    bool explore();
+
+    /**
+     * Number of real prefetches to issue for the current lookup, scaled
+     * by accuracy and bounded by MSHR headroom (degree throttling,
+     * paper section 4.2).
+     */
+    unsigned degree(unsigned free_mshrs) const;
+
+    Rng &rng() { return rng_; }
+
+  private:
+    ContextPrefetcherConfig config_;
+    Rng rng_;
+    bool explore_enabled_;
+    EwmaRate accuracy_;
+};
+
+} // namespace csp::prefetch::ctx
+
+#endif // CSP_PREFETCH_CONTEXT_BANDIT_H

@@ -1,0 +1,256 @@
+#include "prefetch/context/context_prefetcher.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/logging.h"
+#include "core/types.h"
+
+namespace csp::prefetch::ctx {
+
+using trace::Attr;
+using trace::AttrMask;
+using trace::attrBit;
+
+namespace {
+
+/** Initial active-attribute set for fresh Reducer entries: the load
+ *  site plus the compiler hints — cheap, general attributes; the
+ *  adaptation machinery widens from there. */
+AttrMask
+initialMask(bool software_hints)
+{
+    AttrMask mask = attrBit(Attr::IP);
+    if (software_hints) {
+        mask |= attrBit(Attr::TypeInfo);
+        mask |= attrBit(Attr::LinkOffset);
+        mask |= attrBit(Attr::RefForm);
+    }
+    return mask;
+}
+
+} // namespace
+
+ContextPrefetcher::ContextPrefetcher(
+    const ContextPrefetcherConfig &config, std::uint64_t seed,
+    ContextFeatureToggles toggles)
+    : config_(config),
+      toggles_(toggles),
+      reward_(config.reward),
+      cst_(config),
+      reducer_(config, initialMask(toggles.software_hints),
+               toggles.adaptive_reducer),
+      history_(config.history_entries),
+      pq_(config.prefetch_queue_entries),
+      policy_(config, seed, toggles.exploration),
+      hit_depths_(config.prefetch_queue_entries,
+                  config.prefetch_queue_entries)
+{}
+
+std::int64_t
+ContextPrefetcher::maxDelta() const
+{
+    // Paper: 1-byte delta of cache-line granularity, pointing up to 8kB
+    // in each direction.
+    return 127;
+}
+
+void
+ContextPrefetcher::expireEntry(const PendingPrefetch &entry)
+{
+    int penalty = reward_.expiryPenalty();
+    if (!toggles_.negative_rewards)
+        penalty = 0;
+    cst_.reward(entry.reduced_key, entry.delta, penalty);
+    policy_.recordOutcome(false);
+    ++stats_.pq_expiries;
+}
+
+void
+ContextPrefetcher::observe(const AccessInfo &info,
+                           std::vector<PrefetchRequest> &out)
+{
+    CSP_ASSERT(info.context != nullptr);
+    const Addr block = alignDown(info.vaddr, config_.block_bytes);
+    const AccessSeq seq = info.seq;
+    ++stats_.lookups;
+
+    // ------------------------------------------------------------------
+    // Feedback unit: reward the predictions this access confirms.
+    // ------------------------------------------------------------------
+    pq_.onAccess(block, seq,
+                 [&](const PendingPrefetch &entry, unsigned depth) {
+                     int amount = reward_(depth);
+                     const bool in_window =
+                         depth >= reward_.windowLo() &&
+                         depth <= reward_.windowHi();
+                     if (!toggles_.negative_rewards && amount < 0)
+                         amount = 0;
+                     cst_.reward(entry.reduced_key, entry.delta, amount);
+                     hit_depths_.sample(depth);
+                     policy_.recordOutcome(in_window);
+                     ++stats_.pq_hits;
+                     if (in_window)
+                         ++stats_.pq_hits_in_window;
+                 });
+
+    // ------------------------------------------------------------------
+    // Two-level context indexing (Figure 7).
+    // ------------------------------------------------------------------
+    trace::ContextSnapshot reduced_view = *info.context;
+    if (!toggles_.software_hints) {
+        reduced_view.set(Attr::TypeInfo, 0);
+        reduced_view.set(Attr::LinkOffset, 0);
+        reduced_view.set(Attr::RefForm, 0);
+    }
+    const auto full_hash = static_cast<std::uint16_t>(
+        reduced_view.hash(trace::kAllAttrs, config_.full_hash_bits));
+    const AttrMask mask = reducer_.lookup(full_hash);
+    const auto reduced_key = static_cast<std::uint32_t>(
+        reduced_view.hash(mask, config_.reduced_hash_bits));
+
+    // ------------------------------------------------------------------
+    // Collection unit: bind sampled history contexts to this block.
+    // ------------------------------------------------------------------
+    scratch_samples_.clear();
+    history_.sample(scratch_samples_);
+    const auto expiry = [this](const PendingPrefetch &entry) {
+        expireEntry(entry);
+    };
+    for (const HistoryEntry *hist : scratch_samples_) {
+        // Paper Algorithm 1: only contexts whose depth is within the
+        // prefetch window are associated — a context bound to a
+        // too-near address would only ever earn late penalties.
+        const auto depth = static_cast<unsigned>(seq - hist->seq);
+        if (depth < reward_.windowLo() || depth > reward_.windowHi())
+            continue;
+        const std::int64_t delta =
+            blockDelta(hist->line, block, config_.block_bytes);
+        if (delta == 0)
+            continue;
+        if (std::llabs(delta) > maxDelta()) {
+            ++stats_.delta_overflows;
+            continue;
+        }
+        const CstAddResult added =
+            cst_.addLink(hist->reduced_key,
+                         static_cast<std::int32_t>(delta));
+        if (added.inserted)
+            ++stats_.associations;
+        // Overload adaptation: heavy link churn on an entry that is
+        // NOT earning rewards means too many distinct futures share
+        // one reduced context — split it. Churn on a healthy entry
+        // (one that already holds a vetted link) is just candidate
+        // competition and is discarded.
+        if (const Cst::Entry *entry = cst_.lookup(hist->reduced_key)) {
+            if (entry->churn >= config_.overload_threshold) {
+                int best = -128;
+                for (const CstLink &link : entry->links) {
+                    if (link.valid) {
+                        best = std::max(
+                            best,
+                            static_cast<int>(link.score.value()));
+                    }
+                }
+                // "Healthy" = some link has accumulated at least one
+                // full-strength reward; deliberately independent of
+                // the dispatch threshold.
+                if (best < config_.reward.peak_reward &&
+                    reducer_.onOverload(hist->full_hash)) {
+                    ++stats_.overload_events;
+                }
+                cst_.clearChurn(hist->reduced_key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prediction unit: exploit the best links, explore a random one.
+    // ------------------------------------------------------------------
+    bool useful = false;
+    std::int32_t deltas[16];
+    int scores[16];
+    const unsigned degree = policy_.degree(info.free_l1_mshrs);
+    const unsigned want =
+        std::max(degree, 1u); // track at least one candidate as shadow
+    const unsigned n = cst_.bestLinks(reduced_key, deltas,
+                                      std::min<unsigned>(want, 16),
+                                      /*min_score=*/-1, scores);
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr target =
+            block + static_cast<Addr>(
+                        static_cast<std::int64_t>(deltas[i]) *
+                        config_.block_bytes);
+        // Unvetted links explore as shadow operations; only links the
+        // reward loop has confirmed dispatch real prefetches.
+        bool shadow = i >= degree ||
+                      scores[i] < config_.real_score_threshold;
+        // Paper: a duplicate of an earlier (dispatched) prefetch
+        // re-enters the queue as a shadow operation to train another
+        // pair. Pending shadows do not block dispatch.
+        if (pq_.pendingReal(target))
+            shadow = true;
+        pq_.push(target, reduced_key, deltas[i], seq, shadow, expiry);
+        // Shadow candidates are reported too (flagged) so the simulator
+        // can account "predicted but not issued" demand misses.
+        out.push_back({target, shadow});
+        if (shadow)
+            ++stats_.shadow_predictions;
+        else
+            ++stats_.real_predictions;
+        useful = true;
+    }
+
+    if (policy_.explore()) {
+        std::int32_t delta = 0;
+        const bool drew =
+            config_.softmax_exploration
+                ? cst_.softmaxLink(reduced_key, policy_.rng(),
+                                   config_.softmax_temperature, &delta)
+                : cst_.randomLink(reduced_key, policy_.rng(), &delta);
+        if (drew) {
+            const Addr target =
+                block + static_cast<Addr>(
+                            static_cast<std::int64_t>(delta) *
+                            config_.block_bytes);
+            if (!pq_.pending(target)) {
+                pq_.push(target, reduced_key, delta, seq, true, expiry);
+                out.push_back({target, true});
+                ++stats_.explorations;
+                ++stats_.shadow_predictions;
+            }
+        }
+    }
+
+    // Underload adaptation: contexts that never yield a usable
+    // prediction are over-specialised — merge them.
+    if (reducer_.recordOutcome(full_hash, useful))
+        ++stats_.underload_events;
+
+    // ------------------------------------------------------------------
+    // Remember this context for future associations.
+    // ------------------------------------------------------------------
+    history_.push({reduced_key, full_hash, block, seq});
+}
+
+void
+ContextPrefetcher::onPrefetchOutcome(Addr addr,
+                                     mem::PrefetchOutcome outcome)
+{
+    if (outcome != mem::PrefetchOutcome::Issued) {
+        // The memory system refused or elided the dispatch; keep the
+        // prediction for training only (paper: prefetch operations may
+        // be skipped under stress, converting them to shadow ops).
+        pq_.demoteToShadow(alignDown(addr, config_.block_bytes));
+    }
+}
+
+void
+ContextPrefetcher::finish()
+{
+    pq_.flush([this](const PendingPrefetch &entry) {
+        expireEntry(entry);
+    });
+}
+
+} // namespace csp::prefetch::ctx

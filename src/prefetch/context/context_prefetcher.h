@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The context-based prefetcher — the paper's primary contribution
+ * (sections 4 and 5). It approximates semantic locality by learning,
+ * with a contextual-bandit policy, which block deltas follow each
+ * machine context within the effective prefetch window.
+ *
+ * Per demand access (Algorithm 1), three units operate:
+ *
+ *  - the feedback unit searches the Prefetch Queue for predictions of
+ *    the accessed block and rewards/demotes the producing CST links with
+ *    the bell-shaped reward function;
+ *  - the collection unit samples the History Queue at predefined depths
+ *    and associates each sampled context with the current block (as a
+ *    compact signed delta) in the CST, and drives the Reducer's
+ *    overload/underload feature-set adaptation;
+ *  - the prediction unit hashes the current context through the
+ *    Reducer + CST (two-level indexing, Figure 7), issues the
+ *    highest-scoring deltas as real prefetches (degree throttled by
+ *    accuracy and MSHR pressure), re-queues duplicates as shadow
+ *    prefetches, and occasionally explores a random link as a shadow
+ *    prefetch (epsilon-greedy).
+ */
+
+#ifndef CSP_PREFETCH_CONTEXT_CONTEXT_PREFETCHER_H
+#define CSP_PREFETCH_CONTEXT_CONTEXT_PREFETCHER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/stats.h"
+#include "prefetch/context/bandit.h"
+#include "prefetch/context/cst.h"
+#include "prefetch/context/history_queue.h"
+#include "prefetch/context/prefetch_queue.h"
+#include "prefetch/context/reducer.h"
+#include "prefetch/context/reward.h"
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch::ctx {
+
+/** Learning-specific statistics exposed for the evaluation figures. */
+struct ContextStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t real_predictions = 0;
+    std::uint64_t shadow_predictions = 0;
+    std::uint64_t explorations = 0;
+    std::uint64_t pq_hits = 0;         ///< predictions matched by demand
+    std::uint64_t pq_hits_in_window = 0;
+    std::uint64_t pq_expiries = 0;     ///< predictions never matched
+    std::uint64_t associations = 0;    ///< links added by collection
+    std::uint64_t overload_events = 0; ///< attribute activations
+    std::uint64_t underload_events = 0;///< attribute deactivations
+    std::uint64_t delta_overflows = 0; ///< associations out of delta range
+};
+
+/** Feature toggles for the ablation benchmarks. */
+struct ContextFeatureToggles
+{
+    bool adaptive_reducer = true; ///< Reducer overload/underload on
+    bool exploration = true;      ///< epsilon-greedy shadow prefetches
+    bool software_hints = true;   ///< use compiler-hint attributes
+    bool negative_rewards = true; ///< penalties outside the window
+};
+
+/** See file comment. */
+class ContextPrefetcher final : public Prefetcher
+{
+  public:
+    ContextPrefetcher(const ContextPrefetcherConfig &config,
+                      std::uint64_t seed = 1,
+                      ContextFeatureToggles toggles = {});
+
+    std::string name() const override { return "context"; }
+
+    void observe(const AccessInfo &info,
+                 std::vector<PrefetchRequest> &out) override;
+
+    void onPrefetchOutcome(Addr addr,
+                           mem::PrefetchOutcome outcome) override;
+
+    void finish() override;
+
+    const Histogram *hitDepths() const override { return &hit_depths_; }
+
+    const ContextStats &stats() const { return stats_; }
+    const Cst &cst() const { return cst_; }
+    const Reducer &reducer() const { return reducer_; }
+    const BanditPolicy &policy() const { return policy_; }
+    const RewardFunction &rewardFunction() const { return reward_; }
+
+  private:
+    void expireEntry(const PendingPrefetch &entry);
+    std::int64_t maxDelta() const;
+
+    ContextPrefetcherConfig config_;
+    ContextFeatureToggles toggles_;
+    RewardFunction reward_;
+    Cst cst_;
+    Reducer reducer_;
+    HistoryQueue history_;
+    PrefetchQueue pq_;
+    BanditPolicy policy_;
+    Histogram hit_depths_;
+    ContextStats stats_;
+    std::vector<const HistoryEntry *> scratch_samples_;
+};
+
+} // namespace csp::prefetch::ctx
+
+#endif // CSP_PREFETCH_CONTEXT_CONTEXT_PREFETCHER_H

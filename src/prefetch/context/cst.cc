@@ -1,0 +1,265 @@
+#include "prefetch/context/cst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/types.h"
+
+namespace csp::prefetch::ctx {
+
+Cst::Cst(const ContextPrefetcherConfig &config)
+    : index_bits_(floorLog2(config.cst_entries)),
+      links_per_entry_(config.cst_links),
+      table_(config.cst_entries)
+{
+    CSP_ASSERT(isPowerOfTwo(config.cst_entries));
+    CSP_ASSERT(config.cst_links >= 1);
+    for (Entry &entry : table_)
+        entry.links.resize(links_per_entry_);
+}
+
+std::uint32_t
+Cst::indexOf(std::uint32_t reduced_key) const
+{
+    return reduced_key & ((1u << index_bits_) - 1);
+}
+
+std::uint32_t
+Cst::tagOf(std::uint32_t reduced_key) const
+{
+    return reduced_key >> index_bits_;
+}
+
+Cst::Entry *
+Cst::entryIfMatch(std::uint32_t reduced_key)
+{
+    Entry &entry = table_[indexOf(reduced_key)];
+    if (entry.valid && entry.tag == tagOf(reduced_key))
+        return &entry;
+    return nullptr;
+}
+
+const Cst::Entry *
+Cst::entryIfMatch(std::uint32_t reduced_key) const
+{
+    const Entry &entry = table_[indexOf(reduced_key)];
+    if (entry.valid && entry.tag == tagOf(reduced_key))
+        return &entry;
+    return nullptr;
+}
+
+const Cst::Entry *
+Cst::lookup(std::uint32_t reduced_key) const
+{
+    return entryIfMatch(reduced_key);
+}
+
+CstAddResult
+Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
+{
+    CstAddResult result;
+    Entry &entry = table_[indexOf(reduced_key)];
+    const std::uint32_t tag = tagOf(reduced_key);
+
+    if (!entry.valid || entry.tag != tag) {
+        if (entry.valid) {
+            // Conflicting live entry: protect it while it still holds
+            // positively scored links, but age it so stale contexts
+            // eventually yield the slot.
+            int best = -128;
+            for (CstLink &link : entry.links) {
+                if (link.valid) {
+                    best = std::max(best,
+                                    static_cast<int>(link.score.value()));
+                    link.score.add(-1);
+                }
+            }
+            if (best > 0) {
+                result.entry_conflict = true;
+                return result;
+            }
+        }
+        entry.valid = true;
+        entry.tag = tag;
+        entry.churn = 0;
+        for (CstLink &link : entry.links)
+            link = CstLink{};
+    }
+
+    CstLink *free_slot = nullptr;
+    CstLink *weakest = nullptr;
+    for (CstLink &link : entry.links) {
+        if (!link.valid) {
+            if (free_slot == nullptr)
+                free_slot = &link;
+            continue;
+        }
+        if (link.delta == delta) {
+            result.already_present = true;
+            return result;
+        }
+        if (weakest == nullptr || link.score < weakest->score)
+            weakest = &link;
+    }
+
+    CstLink *slot = free_slot;
+    if (slot == nullptr) {
+        // Score-based replacement: only displace non-positive links.
+        if (weakest->score.value() > 0) {
+            if (entry.churn < 255)
+                ++entry.churn;
+            return result;
+        }
+        slot = weakest;
+        result.evicted_link = true;
+        if (entry.churn < 255)
+            ++entry.churn;
+    }
+    slot->valid = true;
+    slot->delta = delta;
+    slot->score = Score8{0};
+    result.inserted = true;
+    return result;
+}
+
+void
+Cst::reward(std::uint32_t reduced_key, std::int32_t delta, int amount)
+{
+    Entry *entry = entryIfMatch(reduced_key);
+    if (entry == nullptr)
+        return;
+    for (CstLink &link : entry->links) {
+        if (link.valid && link.delta == delta) {
+            link.score.add(amount);
+            // A rewarded entry is healthy: candidate pressure on it is
+            // competition, not overload. Decay the churn signal so the
+            // Reducer only splits contexts that fail to earn rewards.
+            if (amount > 0 && entry->churn > 0)
+                --entry->churn;
+            return;
+        }
+    }
+}
+
+unsigned
+Cst::bestLinks(std::uint32_t reduced_key, std::int32_t *out,
+               unsigned max_links, int min_score,
+               int *scores_out) const
+{
+    const Entry *entry = entryIfMatch(reduced_key);
+    if (entry == nullptr)
+        return 0;
+    // Selection sort over at most links_per_entry_ candidates.
+    struct Candidate
+    {
+        std::int32_t delta;
+        int score;
+    };
+    Candidate candidates[16];
+    unsigned count = 0;
+    for (const CstLink &link : entry->links) {
+        if (link.valid && link.score.value() > min_score &&
+            count < 16) {
+            candidates[count++] = {link.delta,
+                                   static_cast<int>(link.score.value())};
+        }
+    }
+    std::sort(candidates, candidates + count,
+              [](const Candidate &a, const Candidate &b) {
+                  return a.score > b.score;
+              });
+    const unsigned emit = std::min(count, max_links);
+    for (unsigned i = 0; i < emit; ++i) {
+        out[i] = candidates[i].delta;
+        if (scores_out != nullptr)
+            scores_out[i] = candidates[i].score;
+    }
+    return emit;
+}
+
+bool
+Cst::randomLink(std::uint32_t reduced_key, Rng &rng,
+                std::int32_t *delta_out) const
+{
+    const Entry *entry = entryIfMatch(reduced_key);
+    if (entry == nullptr)
+        return false;
+    std::int32_t valid_deltas[16];
+    unsigned count = 0;
+    for (const CstLink &link : entry->links) {
+        if (link.valid && count < 16)
+            valid_deltas[count++] = link.delta;
+    }
+    if (count == 0)
+        return false;
+    *delta_out = valid_deltas[rng.below(count)];
+    return true;
+}
+
+bool
+Cst::softmaxLink(std::uint32_t reduced_key, Rng &rng,
+                 double temperature, std::int32_t *delta_out) const
+{
+    CSP_ASSERT(temperature > 0.0);
+    const Entry *entry = entryIfMatch(reduced_key);
+    if (entry == nullptr)
+        return false;
+    double weights[16];
+    std::int32_t deltas[16];
+    unsigned count = 0;
+    double total = 0.0;
+    for (const CstLink &link : entry->links) {
+        if (link.valid && count < 16) {
+            const double w = std::exp(
+                static_cast<double>(link.score.value()) / temperature);
+            weights[count] = w;
+            deltas[count] = link.delta;
+            total += w;
+            ++count;
+        }
+    }
+    if (count == 0)
+        return false;
+    double pick = rng.uniform() * total;
+    for (unsigned i = 0; i < count; ++i) {
+        pick -= weights[i];
+        if (pick <= 0.0) {
+            *delta_out = deltas[i];
+            return true;
+        }
+    }
+    *delta_out = deltas[count - 1];
+    return true;
+}
+
+void
+Cst::clearChurn(std::uint32_t reduced_key)
+{
+    if (Entry *entry = entryIfMatch(reduced_key))
+        entry->churn = 0;
+}
+
+unsigned
+Cst::liveEntries() const
+{
+    unsigned live = 0;
+    for (const Entry &entry : table_) {
+        if (entry.valid)
+            ++live;
+    }
+    return live;
+}
+
+void
+Cst::reset()
+{
+    for (Entry &entry : table_) {
+        entry.valid = false;
+        entry.churn = 0;
+        for (CstLink &link : entry.links)
+            link = CstLink{};
+    }
+}
+
+} // namespace csp::prefetch::ctx

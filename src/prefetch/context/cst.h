@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Context-States Table (CST) — the action-value store of the
+ * contextual-bandit learner (paper section 5, Figure 6/7).
+ *
+ * The CST is direct-mapped and indexed by the *reduced* context hash
+ * (low bits index, high bits tag). Each entry holds a small set of
+ * (delta, score) links: candidate prefetch targets expressed as signed
+ * block deltas relative to the address observed with the context, each
+ * carrying a saturating score updated by the reward function. Links
+ * compete for the entry's slots under score-based replacement, so that
+ * associations that earn positive rewards survive (paper section 5).
+ */
+
+#ifndef CSP_PREFETCH_CONTEXT_CST_H
+#define CSP_PREFETCH_CONTEXT_CST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace csp::prefetch::ctx {
+
+/** One context-address association. */
+struct CstLink
+{
+    std::int32_t delta = 0; ///< block delta (paper: 1-byte, configurable)
+    Score8 score{};
+    bool valid = false;
+};
+
+/** Result of a data-collection insertion. */
+struct CstAddResult
+{
+    bool inserted = false;      ///< a new link was stored
+    bool already_present = false;
+    bool evicted_link = false;  ///< link churn: an overload signal
+    bool entry_conflict = false;///< tag conflict with a live entry
+};
+
+/** See file comment. */
+class Cst
+{
+  public:
+    explicit Cst(const ContextPrefetcherConfig &config);
+
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        bool valid = false;
+        std::uint8_t churn = 0; ///< recent link evictions (overload cue)
+        std::vector<CstLink> links;
+    };
+
+    /** Entry for @p reduced_key iff present with a matching tag. */
+    const Entry *lookup(std::uint32_t reduced_key) const;
+
+    /**
+     * Data collection: associate @p delta with @p reduced_key. New links
+     * start at score 0 and must earn rewards to survive; the
+     * lowest-scoring link is evicted when the entry is full, but only if
+     * its score is at or below zero (positive scores are protected and
+     * the insertion is dropped instead).
+     */
+    CstAddResult addLink(std::uint32_t reduced_key, std::int32_t delta);
+
+    /** Feedback: apply @p reward to the (key, delta) association. */
+    void reward(std::uint32_t reduced_key, std::int32_t delta, int amount);
+
+    /**
+     * Exploitation: collect up to @p max_links deltas with score >
+     * @p min_score, best first. Returns the number written to @p out
+     * (and, when @p scores_out is non-null, the matching scores).
+     */
+    unsigned bestLinks(std::uint32_t reduced_key, std::int32_t *out,
+                       unsigned max_links, int min_score,
+                       int *scores_out = nullptr) const;
+
+    /**
+     * Exploration: a uniformly random valid link of the entry (paper:
+     * "choosing a random address from the set of previously correlated
+     * ones"). Returns false when the entry has no links.
+     */
+    bool randomLink(std::uint32_t reduced_key, Rng &rng,
+                    std::int32_t *delta_out) const;
+
+    /**
+     * Softmax exploration (the policy-search direction the paper's
+     * conclusion points to): draw a link with probability proportional
+     * to exp(score / temperature), biasing exploration toward
+     * promising-but-unproven candidates instead of uniform chance.
+     */
+    bool softmaxLink(std::uint32_t reduced_key, Rng &rng,
+                     double temperature, std::int32_t *delta_out) const;
+
+    /** Clear the churn counter after the Reducer consumed the signal. */
+    void clearChurn(std::uint32_t reduced_key);
+
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(table_.size());
+    }
+
+    /** Number of valid entries (occupancy diagnostics). */
+    unsigned liveEntries() const;
+
+    /** Drop all learned state. */
+    void reset();
+
+  private:
+    Entry *entryIfMatch(std::uint32_t reduced_key);
+    const Entry *entryIfMatch(std::uint32_t reduced_key) const;
+    std::uint32_t indexOf(std::uint32_t reduced_key) const;
+    std::uint32_t tagOf(std::uint32_t reduced_key) const;
+
+    unsigned index_bits_;
+    unsigned links_per_entry_;
+    std::vector<Entry> table_;
+};
+
+} // namespace csp::prefetch::ctx
+
+#endif // CSP_PREFETCH_CONTEXT_CST_H

@@ -1,0 +1,109 @@
+#include "prefetch/context/prefetch_queue.h"
+
+#include "core/logging.h"
+
+namespace csp::prefetch::ctx {
+
+PrefetchQueue::PrefetchQueue(unsigned capacity) : ring_(capacity)
+{
+    CSP_ASSERT(capacity > 0);
+}
+
+void
+PrefetchQueue::push(Addr line, std::uint32_t reduced_key,
+                    std::int32_t delta, AccessSeq seq, bool shadow,
+                    const ExpiryCallback &on_expiry)
+{
+    PendingPrefetch &slot = ring_[pushes_ % ring_.size()];
+    if (slot.valid && !slot.hit && on_expiry)
+        on_expiry(slot);
+    slot = PendingPrefetch{line, reduced_key, delta, seq, shadow, false,
+                           true};
+    ++pushes_;
+}
+
+unsigned
+PrefetchQueue::onAccess(Addr line, AccessSeq seq,
+                        const HitCallback &on_hit)
+{
+    unsigned matches = 0;
+    for (PendingPrefetch &entry : ring_) {
+        if (entry.valid && !entry.hit && entry.line == line) {
+            entry.hit = true;
+            ++matches;
+            if (on_hit) {
+                const unsigned depth =
+                    static_cast<unsigned>(seq - entry.seq);
+                on_hit(entry, depth);
+            }
+        }
+    }
+    return matches;
+}
+
+bool
+PrefetchQueue::pending(Addr line) const
+{
+    for (const PendingPrefetch &entry : ring_) {
+        if (entry.valid && !entry.hit && entry.line == line)
+            return true;
+    }
+    return false;
+}
+
+bool
+PrefetchQueue::pendingReal(Addr line) const
+{
+    for (const PendingPrefetch &entry : ring_) {
+        if (entry.valid && !entry.hit && !entry.shadow &&
+            entry.line == line)
+            return true;
+    }
+    return false;
+}
+
+void
+PrefetchQueue::demoteToShadow(Addr line)
+{
+    PendingPrefetch *newest = nullptr;
+    for (PendingPrefetch &entry : ring_) {
+        if (entry.valid && !entry.hit && !entry.shadow &&
+            entry.line == line) {
+            if (newest == nullptr || entry.seq > newest->seq)
+                newest = &entry;
+        }
+    }
+    if (newest != nullptr)
+        newest->shadow = true;
+}
+
+void
+PrefetchQueue::flush(const ExpiryCallback &on_expiry)
+{
+    for (PendingPrefetch &entry : ring_) {
+        if (entry.valid && !entry.hit && on_expiry)
+            on_expiry(entry);
+        entry.valid = false;
+    }
+}
+
+unsigned
+PrefetchQueue::size() const
+{
+    unsigned live = 0;
+    for (const PendingPrefetch &entry : ring_) {
+        if (entry.valid)
+            ++live;
+    }
+    return live;
+}
+
+void
+PrefetchQueue::clear()
+{
+    for (PendingPrefetch &entry : ring_)
+        entry.valid = false;
+    pushes_ = 0;
+}
+
+} // namespace csp::prefetch::ctx

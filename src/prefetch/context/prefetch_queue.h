@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Prefetch Queue of the feedback unit (paper section 5, Figure 6):
+ * a ring of the most recent predictions — real and shadow — awaiting
+ * reward. On every demand access the queue is searched for entries that
+ * predicted the accessed block; the depth at which an entry is hit (in
+ * demand accesses since the prediction) feeds the reward function.
+ * Entries popped without ever being hit earn the expiry penalty
+ * (paper: the queue, at 128 entries, is deliberately larger than the
+ * useful prefetch window so that too-early predictions are observed and
+ * demoted).
+ */
+
+#ifndef CSP_PREFETCH_CONTEXT_PREFETCH_QUEUE_H
+#define CSP_PREFETCH_CONTEXT_PREFETCH_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace csp::prefetch::ctx {
+
+/** One pending prediction. */
+struct PendingPrefetch
+{
+    Addr line = 0;              ///< predicted block address
+    std::uint32_t reduced_key = 0; ///< CST entry that produced it
+    std::int32_t delta = 0;     ///< which link of that entry
+    AccessSeq seq = 0;          ///< demand-access index at prediction
+    bool shadow = false;        ///< tracked only, never dispatched
+    bool hit = false;           ///< matched by a demand access
+    bool valid = false;
+};
+
+/** See file comment. */
+class PrefetchQueue
+{
+  public:
+    /** Called when an entry is hit: (entry, depth in accesses). */
+    using HitCallback =
+        std::function<void(const PendingPrefetch &, unsigned)>;
+    /** Called when an entry expires unhit. */
+    using ExpiryCallback = std::function<void(const PendingPrefetch &)>;
+
+    explicit PrefetchQueue(unsigned capacity);
+
+    /**
+     * Queue a new prediction, evicting (and expiring) the oldest entry
+     * when full.
+     */
+    void push(Addr line, std::uint32_t reduced_key, std::int32_t delta,
+              AccessSeq seq, bool shadow,
+              const ExpiryCallback &on_expiry);
+
+    /**
+     * Search for predictions of @p line at demand access @p seq; each
+     * un-hit match is marked hit and reported through @p on_hit.
+     * Returns the number of matches.
+     */
+    unsigned onAccess(Addr line, AccessSeq seq, const HitCallback &on_hit);
+
+    /** True iff an un-hit entry for @p line is pending (dedup check). */
+    bool pending(Addr line) const;
+
+    /** True iff an un-hit REAL (dispatched) entry for @p line is
+     *  pending. Only these demote duplicates to shadow; a pending
+     *  shadow must not block a vetted link from dispatching. */
+    bool pendingReal(Addr line) const;
+
+    /** Flip the most recent un-hit real entry for @p line to shadow
+     *  (used when the memory system refused the dispatch). */
+    void demoteToShadow(Addr line);
+
+    /** Expire every remaining entry (end of run). */
+    void flush(const ExpiryCallback &on_expiry);
+
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(ring_.size());
+    }
+
+    /** Live (valid) entry count. */
+    unsigned size() const;
+
+    /** Drop all entries without expiring them. */
+    void clear();
+
+  private:
+    std::vector<PendingPrefetch> ring_;
+    std::uint64_t pushes_ = 0;
+};
+
+} // namespace csp::prefetch::ctx
+
+#endif // CSP_PREFETCH_CONTEXT_PREFETCH_QUEUE_H

@@ -1,0 +1,146 @@
+#include "prefetch/context/reducer.h"
+
+#include <bit>
+
+#include "core/logging.h"
+#include "core/types.h"
+
+namespace csp::prefetch::ctx {
+
+using trace::Attr;
+using trace::AttrMask;
+using trace::attrBit;
+using trace::kNumAttrs;
+
+Reducer::Reducer(const ContextPrefetcherConfig &config,
+                 AttrMask initial_mask, bool adaptive)
+    : index_bits_(floorLog2(config.reducer_entries)),
+      initial_mask_(initial_mask),
+      adaptive_(adaptive),
+      underload_lookups_(16),
+      table_(config.reducer_entries)
+{
+    CSP_ASSERT(isPowerOfTwo(config.reducer_entries));
+    CSP_ASSERT(initial_mask != 0);
+}
+
+Attr
+Reducer::activationOrder(unsigned step)
+{
+    // Fixed priority: matches the enumeration order of trace::Attr —
+    // cheap/general attributes first, address history last (paper
+    // Table 1 warns it must be used sparingly).
+    CSP_ASSERT(step < kNumAttrs);
+    return static_cast<Attr>(step);
+}
+
+std::uint32_t
+Reducer::indexOf(std::uint16_t full_hash) const
+{
+    return full_hash & ((1u << index_bits_) - 1);
+}
+
+std::uint8_t
+Reducer::tagOf(std::uint16_t full_hash) const
+{
+    return static_cast<std::uint8_t>(full_hash >> index_bits_);
+}
+
+Reducer::Entry &
+Reducer::entryFor(std::uint16_t full_hash)
+{
+    Entry &entry = table_[indexOf(full_hash)];
+    if (!entry.valid || entry.tag != tagOf(full_hash)) {
+        // Direct-mapped: conflicts simply displace (paper: "conflicts
+        // have little impact on the prefetcher's performance").
+        entry.valid = true;
+        entry.tag = tagOf(full_hash);
+        entry.mask = initial_mask_;
+        entry.barren_lookups = 0;
+    }
+    return entry;
+}
+
+AttrMask
+Reducer::lookup(std::uint16_t full_hash)
+{
+    return entryFor(full_hash).mask;
+}
+
+bool
+Reducer::onOverload(std::uint16_t full_hash)
+{
+    if (!adaptive_)
+        return false;
+    Entry &entry = entryFor(full_hash);
+    for (unsigned step = 0; step < kNumAttrs; ++step) {
+        const AttrMask bit = attrBit(activationOrder(step));
+        if (!(entry.mask & bit)) {
+            entry.mask |= bit;
+            entry.barren_lookups = 0;
+            return true;
+        }
+    }
+    return false; // everything already active
+}
+
+bool
+Reducer::onUnderload(std::uint16_t full_hash)
+{
+    if (!adaptive_)
+        return false;
+    Entry &entry = entryFor(full_hash);
+    // Never shrink below the initial attribute set.
+    for (unsigned step = kNumAttrs; step-- > 0;) {
+        const AttrMask bit = attrBit(activationOrder(step));
+        if ((entry.mask & bit) && !(initial_mask_ & bit)) {
+            entry.mask &= static_cast<AttrMask>(~bit);
+            entry.barren_lookups = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Reducer::recordOutcome(std::uint16_t full_hash, bool useful)
+{
+    Entry &entry = entryFor(full_hash);
+    if (useful) {
+        entry.barren_lookups = 0;
+        return false;
+    }
+    if (!adaptive_)
+        return false;
+    if (++entry.barren_lookups >= underload_lookups_) {
+        entry.barren_lookups = 0;
+        return onUnderload(full_hash);
+    }
+    return false;
+}
+
+double
+Reducer::meanActiveAttrs() const
+{
+    std::uint64_t live = 0;
+    std::uint64_t active = 0;
+    for (const Entry &entry : table_) {
+        if (entry.valid) {
+            ++live;
+            active += std::popcount(
+                static_cast<unsigned>(entry.mask));
+        }
+    }
+    return live == 0 ? 0.0
+                     : static_cast<double>(active) /
+                           static_cast<double>(live);
+}
+
+void
+Reducer::reset()
+{
+    for (Entry &entry : table_)
+        entry = Entry{};
+}
+
+} // namespace csp::prefetch::ctx

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Reducer — the online feature-selection stage of the context-based
+ * prefetcher (paper sections 4.4 and 5, Figure 7).
+ *
+ * The full context (all Table 1 attributes) is hashed to a 16-bit value;
+ * its low 14 bits index the direct-mapped Reducer and the top 2 bits form
+ * a tag. Each Reducer entry stores a bitmap of *active* attributes. The
+ * active subset is re-hashed to produce the 19-bit reduced key that
+ * indexes the CST.
+ *
+ * Adaptation (paper section 4.4):
+ *  - overload — too many full contexts collapse onto one reduced context
+ *    (detected through CST link churn): activate the next inactive
+ *    attribute, splitting the reduced context;
+ *  - underload — contexts are spread over too many unique states and
+ *    never recur usefully (detected as many lookups with no usable
+ *    prediction): deactivate the most recently activated attribute,
+ *    merging states back together.
+ */
+
+#ifndef CSP_PREFETCH_CONTEXT_REDUCER_H
+#define CSP_PREFETCH_CONTEXT_REDUCER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "trace/context.h"
+
+namespace csp::prefetch::ctx {
+
+/** See file comment. */
+class Reducer
+{
+  public:
+    /**
+     * @param config sizing and adaptation thresholds.
+     * @param initial_mask attributes active for fresh entries.
+     * @param adaptive disable to freeze masks (ablation).
+     */
+    Reducer(const ContextPrefetcherConfig &config,
+            trace::AttrMask initial_mask, bool adaptive = true);
+
+    /**
+     * Active-attribute mask for @p full_hash, allocating (or displacing,
+     * direct-mapped) the entry if needed.
+     */
+    trace::AttrMask lookup(std::uint16_t full_hash);
+
+    /** Overload signal for the entry: activate one more attribute.
+     *  Returns true if the mask changed. */
+    bool onOverload(std::uint16_t full_hash);
+
+    /** Underload signal: deactivate the most recent attribute.
+     *  Returns true if the mask changed. */
+    bool onUnderload(std::uint16_t full_hash);
+
+    /** Record whether a lookup produced a usable prediction; drives the
+     *  underload heuristic internally. Returns true if the entry decided
+     *  to underload itself (mask changed). */
+    bool recordOutcome(std::uint16_t full_hash, bool useful);
+
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(table_.size());
+    }
+
+    /** Attribute-activation order (fixed priority, see trace::Attr). */
+    static trace::Attr activationOrder(unsigned step);
+
+    /** Mean number of active attributes over valid entries. */
+    double meanActiveAttrs() const;
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        std::uint8_t tag = 0;
+        bool valid = false;
+        trace::AttrMask mask = 0;
+        std::uint16_t barren_lookups = 0; ///< lookups since last success
+    };
+
+    Entry &entryFor(std::uint16_t full_hash);
+    std::uint32_t indexOf(std::uint16_t full_hash) const;
+    std::uint8_t tagOf(std::uint16_t full_hash) const;
+
+    unsigned index_bits_;
+    trace::AttrMask initial_mask_;
+    bool adaptive_;
+    std::uint16_t underload_lookups_; ///< barren lookups before merging
+    std::vector<Entry> table_;
+};
+
+} // namespace csp::prefetch::ctx
+
+#endif // CSP_PREFETCH_CONTEXT_REDUCER_H

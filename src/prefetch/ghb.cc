@@ -1,0 +1,122 @@
+#include "prefetch/ghb.h"
+
+#include <algorithm>
+
+#include "core/hashing.h"
+
+namespace csp::prefetch {
+
+GhbPrefetcher::GhbPrefetcher(const GhbConfig &config, GhbFlavor flavor,
+                             unsigned line_bytes)
+    : config_(config),
+      flavor_(flavor),
+      line_bytes_(line_bytes),
+      buffer_(config.ghb_entries),
+      index_(config.index_entries)
+{}
+
+std::string
+GhbPrefetcher::name() const
+{
+    return flavor_ == GhbFlavor::GlobalDC ? "ghb-gdc" : "ghb-pcdc";
+}
+
+Addr
+GhbPrefetcher::indexKey(const AccessInfo &info) const
+{
+    return flavor_ == GhbFlavor::GlobalDC ? 0 : info.pc;
+}
+
+void
+GhbPrefetcher::rebuildStream(std::uint64_t head,
+                             std::vector<Addr> &stream) const
+{
+    stream.clear();
+    std::uint64_t pos = head;
+    const std::uint64_t capacity = buffer_.size();
+    while (pos != kNoLink && stream.size() < kMaxChain) {
+        // A link is stale once the buffer has wrapped past it.
+        if (next_pos_ - pos > capacity)
+            break;
+        const GhbEntry &entry = buffer_[pos % capacity];
+        stream.push_back(entry.line);
+        if (entry.prev != kNoLink && entry.prev >= pos)
+            break; // defensive: links must strictly decrease
+        pos = entry.prev;
+    }
+    // Collected newest-first; flip to oldest-first for delta analysis.
+    std::reverse(stream.begin(), stream.end());
+}
+
+void
+GhbPrefetcher::observe(const AccessInfo &info,
+                       std::vector<PrefetchRequest> &out)
+{
+    // Train on the miss stream (see file comment).
+    if (!info.l1_miss && !info.hit_prefetched_line)
+        return;
+
+    const Addr key = indexKey(info);
+    IndexEntry &idx =
+        index_[mix64(key) % index_.size()];
+    std::uint64_t prev_head = kNoLink;
+    if (idx.valid && idx.key_tag == key)
+        prev_head = idx.head;
+
+    // Insert the new access at the global position.
+    const std::uint64_t pos = next_pos_++;
+    buffer_[pos % buffer_.size()] =
+        GhbEntry{info.line_addr, prev_head};
+    idx.key_tag = key;
+    idx.valid = true;
+    idx.head = pos;
+
+    // Reconstruct the localized stream and delta-correlate.
+    rebuildStream(pos, scratch_stream_);
+    const std::size_t n = scratch_stream_.size();
+    const unsigned hist = config_.history_length;
+    if (n < hist + 1)
+        return;
+
+    scratch_deltas_.clear();
+    for (std::size_t i = 1; i < n; ++i) {
+        scratch_deltas_.push_back(
+            blockDelta(scratch_stream_[i - 1], scratch_stream_[i],
+                       line_bytes_) );
+    }
+    const std::size_t d = scratch_deltas_.size();
+    // Pattern: the most recent (hist - 1) deltas.
+    const std::size_t plen = hist - 1;
+    if (d < plen + 1)
+        return;
+
+    // Search backwards for an earlier occurrence of the pattern
+    // (which itself occupies deltas[d-plen .. d-1]).
+    for (std::size_t j = d - 2;; --j) {
+        bool match = true;
+        for (std::size_t k = 0; k < plen; ++k) {
+            if (scratch_deltas_[j - k] != scratch_deltas_[d - 1 - k]) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            // Replay the deltas that followed the matched occurrence.
+            Addr target = info.line_addr;
+            unsigned issued = 0;
+            for (std::size_t k = j + 1;
+                 k < d && issued < config_.degree; ++k, ++issued) {
+                target += static_cast<Addr>(
+                    scratch_deltas_[k] *
+                    static_cast<std::int64_t>(line_bytes_));
+                if (target != info.line_addr)
+                    out.push_back({target, false});
+            }
+            return;
+        }
+        if (j == plen - 1)
+            break;
+    }
+}
+
+} // namespace csp::prefetch

@@ -1,0 +1,95 @@
+#include "prefetch/jump_pointer.h"
+
+#include "core/hashing.h"
+
+namespace csp::prefetch {
+
+JumpPointerPrefetcher::JumpPointerPrefetcher(
+    const JumpPointerConfig &config, unsigned line_bytes)
+    : config_(config),
+      line_bytes_(line_bytes),
+      pointers_(config.pointer_table_entries),
+      producers_(config.producer_entries)
+{}
+
+JumpPointerPrefetcher::PointerEntry &
+JumpPointerPrefetcher::pointerSlot(Addr line)
+{
+    return pointers_[mix64(line) % pointers_.size()];
+}
+
+JumpPointerPrefetcher::ProducerEntry &
+JumpPointerPrefetcher::producerSlot(Addr pc)
+{
+    return producers_[mix64(pc) % producers_.size()];
+}
+
+void
+JumpPointerPrefetcher::observe(const AccessInfo &info,
+                               std::vector<PrefetchRequest> &out)
+{
+    if (info.is_store)
+        return;
+
+    const Addr line = info.line_addr;
+
+    // Dependence detection: this load's address falls inside the block
+    // named by the previous load's returned value — the pointer-chase
+    // signature the Roth et al. predictors key on.
+    if (last_loaded_value_ != 0 &&
+        alignDown(last_loaded_value_, line_bytes_) == line) {
+        ProducerEntry &producer = producerSlot(last_load_pc_);
+        if (!producer.valid || producer.pc_tag != last_load_pc_) {
+            producer = ProducerEntry{};
+            producer.pc_tag = last_load_pc_;
+            producer.valid = true;
+        }
+        if (producer.confidence < 3)
+            ++producer.confidence;
+    }
+
+    // Jump-pointer training: remember what this block pointed to.
+    if (info.loaded_value != 0) {
+        PointerEntry &entry = pointerSlot(line);
+        entry.line_tag = line;
+        entry.pointee = info.loaded_value;
+        entry.valid = true;
+    }
+
+    // Prediction: from a confident chasing site, launch a bounded
+    // chain of prefetches through the stored jump pointers.
+    const ProducerEntry &producer = producerSlot(info.pc);
+    if (producer.valid && producer.pc_tag == info.pc &&
+        producer.confidence >= 2 && info.loaded_value != 0) {
+        Addr cursor = alignDown(info.loaded_value, line_bytes_);
+        for (unsigned depth = 0; depth < config_.chain_depth;
+             ++depth) {
+            if (cursor == 0 || cursor == line)
+                break;
+            out.push_back({cursor, false});
+            const PointerEntry &entry = pointerSlot(cursor);
+            if (!entry.valid || entry.line_tag != cursor)
+                break;
+            const Addr next = alignDown(entry.pointee, line_bytes_);
+            if (next == cursor)
+                break;
+            cursor = next;
+        }
+    }
+
+    last_load_pc_ = info.pc;
+    last_loaded_value_ = info.loaded_value;
+}
+
+unsigned
+JumpPointerPrefetcher::livePointers() const
+{
+    unsigned live = 0;
+    for (const PointerEntry &entry : pointers_) {
+        if (entry.valid)
+            ++live;
+    }
+    return live;
+}
+
+} // namespace csp::prefetch

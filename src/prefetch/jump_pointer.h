@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dependence-based / jump-pointer prefetcher in the style of Roth,
+ * Moshovos & Sohi (ASPLOS 1998) and Roth & Sohi (ISCA 1999) — the
+ * linked-data-structure prefetchers the paper's related-work section
+ * positions the context-based approach against.
+ *
+ * The predictor watches loads whose *returned value* is itself used as
+ * the address of a subsequent load (a pointer dereference chain, which
+ * our traces expose through loaded_value and the dep_on_prev_load
+ * flag). For each producing load PC it records the offset at which the
+ * consumer dereferences the pointer; on the next visit it launches a
+ * bounded chain of prefetches by chasing stored pointer values through
+ * a small correlation table (the "jump pointer" store).
+ *
+ * Not part of the paper's evaluated lineup (Table 2 scales only GHB
+ * and SMS); available in the CLI and experiment runner as "jump" for
+ * comparison studies.
+ */
+
+#ifndef CSP_PREFETCH_JUMP_POINTER_H
+#define CSP_PREFETCH_JUMP_POINTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch {
+
+/** Configuration for the jump-pointer prefetcher. */
+struct JumpPointerConfig
+{
+    unsigned pointer_table_entries = 4096; ///< line -> pointee map
+    unsigned producer_entries = 256;       ///< chasing load sites
+    unsigned chain_depth = 3;              ///< prefetches per trigger
+};
+
+/** See file comment. */
+class JumpPointerPrefetcher final : public Prefetcher
+{
+  public:
+    explicit JumpPointerPrefetcher(const JumpPointerConfig &config,
+                                   unsigned line_bytes = 64);
+
+    std::string name() const override { return "jump"; }
+
+    void observe(const AccessInfo &info,
+                 std::vector<PrefetchRequest> &out) override;
+
+    /** Pointer-table occupancy (diagnostics/tests). */
+    unsigned livePointers() const;
+
+  private:
+    /** line address -> pointer value loaded from it. */
+    struct PointerEntry
+    {
+        Addr line_tag = kInvalidAddr;
+        Addr pointee = 0;
+        bool valid = false;
+    };
+
+    /** A load site observed to chase pointers. */
+    struct ProducerEntry
+    {
+        Addr pc_tag = 0;
+        bool valid = false;
+        unsigned confidence = 0; ///< saturating, chase evidence
+    };
+
+    PointerEntry &pointerSlot(Addr line);
+    ProducerEntry &producerSlot(Addr pc);
+
+    JumpPointerConfig config_;
+    unsigned line_bytes_;
+    std::vector<PointerEntry> pointers_;
+    std::vector<ProducerEntry> producers_;
+    Addr last_loaded_value_ = 0;
+    Addr last_load_pc_ = 0;
+};
+
+} // namespace csp::prefetch
+
+#endif // CSP_PREFETCH_JUMP_POINTER_H

@@ -1,0 +1,81 @@
+#include "prefetch/markov.h"
+
+#include <algorithm>
+
+#include "core/hashing.h"
+#include "core/logging.h"
+
+namespace csp::prefetch {
+
+MarkovPrefetcher::MarkovPrefetcher(const MarkovConfig &config)
+    : config_(config), table_(config.table_entries)
+{
+    CSP_ASSERT(config.successors <= 8);
+}
+
+MarkovPrefetcher::Entry &
+MarkovPrefetcher::entryFor(Addr line)
+{
+    return table_[mix64(line) % table_.size()];
+}
+
+void
+MarkovPrefetcher::observe(const AccessInfo &info,
+                          std::vector<PrefetchRequest> &out)
+{
+    // Model the L1 miss stream, like the original proposal.
+    if (!info.l1_miss && !info.hit_prefetched_line)
+        return;
+
+    const Addr line = info.line_addr;
+
+    // Train: prev_line transitions to line.
+    if (prev_line_ != kInvalidAddr && prev_line_ != line) {
+        Entry &entry = entryFor(prev_line_);
+        if (!entry.valid || entry.line_tag != prev_line_) {
+            entry = Entry{};
+            entry.line_tag = prev_line_;
+            entry.valid = true;
+        }
+        Successor *slot = nullptr;
+        for (unsigned i = 0; i < config_.successors; ++i) {
+            Successor &s = entry.successors[i];
+            if (s.line == line) {
+                slot = &s;
+                break;
+            }
+            if (slot == nullptr || s.count < slot->count)
+                slot = &s;
+        }
+        if (slot->line == line) {
+            slot->count = std::min(slot->count + 1, 3u);
+        } else if (slot->count > 0) {
+            --slot->count; // decay the weakest before replacing it
+        } else {
+            slot->line = line;
+            slot->count = 1;
+        }
+    }
+    prev_line_ = line;
+
+    // Predict: strongest successors of the current line.
+    Entry &entry = entryFor(line);
+    if (entry.valid && entry.line_tag == line) {
+        const unsigned slots = std::min(config_.successors, 8u);
+        std::array<Successor, 8> sorted = entry.successors;
+        std::sort(sorted.begin(), sorted.begin() + slots,
+                  [](const Successor &a, const Successor &b) {
+                      return a.count > b.count;
+                  });
+        unsigned issued = 0;
+        for (unsigned i = 0; i < slots && issued < config_.degree;
+             ++i) {
+            if (sorted[i].count == 0 || sorted[i].line == kInvalidAddr)
+                break;
+            out.push_back({sorted[i].line, false});
+            ++issued;
+        }
+    }
+}
+
+} // namespace csp::prefetch

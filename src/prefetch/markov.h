@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald, ISCA 1997): models the miss
+ * stream as a first-order Markov process over line addresses. Discussed
+ * in the paper's related work as the closest prior machine-learning
+ * approach; included as an additional baseline because it is the natural
+ * context-free ancestor of the context-based prefetcher.
+ */
+
+#ifndef CSP_PREFETCH_MARKOV_H
+#define CSP_PREFETCH_MARKOV_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch {
+
+/** See file comment. */
+class MarkovPrefetcher final : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(const MarkovConfig &config);
+
+    std::string name() const override { return "markov"; }
+
+    void observe(const AccessInfo &info,
+                 std::vector<PrefetchRequest> &out) override;
+
+  private:
+    struct Successor
+    {
+        Addr line = kInvalidAddr;
+        unsigned count = 0; ///< 2-bit saturating
+    };
+
+    struct Entry
+    {
+        Addr line_tag = kInvalidAddr;
+        bool valid = false;
+        std::array<Successor, 8> successors{};
+    };
+
+    Entry &entryFor(Addr line);
+
+    MarkovConfig config_;
+    std::vector<Entry> table_;
+    Addr prev_line_ = kInvalidAddr;
+};
+
+} // namespace csp::prefetch
+
+#endif // CSP_PREFETCH_MARKOV_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tagged next-line prefetcher (Smith, 1982) — the simplest reference
+ * point in the prefetching literature. On an L1 miss, or on the first
+ * demand touch of a prefetched line (the "tag"), it fetches the next
+ * sequential line(s). Not evaluated by the paper; provided as the
+ * zero-knowledge baseline for comparison studies via the CLI name
+ * "next-line".
+ */
+
+#ifndef CSP_PREFETCH_NEXT_LINE_H
+#define CSP_PREFETCH_NEXT_LINE_H
+
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch {
+
+/** Configuration for the next-line prefetcher. */
+struct NextLineConfig
+{
+    unsigned degree = 1; ///< sequential lines fetched per trigger
+};
+
+/** See file comment. */
+class NextLinePrefetcher final : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(const NextLineConfig &config,
+                                unsigned line_bytes = 64)
+        : config_(config), line_bytes_(line_bytes)
+    {}
+
+    std::string name() const override { return "next-line"; }
+
+    void
+    observe(const AccessInfo &info,
+            std::vector<PrefetchRequest> &out) override
+    {
+        if (!info.l1_miss && !info.hit_prefetched_line)
+            return;
+        for (unsigned i = 1; i <= config_.degree; ++i) {
+            out.push_back(
+                {info.line_addr + static_cast<Addr>(i) * line_bytes_,
+                 false});
+        }
+    }
+
+  private:
+    NextLineConfig config_;
+    unsigned line_bytes_;
+};
+
+} // namespace csp::prefetch
+
+#endif // CSP_PREFETCH_NEXT_LINE_H

@@ -1,0 +1,7 @@
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch {
+
+Prefetcher::~Prefetcher() = default;
+
+} // namespace csp::prefetch

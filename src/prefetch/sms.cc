@@ -1,0 +1,127 @@
+#include "prefetch/sms.h"
+
+#include "core/hashing.h"
+#include "core/logging.h"
+
+namespace csp::prefetch {
+
+SmsPrefetcher::SmsPrefetcher(const SmsConfig &config)
+    : config_(config),
+      lines_per_region_(
+          static_cast<unsigned>(config.region_bytes / config.line_bytes)),
+      filter_(config.filter_entries),
+      agt_(config.agt_entries),
+      pht_(config.pht_entries)
+{
+    CSP_ASSERT(lines_per_region_ >= 2 && lines_per_region_ <= 64);
+}
+
+std::uint64_t
+SmsPrefetcher::triggerKey(Addr pc, unsigned offset_line) const
+{
+    return hashCombine(pc, offset_line);
+}
+
+void
+SmsPrefetcher::trainPht(const AgtEntry &entry)
+{
+    // Single-access generations carry no spatial information.
+    if ((entry.pattern & (entry.pattern - 1)) == 0)
+        return;
+    PhtEntry &slot = pht_[mix64(entry.trigger_key) % pht_.size()];
+    slot.key_tag = entry.trigger_key;
+    slot.pattern = entry.pattern;
+    slot.valid = true;
+}
+
+void
+SmsPrefetcher::observe(const AccessInfo &info,
+                       std::vector<PrefetchRequest> &out)
+{
+    const Addr region = info.vaddr / config_.region_bytes;
+    const unsigned offset_line = static_cast<unsigned>(
+        (info.vaddr % config_.region_bytes) / config_.line_bytes);
+    ++lru_clock_;
+
+    // Already accumulating this region?
+    for (AgtEntry &entry : agt_) {
+        if (entry.valid && entry.region == region) {
+            entry.pattern |= 1ull << offset_line;
+            entry.lru = lru_clock_;
+            return;
+        }
+    }
+
+    // Second access to a filtered region promotes it to the AGT.
+    for (FilterEntry &fe : filter_) {
+        if (fe.valid && fe.region == region) {
+            if (fe.first_line == offset_line)
+                return; // same line again: still a single-line region
+            AgtEntry *victim = nullptr;
+            for (AgtEntry &entry : agt_) {
+                if (!entry.valid) {
+                    victim = &entry;
+                    break;
+                }
+                if (victim == nullptr || entry.lru < victim->lru)
+                    victim = &entry;
+            }
+            if (victim->valid)
+                trainPht(*victim);
+            victim->valid = true;
+            victim->region = region;
+            victim->trigger_key = fe.trigger_key;
+            victim->pattern =
+                (1ull << fe.first_line) | (1ull << offset_line);
+            victim->lru = lru_clock_;
+            fe.valid = false;
+            return;
+        }
+    }
+
+    // First access to the region: this is the trigger. Predict from the
+    // PHT, then start tracking a new generation in the filter.
+    const std::uint64_t key = triggerKey(info.pc, offset_line);
+    const PhtEntry &pred = pht_[mix64(key) % pht_.size()];
+    if (pred.valid && pred.key_tag == key) {
+        const Addr region_base = region * config_.region_bytes;
+        for (unsigned line = 0; line < lines_per_region_; ++line) {
+            if (line == offset_line)
+                continue;
+            if (pred.pattern & (1ull << line)) {
+                out.push_back(
+                    {region_base + static_cast<Addr>(line) *
+                                       config_.line_bytes,
+                     false});
+            }
+        }
+    }
+
+    FilterEntry *victim = nullptr;
+    for (FilterEntry &fe : filter_) {
+        if (!fe.valid) {
+            victim = &fe;
+            break;
+        }
+        if (victim == nullptr || fe.lru < victim->lru)
+            victim = &fe;
+    }
+    victim->valid = true;
+    victim->region = region;
+    victim->trigger_key = key;
+    victim->first_line = offset_line;
+    victim->lru = lru_clock_;
+}
+
+void
+SmsPrefetcher::finish()
+{
+    // Close out live generations so their patterns are not lost.
+    for (AgtEntry &entry : agt_) {
+        if (entry.valid)
+            trainPht(entry);
+        entry.valid = false;
+    }
+}
+
+} // namespace csp::prefetch

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Spatial Memory Streaming prefetcher (Somogyi et al., ISCA 2006) — the
+ * strongest competing prefetcher in the paper's evaluation.
+ *
+ * SMS records, per *spatial region generation*, the bit pattern of lines
+ * touched while the region is live, indexed by the (PC, region offset)
+ * of the triggering access. When the same trigger recurs, the recorded
+ * pattern is prefetched wholesale.
+ *
+ * Structures (paper Table 2): a Filter Table holding regions with a
+ * single access so far, an Active Generation Table (AGT) accumulating
+ * patterns of live regions, and a Pattern History Table (PHT) holding
+ * trained patterns. A generation ends when its AGT entry is evicted, at
+ * which point the pattern trains the PHT.
+ */
+
+#ifndef CSP_PREFETCH_SMS_H
+#define CSP_PREFETCH_SMS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch {
+
+/** See file comment. */
+class SmsPrefetcher final : public Prefetcher
+{
+  public:
+    explicit SmsPrefetcher(const SmsConfig &config);
+
+    std::string name() const override { return "sms"; }
+
+    void observe(const AccessInfo &info,
+                 std::vector<PrefetchRequest> &out) override;
+
+    void finish() override;
+
+  private:
+    struct FilterEntry
+    {
+        Addr region = kInvalidAddr;
+        std::uint64_t trigger_key = 0;
+        unsigned first_line = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    struct AgtEntry
+    {
+        Addr region = kInvalidAddr;
+        std::uint64_t trigger_key = 0;
+        std::uint64_t pattern = 0; ///< bit per line in the region
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    struct PhtEntry
+    {
+        std::uint64_t key_tag = 0;
+        std::uint64_t pattern = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t triggerKey(Addr pc, unsigned offset_line) const;
+    void trainPht(const AgtEntry &entry);
+
+    SmsConfig config_;
+    unsigned lines_per_region_;
+    std::vector<FilterEntry> filter_;
+    std::vector<AgtEntry> agt_;
+    std::vector<PhtEntry> pht_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace csp::prefetch
+
+#endif // CSP_PREFETCH_SMS_H

@@ -1,0 +1,55 @@
+#include "prefetch/stride.h"
+
+#include "core/hashing.h"
+
+namespace csp::prefetch {
+
+StridePrefetcher::StridePrefetcher(const StrideConfig &config,
+                                   unsigned line_bytes)
+    : config_(config), line_bytes_(line_bytes),
+      table_(config.table_entries)
+{}
+
+void
+StridePrefetcher::observe(const AccessInfo &info,
+                          std::vector<PrefetchRequest> &out)
+{
+    Entry &entry = table_[mix64(info.pc) % table_.size()];
+    if (!entry.valid || entry.pc_tag != info.pc) {
+        entry = Entry{};
+        entry.pc_tag = info.pc;
+        entry.valid = true;
+        entry.last_addr = info.vaddr;
+        return;
+    }
+    const std::int64_t delta =
+        static_cast<std::int64_t>(info.vaddr) -
+        static_cast<std::int64_t>(entry.last_addr);
+    if (delta == entry.stride && delta != 0) {
+        if (entry.confidence < 3)
+            ++entry.confidence;
+    } else {
+        if (entry.confidence > 0)
+            --entry.confidence;
+        else
+            entry.stride = delta;
+    }
+    entry.last_addr = info.vaddr;
+
+    if (entry.confidence >= config_.confidence_threshold &&
+        entry.stride != 0) {
+        Addr prev_line = kInvalidAddr;
+        for (unsigned i = 1; i <= config_.degree; ++i) {
+            const Addr target =
+                info.vaddr + static_cast<Addr>(entry.stride * i);
+            const Addr line = alignDown(target, line_bytes_);
+            if (line != prev_line &&
+                line != alignDown(info.vaddr, line_bytes_)) {
+                out.push_back({line, false});
+                prev_line = line;
+            }
+        }
+    }
+}
+
+} // namespace csp::prefetch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Classic PC-indexed stride prefetcher (Fu, Patel & Janssens, MICRO
+ * 1992) — evaluated by the paper but "significantly lower" than the
+ * others; included here both as a baseline and as the fastest-training
+ * comparison point for the training-speed limitation discussed in paper
+ * section 7.3.
+ */
+
+#ifndef CSP_PREFETCH_STRIDE_H
+#define CSP_PREFETCH_STRIDE_H
+
+#include <vector>
+
+#include "core/config.h"
+#include "prefetch/prefetcher.h"
+
+namespace csp::prefetch {
+
+/** See file comment. */
+class StridePrefetcher final : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const StrideConfig &config,
+                              unsigned line_bytes = 64);
+
+    std::string name() const override { return "stride"; }
+
+    void observe(const AccessInfo &info,
+                 std::vector<PrefetchRequest> &out) override;
+
+  private:
+    struct Entry
+    {
+        Addr pc_tag = 0;
+        bool valid = false;
+        Addr last_addr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    StrideConfig config_;
+    unsigned line_bytes_;
+    std::vector<Entry> table_;
+};
+
+} // namespace csp::prefetch
+
+#endif // CSP_PREFETCH_STRIDE_H

@@ -1,0 +1,184 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/logging.h"
+#include "prefetch/context/context_prefetcher.h"
+#include "prefetch/ghb.h"
+#include "prefetch/jump_pointer.h"
+#include "prefetch/markov.h"
+#include "prefetch/next_line.h"
+#include "prefetch/sms.h"
+#include "prefetch/stride.h"
+
+namespace csp::sim {
+
+std::unique_ptr<prefetch::Prefetcher>
+makePrefetcher(const std::string &name, const SystemConfig &config)
+{
+    const unsigned line = config.memory.l1d.line_bytes;
+    if (name == "none")
+        return std::make_unique<prefetch::NullPrefetcher>();
+    if (name == "stride") {
+        return std::make_unique<prefetch::StridePrefetcher>(
+            config.stride, line);
+    }
+    if (name == "ghb-gdc") {
+        return std::make_unique<prefetch::GhbPrefetcher>(
+            config.ghb, prefetch::GhbFlavor::GlobalDC, line);
+    }
+    if (name == "ghb-pcdc") {
+        return std::make_unique<prefetch::GhbPrefetcher>(
+            config.ghb, prefetch::GhbFlavor::PcDC, line);
+    }
+    if (name == "sms")
+        return std::make_unique<prefetch::SmsPrefetcher>(config.sms);
+    if (name == "jump") {
+        return std::make_unique<prefetch::JumpPointerPrefetcher>(
+            prefetch::JumpPointerConfig{}, line);
+    }
+    if (name == "next-line") {
+        return std::make_unique<prefetch::NextLinePrefetcher>(
+            prefetch::NextLineConfig{}, line);
+    }
+    if (name == "markov") {
+        return std::make_unique<prefetch::MarkovPrefetcher>(
+            config.markov);
+    }
+    if (name == "context") {
+        return std::make_unique<prefetch::ctx::ContextPrefetcher>(
+            config.context, config.seed);
+    }
+    fatal("unknown prefetcher: %s", name.c_str());
+}
+
+std::vector<std::string>
+paperPrefetchers()
+{
+    return {"none", "stride", "ghb-gdc", "ghb-pcdc", "sms", "context"};
+}
+
+std::vector<std::string>
+ubenchWorkloads()
+{
+    return {"array", "list",    "listsort", "bst",
+            "hashtest", "maptest", "prim",    "ssca_lds"};
+}
+
+std::vector<std::string>
+specWorkloads()
+{
+    return {"sjeng", "povray",  "soplex",     "dealII",
+            "h264ref", "gobmk", "hmmer",      "bzip2",
+            "milc",  "namd",    "omnetpp",    "astar",
+            "libquantum", "mcf", "sphinx3",   "lbm"};
+}
+
+std::vector<std::string>
+irregularWorkloads()
+{
+    return {"graph500", "graph500-list", "ssca2-csr", "ssca2-list",
+            "suffixArray", "BFS", "setCover", "KNN", "convexHull"};
+}
+
+std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> names = specWorkloads();
+    for (const auto &n : irregularWorkloads())
+        names.push_back(n);
+    for (const auto &n : ubenchWorkloads())
+        names.push_back(n);
+    return names;
+}
+
+std::uint64_t
+effectiveScale(std::uint64_t base)
+{
+    const char *env = std::getenv("CSP_SCALE");
+    if (env == nullptr)
+        return base;
+    const double factor = std::atof(env);
+    if (factor <= 0.0)
+        return base;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(base) * factor);
+}
+
+const RunStats &
+SweepResult::at(const std::string &workload,
+                const std::string &prefetcher) const
+{
+    for (const CellResult &cell : cells) {
+        if (cell.workload == workload && cell.prefetcher == prefetcher)
+            return cell.stats;
+    }
+    fatal("sweep has no cell (%s, %s)", workload.c_str(),
+          prefetcher.c_str());
+}
+
+double
+SweepResult::speedup(const std::string &workload,
+                     const std::string &prefetcher) const
+{
+    const double base = at(workload, "none").ipc();
+    const double with = at(workload, prefetcher).ipc();
+    return base == 0.0 ? 0.0 : with / base;
+}
+
+double
+SweepResult::geomeanSpeedup(const std::string &prefetcher) const
+{
+    std::vector<double> speedups;
+    speedups.reserve(workload_names.size());
+    for (const std::string &workload : workload_names)
+        speedups.push_back(speedup(workload, prefetcher));
+    return geomean(speedups);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v <= 0.0 ? 1e-9 : v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+SweepResult
+runSweep(const std::vector<std::string> &workload_names,
+         const std::vector<std::string> &prefetcher_names,
+         const workloads::WorkloadParams &params,
+         const SystemConfig &config, bool verbose)
+{
+    SweepResult result;
+    result.workload_names = workload_names;
+    result.prefetcher_names = prefetcher_names;
+    const workloads::Registry &registry = workloads::Registry::builtin();
+
+    for (const std::string &workload_name : workload_names) {
+        const auto workload = registry.create(workload_name);
+        const trace::TraceBuffer trace = workload->generate(params);
+        if (verbose) {
+            inform("%-14s %8.2fM insts, %6.2fM accesses",
+                   workload_name.c_str(),
+                   static_cast<double>(trace.instructions()) / 1e6,
+                   static_cast<double>(trace.memAccesses()) / 1e6);
+        }
+        for (const std::string &pf_name : prefetcher_names) {
+            auto prefetcher = makePrefetcher(pf_name, config);
+            Simulator simulator(config);
+            CellResult cell;
+            cell.workload = workload_name;
+            cell.prefetcher = pf_name;
+            cell.stats = simulator.run(trace, *prefetcher);
+            result.cells.push_back(std::move(cell));
+        }
+    }
+    return result;
+}
+
+} // namespace csp::sim

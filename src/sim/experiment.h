@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment runner: prefetcher construction by name, workload x
+ * prefetcher sweeps with trace reuse, speedup/geomean helpers, and the
+ * benchmark groupings the paper's figures use. Every bench/ binary is a
+ * thin shell over this module.
+ */
+
+#ifndef CSP_SIM_EXPERIMENT_H
+#define CSP_SIM_EXPERIMENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "prefetch/prefetcher.h"
+#include "sim/simulator.h"
+#include "workloads/registry.h"
+
+namespace csp::sim {
+
+/**
+ * Build a prefetcher by name: "none", "stride", "ghb-gdc", "ghb-pcdc",
+ * "sms", "markov", "context". fatal() on unknown names.
+ */
+std::unique_ptr<prefetch::Prefetcher>
+makePrefetcher(const std::string &name, const SystemConfig &config);
+
+/** The paper's evaluated lineup (Figures 9-12), baseline first. */
+std::vector<std::string> paperPrefetchers();
+
+/** The paper's benchmark groupings. */
+std::vector<std::string> ubenchWorkloads();
+std::vector<std::string> specWorkloads();
+std::vector<std::string> irregularWorkloads();
+std::vector<std::string> allWorkloads();
+
+/**
+ * Effective workload scale: the compiled-in default, scaled by the
+ * CSP_SCALE environment variable when set (a multiplier, e.g.
+ * CSP_SCALE=4 quadruples every trace).
+ */
+std::uint64_t effectiveScale(std::uint64_t base);
+
+/** One (workload, prefetcher) cell of a sweep. */
+struct CellResult
+{
+    std::string workload;
+    std::string prefetcher;
+    RunStats stats;
+};
+
+/** Result matrix of a sweep, row-major by workload. */
+struct SweepResult
+{
+    std::vector<std::string> workload_names;
+    std::vector<std::string> prefetcher_names;
+    std::vector<CellResult> cells;
+
+    const RunStats &at(const std::string &workload,
+                       const std::string &prefetcher) const;
+
+    /** IPC speedup of @p prefetcher over "none" for @p workload. */
+    double speedup(const std::string &workload,
+                   const std::string &prefetcher) const;
+
+    /** Geometric-mean speedup of @p prefetcher over all workloads. */
+    double geomeanSpeedup(const std::string &prefetcher) const;
+};
+
+/**
+ * Run every workload against every prefetcher. Each workload's trace is
+ * generated once and replayed for all prefetchers. Progress is logged
+ * to stderr when @p verbose.
+ */
+SweepResult runSweep(const std::vector<std::string> &workload_names,
+                     const std::vector<std::string> &prefetcher_names,
+                     const workloads::WorkloadParams &params,
+                     const SystemConfig &config, bool verbose = true);
+
+/** Geometric mean of a value vector (empty -> 1.0). */
+double geomean(const std::vector<double> &values);
+
+} // namespace csp::sim
+
+#endif // CSP_SIM_EXPERIMENT_H

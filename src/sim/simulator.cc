@@ -1,0 +1,213 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+#include <vector>
+
+#include "cpu/core_model.h"
+#include "trace/hw_state.h"
+
+namespace csp::sim {
+
+using trace::InstKind;
+using trace::TraceRecord;
+
+const char *
+accessClassName(AccessClass cls)
+{
+    switch (cls) {
+      case AccessClass::HitPrefetchedLine: return "hit-prefetched";
+      case AccessClass::ShorterWait: return "shorter-wait";
+      case AccessClass::NonTimely: return "non-timely";
+      case AccessClass::MissNotPrefetched: return "miss-not-prefetched";
+      case AccessClass::HitOlderDemand: return "hit-older-demand";
+      case AccessClass::Count: break;
+    }
+    return "?";
+}
+
+double
+RunStats::classFraction(AccessClass cls) const
+{
+    return demand_accesses == 0
+               ? 0.0
+               : static_cast<double>(classCount(cls)) /
+                     static_cast<double>(demand_accesses);
+}
+
+double
+RunStats::targetPrefetchDistance(const MemoryConfig &memory) const
+{
+    return memory.l1MissPenalty(l2MissRate()) * ipc() * memFraction();
+}
+
+std::string
+RunStats::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"instructions\":" << instructions
+        << ",\"cycles\":" << cycles << ",\"ipc\":" << ipc()
+        << ",\"l1_mpki\":" << l1Mpki() << ",\"l2_mpki\":" << l2Mpki()
+        << ",\"demand_accesses\":" << demand_accesses
+        << ",\"prefetches_issued\":" << hierarchy.prefetches_issued
+        << ",\"prefetch_never_hit\":" << prefetch_never_hit
+        << ",\"classes\":{";
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(AccessClass::Count); ++c) {
+        out << (c == 0 ? "" : ",") << '"'
+            << accessClassName(static_cast<AccessClass>(c))
+            << "\":" << classes[c];
+    }
+    out << "}}";
+    return out.str();
+}
+
+namespace {
+
+/** Small ring of recently predicted-but-not-issued block addresses,
+ *  backing the Non-Timely category of Figure 9. */
+class PredictedRing
+{
+  public:
+    void
+    record(Addr line)
+    {
+        ring_[pos_ % ring_.size()] = line;
+        ++pos_;
+    }
+
+    bool
+    contains(Addr line) const
+    {
+        const std::size_t n = std::min<std::size_t>(pos_, ring_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ring_[i] == line)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::array<Addr, 256> ring_{};
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Simulator::Simulator(const SystemConfig &config) : config_(config) {}
+
+RunStats
+Simulator::run(const trace::TraceBuffer &trace,
+               prefetch::Prefetcher &prefetcher)
+{
+    cpu::CoreModel core(config_.core);
+    mem::Hierarchy hierarchy(config_.memory);
+    trace::HwContextTracker hw(config_.memory.l1d.line_bytes);
+    PredictedRing predicted_unissued;
+
+    RunStats stats;
+    AccessSeq seq = 0;
+    std::vector<prefetch::PrefetchRequest> requests;
+
+    for (const TraceRecord &rec : trace.records()) {
+        switch (rec.kind) {
+          case InstKind::Compute:
+            core.computeBurst(rec.repeat);
+            break;
+
+          case InstKind::Branch: {
+            const Cycle dispatch = core.dispatchNext();
+            core.complete(dispatch + 1);
+            hw.update(rec);
+            break;
+          }
+
+          case InstKind::Load:
+          case InstKind::Store: {
+            const bool is_store = rec.kind == InstKind::Store;
+            const Cycle dispatch = core.dispatchNext();
+            const Cycle issue = is_store
+                                    ? dispatch
+                                    : core.loadIssueAt(
+                                          dispatch,
+                                          rec.dep_on_prev_load);
+            const mem::AccessResult result =
+                hierarchy.access(rec.vaddr, issue, is_store);
+            if (is_store) {
+                // The store buffer hides the fill latency; retirement
+                // only needs the L1 write port.
+                core.complete(
+                    issue + config_.memory.l1d.access_latency);
+            } else {
+                core.completeLoad(result.complete);
+            }
+
+            // Classify the access (paper Figure 9).
+            const Addr line = hierarchy.lineAddr(rec.vaddr);
+            AccessClass cls;
+            if (result.hit_prefetched_line)
+                cls = AccessClass::HitPrefetchedLine;
+            else if (result.shorter_wait)
+                cls = AccessClass::ShorterWait;
+            else if (!result.l1_miss)
+                cls = AccessClass::HitOlderDemand;
+            else if (predicted_unissued.contains(line))
+                cls = AccessClass::NonTimely;
+            else
+                cls = AccessClass::MissNotPrefetched;
+            ++stats.classes[static_cast<std::size_t>(cls)];
+
+            // Hand the access to the prefetcher and dispatch its
+            // requests.
+            const trace::ContextSnapshot ctx = hw.capture(rec);
+            prefetch::AccessInfo info;
+            info.seq = seq;
+            info.cycle = issue;
+            info.pc = rec.pc;
+            info.vaddr = rec.vaddr;
+            info.line_addr = line;
+            info.is_store = is_store;
+            info.l1_miss = result.l1_miss;
+            info.hit_prefetched_line = result.hit_prefetched_line;
+            info.free_l1_mshrs = hierarchy.freeL1Mshrs(issue);
+            info.loaded_value = is_store ? 0 : rec.loaded_value;
+            info.context = &ctx;
+            requests.clear();
+            prefetcher.observe(info, requests);
+            for (const prefetch::PrefetchRequest &req : requests) {
+                if (req.shadow) {
+                    predicted_unissued.record(
+                        hierarchy.lineAddr(req.addr));
+                    continue;
+                }
+                const mem::PrefetchOutcome outcome =
+                    hierarchy.prefetch(
+                        req.addr, issue,
+                        config_.context.min_free_mshrs);
+                prefetcher.onPrefetchOutcome(req.addr, outcome);
+                if (outcome == mem::PrefetchOutcome::NoMshr) {
+                    predicted_unissued.record(
+                        hierarchy.lineAddr(req.addr));
+                }
+            }
+
+            hw.update(rec);
+            ++seq;
+            break;
+          }
+        }
+    }
+
+    prefetcher.finish();
+    hierarchy.finish();
+
+    stats.instructions = core.instructions();
+    stats.cycles = core.elapsed();
+    stats.hierarchy = hierarchy.stats();
+    stats.demand_accesses = stats.hierarchy.demand_accesses;
+    stats.l1_misses = stats.hierarchy.l1_misses;
+    stats.l2_demand_misses = stats.hierarchy.l2_demand_misses;
+    stats.prefetch_never_hit = stats.hierarchy.prefetchesNeverHit();
+    return stats;
+}
+
+} // namespace csp::sim

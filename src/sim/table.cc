@@ -1,0 +1,71 @@
+#include "sim/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace csp::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    CSP_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "" : "  ") << std::left
+                << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(widths[c], '-') + (c + 1 < widths.size()
+                                                   ? "  "
+                                                   : "");
+    out << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &out) const
+{
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c == 0 ? "" : ",") << row[c];
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace csp::sim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench binaries: fixed-width
+ * aligned columns on stdout (the "rows/series the paper reports") plus
+ * optional CSV output for plotting.
+ */
+
+#ifndef CSP_SIM_TABLE_H
+#define CSP_SIM_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csp::sim {
+
+/** See file comment. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &out) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &out) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace csp::sim
+
+#endif // CSP_SIM_TABLE_H

@@ -1,0 +1,51 @@
+#include "trace/context.h"
+
+#include <sstream>
+
+namespace csp::trace {
+
+const char *
+attrName(Attr attr)
+{
+    switch (attr) {
+      case Attr::IP: return "IP";
+      case Attr::TypeInfo: return "TypeInfo";
+      case Attr::LinkOffset: return "LinkOffset";
+      case Attr::RefForm: return "RefForm";
+      case Attr::PrevData: return "PrevData";
+      case Attr::BranchHistory: return "BranchHistory";
+      case Attr::RegData: return "RegData";
+      case Attr::AddrHistory: return "AddrHistory";
+      case Attr::Count: break;
+    }
+    return "?";
+}
+
+std::uint64_t
+ContextSnapshot::hash(AttrMask mask, unsigned bits) const
+{
+    WordHasher hasher;
+    for (unsigned i = 0; i < kNumAttrs; ++i) {
+        if (mask & (1u << i)) {
+            // Include the attribute index so that equal values in
+            // different attributes hash differently.
+            hasher.add((static_cast<std::uint64_t>(i) << 56) ^ values[i]);
+        }
+    }
+    return hasher.digestBits(bits);
+}
+
+std::string
+ContextSnapshot::describe() const
+{
+    std::ostringstream out;
+    for (unsigned i = 0; i < kNumAttrs; ++i) {
+        if (i)
+            out << ' ';
+        out << attrName(static_cast<Attr>(i)) << "=0x" << std::hex
+            << values[i] << std::dec;
+    }
+    return out.str();
+}
+
+} // namespace csp::trace

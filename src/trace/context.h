@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The machine context of a memory access: the attribute set of paper
+ * Table 1, captured per access, with maskable hashing for the two-level
+ * Reducer/CST indexing scheme (paper section 4.4, Figure 7).
+ */
+
+#ifndef CSP_TRACE_CONTEXT_H
+#define CSP_TRACE_CONTEXT_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/hashing.h"
+#include "core/types.h"
+
+namespace csp::trace {
+
+/**
+ * Context attributes (the rows of paper Table 1). The enumeration order
+ * is also the order in which the Reducer activates attributes when a
+ * context overloads: cheap, general attributes first; the
+ * address-history attribute late because the paper warns it risks
+ * "overly localized learning and must be used sparingly".
+ */
+enum class Attr : std::uint8_t
+{
+    IP = 0,        ///< instruction pointer of the access (hardware)
+    TypeInfo,      ///< object type enumeration (compiler)
+    LinkOffset,    ///< link-field offset within the object (compiler)
+    RefForm,       ///< form of reference: . -> * [] (compiler)
+    PrevData,      ///< data returned by the previous load (hardware)
+    AddrHistory,   ///< recent memory-access history (hardware)
+    BranchHistory, ///< recent branch outcome history (hardware)
+    RegData,       ///< representative register contents (hardware)
+    Count,
+};
+
+inline constexpr unsigned kNumAttrs = static_cast<unsigned>(Attr::Count);
+
+/** Bitmask over Attr values; bit i covers Attr(i). */
+using AttrMask = std::uint16_t;
+
+/** Mask with every attribute active. */
+inline constexpr AttrMask kAllAttrs = (1u << kNumAttrs) - 1;
+
+/** Mask covering only the hardware-sourced attributes. */
+inline constexpr AttrMask kHardwareAttrs =
+    static_cast<AttrMask>(kAllAttrs &
+                          ~((1u << static_cast<unsigned>(Attr::TypeInfo)) |
+                            (1u << static_cast<unsigned>(Attr::LinkOffset)) |
+                            (1u << static_cast<unsigned>(Attr::RefForm))));
+
+/** Single-attribute mask. */
+constexpr AttrMask
+attrBit(Attr attr)
+{
+    return static_cast<AttrMask>(1u << static_cast<unsigned>(attr));
+}
+
+/** Human-readable attribute name. */
+const char *attrName(Attr attr);
+
+/**
+ * The captured context of one memory access: one 64-bit value per
+ * attribute, plus maskable hashing.
+ */
+struct ContextSnapshot
+{
+    std::array<std::uint64_t, kNumAttrs> values{};
+
+    std::uint64_t
+    get(Attr attr) const
+    {
+        return values[static_cast<unsigned>(attr)];
+    }
+
+    void
+    set(Attr attr, std::uint64_t value)
+    {
+        values[static_cast<unsigned>(attr)] = value;
+    }
+
+    /**
+     * Hash the attributes selected by @p mask down to @p bits bits.
+     * Inactive attributes do not influence the result, which is what
+     * makes the Reducer's merge/split behaviour possible.
+     */
+    std::uint64_t hash(AttrMask mask, unsigned bits) const;
+
+    /** Debug rendering of all attribute values. */
+    std::string describe() const;
+};
+
+} // namespace csp::trace
+
+#endif // CSP_TRACE_CONTEXT_H

@@ -1,0 +1,36 @@
+#include "trace/trace.h"
+
+namespace csp::trace {
+
+void
+TraceBuffer::push(const TraceRecord &rec)
+{
+    // Fold a compute burst into a preceding compute record from the same
+    // site so long traces stay compact.
+    if (rec.kind == InstKind::Compute && !records_.empty()) {
+        TraceRecord &back = records_.back();
+        if (back.kind == InstKind::Compute && back.pc == rec.pc) {
+            back.repeat += rec.repeat;
+            instructions_ += rec.repeat;
+            return;
+        }
+    }
+    records_.push_back(rec);
+    instructions_ += rec.kind == InstKind::Compute ? rec.repeat : 1;
+    if (rec.isMem())
+        ++mem_accesses_;
+}
+
+void
+Recorder::compute(std::uint32_t site, std::uint32_t count)
+{
+    if (count == 0)
+        return;
+    TraceRecord rec;
+    rec.kind = InstKind::Compute;
+    rec.pc = pc(site);
+    rec.repeat = count;
+    buffer_.push(rec);
+}
+
+} // namespace csp::trace

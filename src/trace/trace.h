@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Trace records, the recording API used by workload kernels, and the
+ * replayable trace buffer consumed by the simulator.
+ *
+ * A trace is the substitute for gem5's dynamic instruction stream: each
+ * record is one (or, for compressed compute bursts, several) retired
+ * instruction(s), annotated with everything the context-based prefetcher's
+ * feature set (paper Table 1) needs — program counter, address, the
+ * compiler hint payload, the value a load returns, a representative
+ * register value, branch outcomes, and a load-depends-on-previous-load
+ * flag used by the core model to serialise pointer chases.
+ */
+
+#ifndef CSP_TRACE_TRACE_H
+#define CSP_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "hints/hint.h"
+
+namespace csp::trace {
+
+/** Kind of a trace record. */
+enum class InstKind : std::uint8_t
+{
+    Load,
+    Store,
+    Branch,
+    Compute, ///< `repeat` back-to-back non-memory, non-branch instructions
+};
+
+/** One trace record; see file comment. */
+struct TraceRecord
+{
+    InstKind kind = InstKind::Compute;
+    Addr pc = 0;
+    Addr vaddr = 0;              ///< memory operations only
+    std::uint32_t repeat = 1;    ///< Compute only: burst length
+    std::uint8_t size = 8;       ///< access size in bytes
+    bool dep_on_prev_load = false; ///< serialise after the previous load
+    bool taken = false;          ///< Branch only
+    hints::Hint hint;            ///< compiler hint (memory ops)
+    std::uint64_t reg_value = 0; ///< representative register contents
+    std::uint64_t loaded_value = 0; ///< value returned by a Load
+
+    bool
+    isMem() const
+    {
+        return kind == InstKind::Load || kind == InstKind::Store;
+    }
+};
+
+/**
+ * A recorded, replayable trace. Produced by workloads through Recorder,
+ * consumed record-by-record by the simulator.
+ */
+class TraceBuffer
+{
+  public:
+    /** Append one record. */
+    void push(const TraceRecord &rec);
+
+    /** Number of records (compute bursts count once). */
+    std::size_t size() const { return records_.size(); }
+
+    /** Total instructions represented (bursts expanded). */
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** Number of memory-access records. */
+    std::uint64_t memAccesses() const { return mem_accesses_; }
+
+    /** Record access. */
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    bool empty() const { return records_.empty(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t mem_accesses_ = 0;
+};
+
+/**
+ * Convenience API the workload kernels call while executing natively.
+ * Each method appends one record; `compute` bursts fold into the previous
+ * record when possible to keep traces compact.
+ */
+class Recorder
+{
+  public:
+    /** @param pc_base workload-unique base for synthetic code addresses. */
+    explicit Recorder(TraceBuffer &buffer, Addr pc_base)
+        : buffer_(buffer), pc_base_(pc_base)
+    {}
+
+    /** Synthetic PC for code site @p site. */
+    Addr pc(std::uint32_t site) const { return pc_base_ + site * 4; }
+
+    /** Record a load with a compiler hint. */
+    void
+    load(std::uint32_t site, Addr addr, const hints::Hint &hint,
+         std::uint64_t loaded_value = 0, bool dep_on_prev_load = false,
+         std::uint64_t reg_value = 0)
+    {
+        TraceRecord rec;
+        rec.kind = InstKind::Load;
+        rec.pc = pc(site);
+        rec.vaddr = addr;
+        rec.hint = hint;
+        rec.loaded_value = loaded_value;
+        rec.dep_on_prev_load = dep_on_prev_load;
+        rec.reg_value = reg_value;
+        buffer_.push(rec);
+    }
+
+    /** Record a plain (un-hinted) load. */
+    void
+    load(std::uint32_t site, Addr addr, std::uint64_t loaded_value = 0,
+         bool dep_on_prev_load = false, std::uint64_t reg_value = 0)
+    {
+        load(site, addr, hints::Hint{}, loaded_value, dep_on_prev_load,
+             reg_value);
+    }
+
+    /** Record a store. */
+    void
+    store(std::uint32_t site, Addr addr,
+          const hints::Hint &hint = hints::Hint{})
+    {
+        TraceRecord rec;
+        rec.kind = InstKind::Store;
+        rec.pc = pc(site);
+        rec.vaddr = addr;
+        rec.hint = hint;
+        buffer_.push(rec);
+    }
+
+    /** Record a conditional branch outcome. */
+    void
+    branch(std::uint32_t site, bool taken)
+    {
+        TraceRecord rec;
+        rec.kind = InstKind::Branch;
+        rec.pc = pc(site);
+        rec.taken = taken;
+        buffer_.push(rec);
+    }
+
+    /** Record @p count back-to-back compute instructions. */
+    void compute(std::uint32_t site, std::uint32_t count = 1);
+
+  private:
+    TraceBuffer &buffer_;
+    Addr pc_base_;
+};
+
+} // namespace csp::trace
+
+#endif // CSP_TRACE_TRACE_H

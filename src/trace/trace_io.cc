@@ -1,0 +1,143 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace csp::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'S', 'P', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+/** On-disk record layout (packed, little-endian host assumed). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t vaddr;
+    std::uint64_t reg_value;
+    std::uint64_t loaded_value;
+    std::uint32_t repeat;
+    std::uint32_t hint_imm;
+    std::uint8_t kind;
+    std::uint8_t size;
+    std::uint8_t flags; ///< bit0 dep_on_prev_load, bit1 taken
+    std::uint8_t pad = 0;
+};
+
+struct Header
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t record_count;
+};
+
+DiskRecord
+pack(const TraceRecord &rec)
+{
+    DiskRecord disk{};
+    disk.pc = rec.pc;
+    disk.vaddr = rec.vaddr;
+    disk.reg_value = rec.reg_value;
+    disk.loaded_value = rec.loaded_value;
+    disk.repeat = rec.repeat;
+    disk.hint_imm = rec.hint.pack();
+    disk.kind = static_cast<std::uint8_t>(rec.kind);
+    disk.size = rec.size;
+    disk.flags = static_cast<std::uint8_t>(
+        (rec.dep_on_prev_load ? 1u : 0u) | (rec.taken ? 2u : 0u));
+    return disk;
+}
+
+TraceRecord
+unpack(const DiskRecord &disk)
+{
+    TraceRecord rec;
+    rec.pc = disk.pc;
+    rec.vaddr = disk.vaddr;
+    rec.reg_value = disk.reg_value;
+    rec.loaded_value = disk.loaded_value;
+    rec.repeat = disk.repeat;
+    rec.hint = hints::Hint::unpack(disk.hint_imm);
+    rec.kind = static_cast<InstKind>(disk.kind);
+    rec.size = disk.size;
+    rec.dep_on_prev_load = (disk.flags & 1u) != 0;
+    rec.taken = (disk.flags & 2u) != 0;
+    return rec;
+}
+
+} // namespace
+
+const char *
+traceIoStatusName(TraceIoStatus status)
+{
+    switch (status) {
+      case TraceIoStatus::Ok: return "ok";
+      case TraceIoStatus::CannotOpen: return "cannot-open";
+      case TraceIoStatus::BadMagic: return "bad-magic";
+      case TraceIoStatus::BadVersion: return "bad-version";
+      case TraceIoStatus::Truncated: return "truncated";
+    }
+    return "?";
+}
+
+bool
+saveTrace(const TraceBuffer &buffer, std::ostream &stream)
+{
+    Header header{};
+    std::memcpy(header.magic, kMagic, sizeof kMagic);
+    header.version = kVersion;
+    header.record_count = buffer.size();
+    stream.write(reinterpret_cast<const char *>(&header),
+                 sizeof header);
+    for (const TraceRecord &rec : buffer.records()) {
+        const DiskRecord disk = pack(rec);
+        stream.write(reinterpret_cast<const char *>(&disk),
+                     sizeof disk);
+    }
+    return static_cast<bool>(stream);
+}
+
+bool
+saveTraceFile(const TraceBuffer &buffer, const std::string &path)
+{
+    std::ofstream stream(path, std::ios::binary);
+    if (!stream)
+        return false;
+    return saveTrace(buffer, stream);
+}
+
+TraceIoStatus
+loadTrace(std::istream &stream, TraceBuffer &buffer)
+{
+    Header header{};
+    stream.read(reinterpret_cast<char *>(&header), sizeof header);
+    if (!stream)
+        return TraceIoStatus::Truncated;
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        return TraceIoStatus::BadMagic;
+    if (header.version != kVersion)
+        return TraceIoStatus::BadVersion;
+    for (std::uint64_t i = 0; i < header.record_count; ++i) {
+        DiskRecord disk{};
+        stream.read(reinterpret_cast<char *>(&disk), sizeof disk);
+        if (!stream)
+            return TraceIoStatus::Truncated;
+        buffer.push(unpack(disk));
+    }
+    return TraceIoStatus::Ok;
+}
+
+TraceIoStatus
+loadTraceFile(const std::string &path, TraceBuffer &buffer)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        return TraceIoStatus::CannotOpen;
+    return loadTrace(stream, buffer);
+}
+
+} // namespace csp::trace

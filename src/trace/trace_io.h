@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binary trace serialization: save a generated TraceBuffer to disk and
+ * reload it later, so expensive workload generation can be amortised
+ * across many simulator runs (the gem5-checkpoint analogue for this
+ * trace-driven setup).
+ *
+ * Format: a fixed header (magic, version, record count) followed by
+ * packed little-endian records. The format is versioned; loading a
+ * mismatched version fails cleanly.
+ */
+
+#ifndef CSP_TRACE_TRACE_IO_H
+#define CSP_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace csp::trace {
+
+/** Result of a load attempt. */
+enum class TraceIoStatus
+{
+    Ok,
+    CannotOpen,
+    BadMagic,
+    BadVersion,
+    Truncated,
+};
+
+/** Human-readable status label. */
+const char *traceIoStatusName(TraceIoStatus status);
+
+/** Serialize @p buffer to @p stream. Returns false on write failure. */
+bool saveTrace(const TraceBuffer &buffer, std::ostream &stream);
+
+/** Serialize @p buffer to the file at @p path. */
+bool saveTraceFile(const TraceBuffer &buffer, const std::string &path);
+
+/** Deserialize a trace from @p stream into @p buffer. */
+TraceIoStatus loadTrace(std::istream &stream, TraceBuffer &buffer);
+
+/** Deserialize a trace from the file at @p path. */
+TraceIoStatus loadTraceFile(const std::string &path,
+                            TraceBuffer &buffer);
+
+} // namespace csp::trace
+
+#endif // CSP_TRACE_TRACE_IO_H

@@ -1,0 +1,60 @@
+#include "workloads/graph/csr_graph.h"
+
+#include <queue>
+
+#include "core/logging.h"
+
+namespace csp::workloads::graph {
+
+CsrGraph::CsrGraph(const std::vector<Edge> &edges,
+                   std::uint32_t vertices, bool undirected)
+    : vertices_(vertices), offsets_(vertices + 1, 0)
+{
+    // Counting sort by source vertex.
+    for (const Edge &edge : edges) {
+        CSP_ASSERT(edge.from < vertices && edge.to < vertices);
+        ++offsets_[edge.from + 1];
+        if (undirected && edge.to != edge.from)
+            ++offsets_[edge.to + 1];
+    }
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        offsets_[v + 1] += offsets_[v];
+    targets_.resize(offsets_[vertices]);
+    weights_.resize(offsets_[vertices]);
+    std::vector<std::uint64_t> cursor(offsets_.begin(),
+                                      offsets_.end() - 1);
+    for (const Edge &edge : edges) {
+        targets_[cursor[edge.from]] = edge.to;
+        weights_[cursor[edge.from]] = edge.weight;
+        ++cursor[edge.from];
+        if (undirected && edge.to != edge.from) {
+            targets_[cursor[edge.to]] = edge.from;
+            weights_[cursor[edge.to]] = edge.weight;
+            ++cursor[edge.to];
+        }
+    }
+}
+
+std::vector<std::uint32_t>
+CsrGraph::bfsDistances(std::uint32_t source) const
+{
+    constexpr std::uint32_t kUnreached = 0xffffffffu;
+    std::vector<std::uint32_t> dist(vertices_, kUnreached);
+    std::queue<std::uint32_t> frontier;
+    dist[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const std::uint32_t u = frontier.front();
+        frontier.pop();
+        for (std::uint64_t e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+            const std::uint32_t v = targets_[e];
+            if (dist[v] == kUnreached) {
+                dist[v] = dist[u] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace csp::workloads::graph

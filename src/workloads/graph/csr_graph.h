@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compressed-sparse-row graph — the spatially optimised representation
+ * the paper contrasts with naive linked layouts (sections 2.2 and 7.5).
+ * Built once from an edge list; traversals over it stream the offsets
+ * and targets arrays, which is exactly what makes it friendly to
+ * spatio-temporal prefetchers.
+ */
+
+#ifndef CSP_WORKLOADS_GRAPH_CSR_GRAPH_H
+#define CSP_WORKLOADS_GRAPH_CSR_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph/rmat.h"
+
+namespace csp::workloads::graph {
+
+/** See file comment. */
+class CsrGraph
+{
+  public:
+    /** Build from a directed edge list; edges are symmetrised when
+     *  @p undirected so traversals reach the whole component. */
+    CsrGraph(const std::vector<Edge> &edges, std::uint32_t vertices,
+             bool undirected = true);
+
+    std::uint32_t vertexCount() const { return vertices_; }
+    std::uint64_t edgeCount() const { return targets_.size(); }
+
+    /** First-edge offset of @p v (degree = offset(v+1) - offset(v)). */
+    std::uint64_t offset(std::uint32_t v) const { return offsets_[v]; }
+    std::uint32_t target(std::uint64_t e) const { return targets_[e]; }
+    std::uint32_t weight(std::uint64_t e) const { return weights_[e]; }
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    }
+
+    /** Raw arrays (the workloads trace accesses to these). */
+    const std::vector<std::uint64_t> &offsets() const { return offsets_; }
+    const std::vector<std::uint32_t> &targets() const { return targets_; }
+    const std::vector<std::uint32_t> &weights() const { return weights_; }
+
+    /** Reference BFS (untraced) for correctness checks: hop distance per
+     *  vertex, 0xffffffff when unreachable. */
+    std::vector<std::uint32_t> bfsDistances(std::uint32_t source) const;
+
+  private:
+    std::uint32_t vertices_;
+    std::vector<std::uint64_t> offsets_; ///< vertices_ + 1 entries
+    std::vector<std::uint32_t> targets_;
+    std::vector<std::uint32_t> weights_;
+};
+
+} // namespace csp::workloads::graph
+
+#endif // CSP_WORKLOADS_GRAPH_CSR_GRAPH_H

@@ -1,0 +1,224 @@
+#include "workloads/graph/graph500.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+#include "workloads/graph/csr_graph.h"
+#include "workloads/graph/linked_graph.h"
+
+namespace csp::workloads::graph {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00500000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadQueue = 0,
+    kSiteLoadOffsets,
+    kSiteLoadTarget,
+    kSiteLoadDist,
+    kSiteStoreDist,
+    kSiteStoreQueue,
+    kSiteVisitBranch,
+    kSiteLoadVertex,
+    kSiteLoadEdge,
+    kSiteLoadNeighbor,
+    kSiteCompute,
+};
+
+unsigned
+scaleFromBudget(std::uint64_t target_accesses, unsigned edge_factor)
+{
+    // A BFS touches roughly V * (1 + 4*2*edge_factor) accesses.
+    const double per_vertex = 1.0 + 8.0 * edge_factor;
+    unsigned scale = 8;
+    while (scale < 15 &&
+           (double)(1u << (scale + 1)) * per_vertex <
+               (double)target_accesses) {
+        ++scale;
+    }
+    return scale;
+}
+
+} // namespace
+
+trace::TraceBuffer
+Graph500::generate(const WorkloadParams &params) const
+{
+    RmatParams rmat;
+    rmat.edge_factor = 8;
+    rmat.scale = scaleFromBudget(params.scale, rmat.edge_factor);
+    rmat.seed = params.seed;
+    const std::vector<Edge> edges = generateRmat(rmat);
+    const std::uint32_t n = vertexCount(rmat);
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+    Rng rng(params.seed ^ 0x6500ull);
+
+    hints::TypeEnumerator types;
+    const std::uint16_t queue_type = types.fresh();
+    const std::uint16_t offsets_type = types.fresh();
+    const std::uint16_t targets_type = types.fresh();
+    const std::uint16_t dist_type = types.fresh();
+    const std::uint16_t vertex_type = types.fresh();
+    const std::uint16_t edge_type = types.fresh();
+    const hints::Hint queue_hint{queue_type, hints::kNoLinkOffset,
+                                 hints::RefForm::Index};
+    const hints::Hint offsets_hint{offsets_type, hints::kNoLinkOffset,
+                                   hints::RefForm::Index};
+    const hints::Hint targets_hint{targets_type, hints::kNoLinkOffset,
+                                   hints::RefForm::Index};
+    const hints::Hint dist_hint{dist_type, hints::kNoLinkOffset,
+                                hints::RefForm::Index};
+
+    if (layout_ == GraphLayout::Csr) {
+        const CsrGraph graph(edges, n);
+        runtime::Arena arena((graph.edgeCount() + n) * 16 + (8u << 20),
+                             runtime::Placement::Sequential,
+                             params.seed);
+        auto *offsets = static_cast<std::uint64_t *>(
+            arena.allocate((n + 1) * sizeof(std::uint64_t)));
+        std::copy(graph.offsets().begin(), graph.offsets().end(),
+                  offsets);
+        auto *targets = static_cast<std::uint32_t *>(arena.allocate(
+            graph.edgeCount() * sizeof(std::uint32_t)));
+        std::copy(graph.targets().begin(), graph.targets().end(),
+                  targets);
+        auto *dist = static_cast<std::uint32_t *>(
+            arena.allocate(n * sizeof(std::uint32_t)));
+        auto *queue = static_cast<std::uint32_t *>(
+            arena.allocate(n * sizeof(std::uint32_t)));
+
+        while (buffer.memAccesses() < params.scale) {
+            const auto source = static_cast<std::uint32_t>(
+                rng.below(n));
+            std::fill(dist, dist + n, 0xffffffffu);
+            std::uint32_t head = 0;
+            std::uint32_t tail = 0;
+            dist[source] = 0;
+            queue[tail++] = source;
+            while (head < tail &&
+                   buffer.memAccesses() < params.scale) {
+                const std::uint32_t u = queue[head];
+                rec.load(kSiteLoadQueue, arena.addrOf(&queue[head]),
+                         queue_hint, u);
+                ++head;
+                const std::uint64_t begin = offsets[u];
+                const std::uint64_t end = offsets[u + 1];
+                rec.load(kSiteLoadOffsets,
+                         arena.addrOf(&offsets[u]), offsets_hint,
+                         begin, /*dep_on_prev_load=*/true);
+                for (std::uint64_t e = begin; e < end; ++e) {
+                    const std::uint32_t v = targets[e];
+                    rec.load(kSiteLoadTarget,
+                             arena.addrOf(&targets[e]), targets_hint,
+                             v, /*dep_on_prev_load=*/true);
+                    rec.load(kSiteLoadDist, arena.addrOf(&dist[v]),
+                             dist_hint, dist[v],
+                             /*dep_on_prev_load=*/true);
+                    const bool unvisited = dist[v] == 0xffffffffu;
+                    rec.branch(kSiteVisitBranch, unvisited);
+                    if (unvisited) {
+                        dist[v] = dist[u] + 1;
+                        rec.store(kSiteStoreDist,
+                                  arena.addrOf(&dist[v]), dist_hint);
+                        queue[tail] = v;
+                        rec.store(kSiteStoreQueue,
+                                  arena.addrOf(&queue[tail]),
+                                  queue_hint);
+                        ++tail;
+                    }
+                }
+                rec.compute(kSiteCompute, 2);
+            }
+        }
+        return buffer;
+    }
+
+    // Naive pointer-linked layout.
+    // Batch construction allocates nodes in insertion order, like a
+    // real one-shot graph build over a bump allocator; the *layout*
+    // penalty of the linked representation (fat nodes, pointer
+    // dependences, vertex/edge interleaving) is what the Figure 14
+    // comparison isolates.
+    runtime::Arena arena(
+        LinkedGraph::arenaBytes(n, edges.size(), true) + n * 8,
+        runtime::Placement::Sequential, params.seed);
+    LinkedGraph graph(arena, edges, n);
+    const hints::Hint vertex_hint{
+        vertex_type,
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::VertexNode, first)),
+        hints::RefForm::Arrow};
+    const hints::Hint edge_hint{
+        edge_type,
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::EdgeNode, next)),
+        hints::RefForm::Arrow};
+    const hints::Hint neighbor_hint{
+        edge_type,
+        static_cast<std::uint16_t>(offsetof(LinkedGraph::EdgeNode, to)),
+        hints::RefForm::Arrow};
+
+    std::vector<LinkedGraph::VertexNode *> queue(n);
+    auto *queue_mem = static_cast<std::uint64_t *>(
+        arena.allocate(n * sizeof(std::uint64_t)));
+    (void)queue_mem; // simulated address anchor for the queue array
+
+    // Graph500 re-runs BFS over a fixed set of sampled roots; the
+    // recurrence across repetitions is what a learning prefetcher can
+    // exploit.
+    std::uint32_t roots[4];
+    for (auto &root : roots)
+        root = static_cast<std::uint32_t>(rng.below(n));
+    std::uint32_t bfs_round = 0;
+    while (buffer.memAccesses() < params.scale) {
+        graph.clearMarks();
+        const std::uint32_t source = roots[bfs_round++ % 4];
+        std::uint32_t head = 0;
+        std::uint32_t tail = 0;
+        graph.vertex(source)->mark = 0;
+        queue[tail++] = graph.vertex(source);
+        while (head < tail && buffer.memAccesses() < params.scale) {
+            LinkedGraph::VertexNode *u = queue[head];
+            rec.load(kSiteLoadQueue, arena.addrOf(&queue_mem[head]),
+                     queue_hint, arena.addrOf(u));
+            ++head;
+            rec.load(kSiteLoadVertex, arena.addrOf(u), vertex_hint,
+                     u->first != nullptr ? arena.addrOf(u->first) : 0,
+                     /*dep_on_prev_load=*/true);
+            for (LinkedGraph::EdgeNode *e = u->first; e != nullptr;
+                 e = e->next) {
+                rec.load(kSiteLoadEdge, arena.addrOf(e), edge_hint,
+                         e->next != nullptr ? arena.addrOf(e->next)
+                                            : 0,
+                         /*dep_on_prev_load=*/true);
+                LinkedGraph::VertexNode *v = e->to;
+                rec.load(kSiteLoadNeighbor, arena.addrOf(v),
+                         neighbor_hint, v->mark,
+                         /*dep_on_prev_load=*/true);
+                const bool unvisited = v->mark == 0xffffffffu;
+                rec.branch(kSiteVisitBranch, unvisited);
+                if (unvisited) {
+                    v->mark = u->mark + 1;
+                    rec.store(kSiteStoreDist, arena.addrOf(v),
+                              vertex_hint);
+                    queue[tail] = v;
+                    rec.store(kSiteStoreQueue,
+                              arena.addrOf(&queue_mem[tail]),
+                              queue_hint);
+                    ++tail;
+                }
+            }
+            rec.compute(kSiteCompute, 2);
+        }
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::graph

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Graph500 workload (paper Table 3): breadth-first search over an R-MAT
+ * graph. Two layouts are provided for the layout-agnostic-programming
+ * experiment of paper Figure 14: the spatially optimised CSR layout
+ * used by real Graph500 implementations, and the naive pointer-linked
+ * layout.
+ */
+
+#ifndef CSP_WORKLOADS_GRAPH_GRAPH500_H
+#define CSP_WORKLOADS_GRAPH_GRAPH500_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::graph {
+
+/** Graph data layout for the Figure 14 comparison. */
+enum class GraphLayout
+{
+    Csr,    ///< offsets/targets arrays (spatially optimised)
+    Linked, ///< individually allocated vertex/edge nodes (naive)
+};
+
+/** Graph500 BFS; see file comment. */
+class Graph500 final : public Workload
+{
+  public:
+    explicit Graph500(GraphLayout layout) : layout_(layout) {}
+
+    std::string
+    name() const override
+    {
+        return layout_ == GraphLayout::Csr ? "graph500"
+                                           : "graph500-list";
+    }
+
+    std::string suite() const override { return "graph500"; }
+
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+  private:
+    GraphLayout layout_;
+};
+
+} // namespace csp::workloads::graph
+
+#endif // CSP_WORKLOADS_GRAPH_GRAPH500_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Naive pointer-linked graph representation: vertices and edges are
+ * individually heap-allocated nodes chained through pointers — the
+ * "simple and straightforward linked implementation" whose performance
+ * penalty the context-based prefetcher is shown to alleviate (paper
+ * sections 2.2 and 7.5). Header-only so the ubench and graph workloads
+ * share it without extra build plumbing.
+ */
+
+#ifndef CSP_WORKLOADS_GRAPH_LINKED_GRAPH_H
+#define CSP_WORKLOADS_GRAPH_LINKED_GRAPH_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/arena.h"
+#include "workloads/graph/rmat.h"
+
+namespace csp::workloads::graph {
+
+/** Linked adjacency-list graph over the simulated heap. */
+class LinkedGraph
+{
+  public:
+    struct EdgeNode;
+
+    struct VertexNode
+    {
+        EdgeNode *first = nullptr;
+        std::uint32_t id = 0;
+        std::uint32_t degree = 0;
+        /// Scratch fields traversals may use (BFS level, visit marks).
+        std::uint32_t mark = 0xffffffffu;
+        std::uint64_t accum = 0;
+    };
+
+    struct EdgeNode
+    {
+        VertexNode *to = nullptr;
+        EdgeNode *next = nullptr;
+        std::uint32_t weight = 1;
+    };
+
+    /**
+     * Build from an edge list; symmetrised when @p undirected. Edge
+     * nodes are allocated grouped by source vertex — the order any
+     * real adjacency-list builder produces — so a vertex's chain stays
+     * allocation-local even though the heap placement itself may be
+     * randomised.
+     */
+    LinkedGraph(runtime::Arena &arena, const std::vector<Edge> &edges,
+                std::uint32_t vertices, bool undirected = true)
+        : arena_(arena)
+    {
+        vertices_.reserve(vertices);
+        for (std::uint32_t v = 0; v < vertices; ++v) {
+            VertexNode *node = arena.make<VertexNode>();
+            node->id = v;
+            vertices_.push_back(node);
+        }
+        std::vector<Edge> directed;
+        directed.reserve(undirected ? edges.size() * 2 : edges.size());
+        for (const Edge &edge : edges) {
+            directed.push_back(edge);
+            if (undirected && edge.from != edge.to)
+                directed.push_back({edge.to, edge.from, edge.weight});
+        }
+        std::stable_sort(directed.begin(), directed.end(),
+                         [](const Edge &a, const Edge &b) {
+                             return a.from < b.from;
+                         });
+        for (const Edge &edge : directed)
+            addEdge(edge.from, edge.to, edge.weight);
+    }
+
+    void
+    addEdge(std::uint32_t from, std::uint32_t to, std::uint32_t weight)
+    {
+        EdgeNode *edge = arena_.make<EdgeNode>();
+        edge->to = vertices_[to];
+        edge->weight = weight;
+        edge->next = vertices_[from]->first;
+        vertices_[from]->first = edge;
+        ++vertices_[from]->degree;
+    }
+
+    VertexNode *vertex(std::uint32_t v) { return vertices_[v]; }
+    const VertexNode *vertex(std::uint32_t v) const
+    {
+        return vertices_[v];
+    }
+    std::uint32_t vertexCount() const
+    {
+        return static_cast<std::uint32_t>(vertices_.size());
+    }
+    runtime::Arena &arena() { return arena_; }
+
+    /** Reset the per-vertex scratch fields. */
+    void
+    clearMarks()
+    {
+        for (VertexNode *v : vertices_) {
+            v->mark = 0xffffffffu;
+            v->accum = 0;
+        }
+    }
+
+    /** Worst-case arena bytes for @p vertices and @p directed_edges
+     *  (doubled when undirected), including allocator slack. */
+    static std::uint64_t
+    arenaBytes(std::uint64_t vertices, std::uint64_t directed_edges,
+               bool undirected)
+    {
+        const std::uint64_t edge_nodes =
+            undirected ? directed_edges * 2 : directed_edges;
+        return vertices * 64 + edge_nodes * 32 + (4u << 20);
+    }
+
+  private:
+    runtime::Arena &arena_;
+    std::vector<VertexNode *> vertices_;
+};
+
+} // namespace csp::workloads::graph
+
+#endif // CSP_WORKLOADS_GRAPH_LINKED_GRAPH_H

@@ -1,0 +1,59 @@
+#include "workloads/graph/rmat.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace csp::workloads::graph {
+
+std::vector<Edge>
+generateRmat(const RmatParams &params)
+{
+    Rng rng(params.seed ^ 0x47a3a7ull);
+    const std::uint32_t n = vertexCount(params);
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(n) * params.edge_factor;
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::uint64_t e = 0; e < m; ++e) {
+        std::uint32_t row = 0;
+        std::uint32_t col = 0;
+        for (unsigned level = 0; level < params.scale; ++level) {
+            const double pick = rng.uniform();
+            row <<= 1;
+            col <<= 1;
+            if (pick < params.a) {
+                // top-left: nothing to add
+            } else if (pick < ab) {
+                col |= 1;
+            } else if (pick < abc) {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        const auto weight = static_cast<std::uint32_t>(
+            1 + rng.below(params.max_weight));
+        edges.push_back({row, col, weight});
+    }
+
+    if (params.permute_vertices) {
+        std::vector<std::uint32_t> perm(n);
+        std::iota(perm.begin(), perm.end(), 0u);
+        for (std::uint32_t i = n; i > 1; --i) {
+            const auto j =
+                static_cast<std::uint32_t>(rng.below(i));
+            std::swap(perm[i - 1], perm[j]);
+        }
+        for (Edge &edge : edges) {
+            edge.from = perm[edge.from];
+            edge.to = perm[edge.to];
+        }
+    }
+    return edges;
+}
+
+} // namespace csp::workloads::graph

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * R-MAT / Kronecker edge-list generator, the synthetic graph family the
+ * Graph500 benchmark specifies (Murphy et al., "Introducing the Graph
+ * 500", CUG 2010). Edges are produced by recursively descending a 2x2
+ * probability matrix (a,b,c,d); the Graph500 parameters
+ * (0.57, 0.19, 0.19, 0.05) are the defaults.
+ */
+
+#ifndef CSP_WORKLOADS_GRAPH_RMAT_H
+#define CSP_WORKLOADS_GRAPH_RMAT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace csp::workloads::graph {
+
+/** One directed edge with a weight (weights used by Prim/SSCA2). */
+struct Edge
+{
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::uint32_t weight = 1;
+};
+
+/** R-MAT generation parameters. */
+struct RmatParams
+{
+    unsigned scale = 10;        ///< 2^scale vertices
+    unsigned edge_factor = 8;   ///< edges per vertex (Graph500: 16)
+    double a = 0.57, b = 0.19, c = 0.19;
+    std::uint64_t seed = 1;
+    std::uint32_t max_weight = 255;
+    bool permute_vertices = true; ///< Graph500-style relabeling
+};
+
+/** Generate the edge list; self-loops are retained (Graph500 allows
+ *  them; traversals ignore them naturally). */
+std::vector<Edge> generateRmat(const RmatParams &params);
+
+/** Number of vertices implied by @p params. */
+inline std::uint32_t
+vertexCount(const RmatParams &params)
+{
+    return 1u << params.scale;
+}
+
+} // namespace csp::workloads::graph
+
+#endif // CSP_WORKLOADS_GRAPH_RMAT_H

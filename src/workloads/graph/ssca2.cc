@@ -1,0 +1,285 @@
+#include "workloads/graph/ssca2.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+#include "workloads/graph/csr_graph.h"
+#include "workloads/graph/linked_graph.h"
+
+namespace csp::workloads::graph {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00510000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadQueue = 0,
+    kSiteLoadOffsets,
+    kSiteLoadTarget,
+    kSiteLoadDist,
+    kSiteLoadSigma,
+    kSiteStoreState,
+    kSiteBackLoadOrder,
+    kSiteBackLoadNeighbor,
+    kSiteBackAccumulate,
+    kSiteVisitBranch,
+    kSiteLoadVertex,
+    kSiteLoadEdge,
+    kSiteCompute,
+};
+
+} // namespace
+
+trace::TraceBuffer
+Ssca2::generate(const WorkloadParams &params) const
+{
+    RmatParams rmat;
+    rmat.edge_factor = 8;
+    rmat.scale = 9; // SSCA2 runs many roots over a modest graph
+    while (rmat.scale < 13 &&
+           (1u << (rmat.scale + 1)) * 64ull < params.scale)
+        ++rmat.scale;
+    rmat.seed = params.seed;
+    const std::vector<Edge> edges = generateRmat(rmat);
+    const std::uint32_t n = vertexCount(rmat);
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+    Rng rng(params.seed ^ 0x55ca2ull);
+
+    hints::TypeEnumerator types;
+    const hints::Hint queue_hint{types.fresh(), hints::kNoLinkOffset,
+                                 hints::RefForm::Index};
+    const hints::Hint offsets_hint{types.fresh(), hints::kNoLinkOffset,
+                                   hints::RefForm::Index};
+    const hints::Hint targets_hint{types.fresh(), hints::kNoLinkOffset,
+                                   hints::RefForm::Index};
+    const hints::Hint state_hint{types.fresh(), hints::kNoLinkOffset,
+                                 hints::RefForm::Index};
+    const std::uint16_t vertex_type = types.fresh();
+    const std::uint16_t edge_type = types.fresh();
+
+    // Algorithm state shared by both layouts (the arrays live in the
+    // traced heap in both cases; SSCA2 keeps them as arrays even in the
+    // linked variant — only the graph itself changes representation).
+    std::vector<std::uint32_t> dist(n);
+    std::vector<std::uint64_t> sigma(n);
+    std::vector<double> delta(n);
+    std::vector<double> bc(n, 0.0);
+    std::vector<std::uint32_t> order(n);
+
+    const auto run_csr = [&](const CsrGraph &graph,
+                             runtime::Arena &arena,
+                             const std::uint64_t *offsets,
+                             const std::uint32_t *targets,
+                             std::uint32_t *state,
+                             std::uint32_t *queue) {
+        while (buffer.memAccesses() < params.scale) {
+            const auto source =
+                static_cast<std::uint32_t>(rng.below(n));
+            std::fill(dist.begin(), dist.end(), 0xffffffffu);
+            std::fill(sigma.begin(), sigma.end(), 0);
+            std::fill(delta.begin(), delta.end(), 0.0);
+            std::uint32_t head = 0, tail = 0, seen = 0;
+            dist[source] = 0;
+            sigma[source] = 1;
+            queue[tail++] = source;
+            // Forward BFS counting shortest paths.
+            while (head < tail) {
+                const std::uint32_t u = queue[head];
+                rec.load(kSiteLoadQueue, arena.addrOf(&queue[head]),
+                         queue_hint, u);
+                ++head;
+                order[seen++] = u;
+                rec.load(kSiteLoadOffsets, arena.addrOf(&offsets[u]),
+                         offsets_hint, offsets[u],
+                         /*dep_on_prev_load=*/true);
+                for (std::uint64_t e = offsets[u]; e < offsets[u + 1];
+                     ++e) {
+                    const std::uint32_t v = targets[e];
+                    rec.load(kSiteLoadTarget,
+                             arena.addrOf(&targets[e]), targets_hint,
+                             v, /*dep_on_prev_load=*/true);
+                    rec.load(kSiteLoadDist, arena.addrOf(&state[v]),
+                             state_hint, dist[v],
+                             /*dep_on_prev_load=*/true);
+                    const bool unvisited = dist[v] == 0xffffffffu;
+                    rec.branch(kSiteVisitBranch, unvisited);
+                    if (unvisited) {
+                        dist[v] = dist[u] + 1;
+                        queue[tail++] = v;
+                        rec.store(kSiteStoreState,
+                                  arena.addrOf(&state[v]),
+                                  state_hint);
+                    }
+                    if (dist[v] == dist[u] + 1) {
+                        sigma[v] += sigma[u];
+                        rec.load(kSiteLoadSigma,
+                                 arena.addrOf(&state[v]), state_hint,
+                                 sigma[v]);
+                        rec.store(kSiteStoreState,
+                                  arena.addrOf(&state[v]),
+                                  state_hint);
+                    }
+                }
+            }
+            // Backward accumulation (predecessors recomputed from dist).
+            for (std::uint32_t i = seen; i-- > 1;) {
+                const std::uint32_t w = order[i];
+                rec.load(kSiteBackLoadOrder, arena.addrOf(&queue[i]),
+                         queue_hint, w);
+                for (std::uint64_t e = offsets[w]; e < offsets[w + 1];
+                     ++e) {
+                    const std::uint32_t v = targets[e];
+                    rec.load(kSiteBackLoadNeighbor,
+                             arena.addrOf(&targets[e]), targets_hint,
+                             v, /*dep_on_prev_load=*/true);
+                    if (dist[v] + 1 == dist[w] && sigma[w] > 0) {
+                        delta[v] +=
+                            static_cast<double>(sigma[v]) /
+                            static_cast<double>(sigma[w]) *
+                            (1.0 + delta[w]);
+                        rec.load(kSiteBackAccumulate,
+                                 arena.addrOf(&state[v]), state_hint,
+                                 sigma[v], /*dep_on_prev_load=*/true);
+                        rec.store(kSiteStoreState,
+                                  arena.addrOf(&state[v]),
+                                  state_hint);
+                    }
+                }
+                bc[w] += delta[w];
+                rec.compute(kSiteCompute, 3);
+            }
+        }
+        (void)graph;
+    };
+
+    if (layout_ == GraphLayout::Csr) {
+        const CsrGraph graph(edges, n);
+        runtime::Arena arena(
+            (graph.edgeCount() + n) * 24 + (8u << 20),
+            runtime::Placement::Sequential, params.seed);
+        auto *offsets = static_cast<std::uint64_t *>(
+            arena.allocate((n + 1) * sizeof(std::uint64_t)));
+        std::copy(graph.offsets().begin(), graph.offsets().end(),
+                  offsets);
+        auto *targets = static_cast<std::uint32_t *>(arena.allocate(
+            graph.edgeCount() * sizeof(std::uint32_t)));
+        std::copy(graph.targets().begin(), graph.targets().end(),
+                  targets);
+        auto *state = static_cast<std::uint32_t *>(
+            arena.allocate(n * sizeof(std::uint32_t) * 4));
+        auto *queue = static_cast<std::uint32_t *>(
+            arena.allocate(n * sizeof(std::uint32_t)));
+        run_csr(graph, arena, offsets, targets, state, queue);
+        return buffer;
+    }
+
+    // Linked layout: the graph is pointer-chased; BFS/backward flow is
+    // identical otherwise.
+    // Batch construction: nodes land in insertion order (see
+    // graph500.cc).
+    runtime::Arena arena(
+        LinkedGraph::arenaBytes(n, edges.size(), true) + n * 32,
+        runtime::Placement::Sequential, params.seed);
+    LinkedGraph graph(arena, edges, n);
+    const hints::Hint vertex_hint{
+        vertex_type,
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::VertexNode, first)),
+        hints::RefForm::Arrow};
+    const hints::Hint edge_hint{
+        edge_type,
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::EdgeNode, next)),
+        hints::RefForm::Arrow};
+    auto *state = static_cast<std::uint32_t *>(
+        arena.allocate(n * sizeof(std::uint32_t) * 4));
+    auto *queue_mem = static_cast<std::uint32_t *>(
+        arena.allocate(n * sizeof(std::uint32_t)));
+    std::vector<std::uint32_t> queue(n);
+
+    while (buffer.memAccesses() < params.scale) {
+        const auto source = static_cast<std::uint32_t>(rng.below(n));
+        std::fill(dist.begin(), dist.end(), 0xffffffffu);
+        std::fill(sigma.begin(), sigma.end(), 0);
+        std::fill(delta.begin(), delta.end(), 0.0);
+        std::uint32_t head = 0, tail = 0, seen = 0;
+        dist[source] = 0;
+        sigma[source] = 1;
+        queue[tail++] = source;
+        while (head < tail) {
+            const std::uint32_t u = queue[head];
+            rec.load(kSiteLoadQueue, arena.addrOf(&queue_mem[head]),
+                     queue_hint, u);
+            ++head;
+            order[seen++] = u;
+            LinkedGraph::VertexNode *un = graph.vertex(u);
+            rec.load(kSiteLoadVertex, arena.addrOf(un), vertex_hint,
+                     un->first != nullptr ? arena.addrOf(un->first)
+                                          : 0,
+                     /*dep_on_prev_load=*/true);
+            for (LinkedGraph::EdgeNode *e = un->first; e != nullptr;
+                 e = e->next) {
+                rec.load(kSiteLoadEdge, arena.addrOf(e), edge_hint,
+                         e->next != nullptr ? arena.addrOf(e->next)
+                                            : 0,
+                         /*dep_on_prev_load=*/true);
+                const std::uint32_t v = e->to->id;
+                rec.load(kSiteLoadDist, arena.addrOf(&state[v]),
+                         state_hint, dist[v],
+                         /*dep_on_prev_load=*/true);
+                const bool unvisited = dist[v] == 0xffffffffu;
+                rec.branch(kSiteVisitBranch, unvisited);
+                if (unvisited) {
+                    dist[v] = dist[u] + 1;
+                    queue[tail++] = v;
+                    rec.store(kSiteStoreState,
+                              arena.addrOf(&state[v]), state_hint);
+                }
+                if (dist[v] == dist[u] + 1) {
+                    sigma[v] += sigma[u];
+                    rec.store(kSiteStoreState,
+                              arena.addrOf(&state[v]), state_hint);
+                }
+            }
+        }
+        for (std::uint32_t i = seen; i-- > 1;) {
+            const std::uint32_t w = order[i];
+            rec.load(kSiteBackLoadOrder, arena.addrOf(&queue_mem[i]),
+                     queue_hint, w);
+            LinkedGraph::VertexNode *wn = graph.vertex(w);
+            rec.load(kSiteLoadVertex, arena.addrOf(wn), vertex_hint,
+                     wn->first != nullptr ? arena.addrOf(wn->first)
+                                          : 0,
+                     /*dep_on_prev_load=*/true);
+            for (LinkedGraph::EdgeNode *e = wn->first; e != nullptr;
+                 e = e->next) {
+                rec.load(kSiteLoadEdge, arena.addrOf(e), edge_hint,
+                         e->next != nullptr ? arena.addrOf(e->next)
+                                            : 0,
+                         /*dep_on_prev_load=*/true);
+                const std::uint32_t v = e->to->id;
+                if (dist[v] + 1 == dist[w] && sigma[w] > 0) {
+                    delta[v] += static_cast<double>(sigma[v]) /
+                                static_cast<double>(sigma[w]) *
+                                (1.0 + delta[w]);
+                    rec.load(kSiteBackAccumulate,
+                             arena.addrOf(&state[v]), state_hint,
+                             sigma[v], /*dep_on_prev_load=*/true);
+                    rec.store(kSiteStoreState,
+                              arena.addrOf(&state[v]), state_hint);
+                }
+            }
+            bc[w] += delta[w];
+            rec.compute(kSiteCompute, 3);
+        }
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::graph

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * HPCS SSCA2 v2.2 graph-analysis workload (paper Table 3): approximate
+ * betweenness centrality (kernel 4, Brandes' algorithm over sampled
+ * roots) over an R-MAT graph. Provided in the two layouts of paper
+ * Figure 14a: CSR arrays and the naive linked representation.
+ */
+
+#ifndef CSP_WORKLOADS_GRAPH_SSCA2_H
+#define CSP_WORKLOADS_GRAPH_SSCA2_H
+
+#include "workloads/graph/graph500.h"
+#include "workloads/workload.h"
+
+namespace csp::workloads::graph {
+
+/** SSCA2 betweenness centrality; see file comment. */
+class Ssca2 final : public Workload
+{
+  public:
+    explicit Ssca2(GraphLayout layout) : layout_(layout) {}
+
+    std::string
+    name() const override
+    {
+        return layout_ == GraphLayout::Csr ? "ssca2-csr" : "ssca2-list";
+    }
+
+    std::string suite() const override { return "hpcs"; }
+
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+  private:
+    GraphLayout layout_;
+};
+
+} // namespace csp::workloads::graph
+
+#endif // CSP_WORKLOADS_GRAPH_SSCA2_H

@@ -1,0 +1,195 @@
+#include "workloads/pbbs/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::pbbs {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00640000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadPoint = 0,
+    kSiteSideBranch,
+    kSiteStorePartition,
+    kSiteCompute,
+};
+
+double
+cross(double ox, double oy, double ax, double ay, double bx, double by)
+{
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox);
+}
+
+/**
+ * Recursive quickhull step; optionally traced. @p candidates holds
+ * points strictly LEFT of the directed segment a->b (cross > 0); the
+ * produced hull fragment runs counter-clockwise from a to b.
+ */
+void
+quickhullRec(const std::vector<double> &xs, const std::vector<double> &ys,
+             std::vector<std::uint32_t> &candidates, std::uint32_t a,
+             std::uint32_t b, std::vector<std::uint32_t> &out,
+             trace::Recorder *rec, runtime::Arena *arena,
+             const double *coords_mem, const hints::Hint *hint,
+             const trace::TraceBuffer *buffer, std::uint64_t budget)
+{
+    if (candidates.empty())
+        return;
+    const auto trace_on = [&]() {
+        return rec != nullptr &&
+               (buffer == nullptr || buffer->memAccesses() < budget);
+    };
+    // Find the point farthest left of segment a->b.
+    std::uint32_t far = candidates[0];
+    double far_dist = 0.0;
+    for (const std::uint32_t p : candidates) {
+        if (trace_on()) {
+            rec->load(kSiteLoadPoint,
+                      arena->addrOf(&coords_mem[p * 2]), *hint, p);
+        }
+        const double d =
+            cross(xs[a], ys[a], xs[b], ys[b], xs[p], ys[p]);
+        if (d > far_dist) {
+            far_dist = d;
+            far = p;
+        }
+    }
+    // Partition the survivors to the two outer segments a->far and
+    // far->b (again keeping only points strictly left of each).
+    std::vector<std::uint32_t> seg_a;
+    std::vector<std::uint32_t> seg_b;
+    for (const std::uint32_t p : candidates) {
+        if (p == far)
+            continue;
+        if (trace_on()) {
+            rec->load(kSiteLoadPoint,
+                      arena->addrOf(&coords_mem[p * 2]), *hint, p);
+        }
+        const bool left_of_a =
+            cross(xs[a], ys[a], xs[far], ys[far], xs[p], ys[p]) > 0;
+        const bool left_of_b =
+            cross(xs[far], ys[far], xs[b], ys[b], xs[p], ys[p]) > 0;
+        if (trace_on())
+            rec->branch(kSiteSideBranch, left_of_a);
+        if (left_of_a) {
+            seg_a.push_back(p);
+            if (trace_on()) {
+                rec->store(kSiteStorePartition,
+                           arena->addrOf(&coords_mem[p * 2]), *hint);
+            }
+        } else if (left_of_b) {
+            seg_b.push_back(p);
+        }
+    }
+    quickhullRec(xs, ys, seg_a, a, far, out, rec, arena, coords_mem,
+                 hint, buffer, budget);
+    out.push_back(far);
+    quickhullRec(xs, ys, seg_b, far, b, out, rec, arena, coords_mem,
+                 hint, buffer, budget);
+}
+
+std::vector<std::uint32_t>
+quickhull(const std::vector<double> &xs, const std::vector<double> &ys,
+          trace::Recorder *rec, runtime::Arena *arena,
+          const double *coords_mem, const hints::Hint *hint,
+          const trace::TraceBuffer *buffer, std::uint64_t budget)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(xs.size());
+    std::vector<std::uint32_t> out;
+    if (n < 3) {
+        for (std::uint32_t i = 0; i < n; ++i)
+            out.push_back(i);
+        return out;
+    }
+    std::uint32_t leftmost = 0;
+    std::uint32_t rightmost = 0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+        if (xs[i] < xs[leftmost] ||
+            (xs[i] == xs[leftmost] && ys[i] < ys[leftmost]))
+            leftmost = i;
+        if (xs[i] > xs[rightmost] ||
+            (xs[i] == xs[rightmost] && ys[i] > ys[rightmost]))
+            rightmost = i;
+    }
+    // Points left of left->right form the upper chain; points left of
+    // right->left form the lower chain. Emitting the upper fragment
+    // (ordered leftmost->rightmost) and then the lower fragment
+    // (ordered rightmost->leftmost) yields a clockwise simple polygon.
+    std::vector<std::uint32_t> upper;
+    std::vector<std::uint32_t> lower;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (i == leftmost || i == rightmost)
+            continue;
+        const double d = cross(xs[leftmost], ys[leftmost],
+                               xs[rightmost], ys[rightmost], xs[i],
+                               ys[i]);
+        if (d > 0)
+            upper.push_back(i);
+        else if (d < 0)
+            lower.push_back(i);
+    }
+    out.push_back(leftmost);
+    quickhullRec(xs, ys, upper, leftmost, rightmost, out, rec, arena,
+                 coords_mem, hint, buffer, budget);
+    out.push_back(rightmost);
+    quickhullRec(xs, ys, lower, rightmost, leftmost, out, rec, arena,
+                 coords_mem, hint, buffer, budget);
+    return out;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+ConvexHull::hull(const std::vector<double> &xs,
+                 const std::vector<double> &ys)
+{
+    return quickhull(xs, ys, nullptr, nullptr, nullptr, nullptr,
+                     nullptr, 0);
+}
+
+trace::TraceBuffer
+ConvexHull::generate(const WorkloadParams &params) const
+{
+    const std::uint32_t points = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(params.scale / 4, 8192, 262144));
+    Rng rng(params.seed ^ 0xc07full);
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+    hints::TypeEnumerator types;
+    const hints::Hint point_hint{types.fresh(), hints::kNoLinkOffset,
+                                 hints::RefForm::Index};
+
+    while (buffer.memAccesses() < params.scale) {
+        std::vector<double> xs(points);
+        std::vector<double> ys(points);
+        for (std::uint32_t i = 0; i < points; ++i) {
+            // Disk distribution: plenty of interior points to scan.
+            const double angle = rng.uniform() * 6.283185307179586;
+            const double radius = std::sqrt(rng.uniform());
+            xs[i] = radius * std::cos(angle);
+            ys[i] = radius * std::sin(angle);
+        }
+        runtime::Arena arena(points * 16 + (4u << 20),
+                             runtime::Placement::Sequential,
+                             params.seed);
+        auto *coords_mem =
+            static_cast<double *>(arena.allocate(points * 16));
+        for (std::uint32_t i = 0; i < points; ++i) {
+            coords_mem[i * 2] = xs[i];
+            coords_mem[i * 2 + 1] = ys[i];
+        }
+        quickhull(xs, ys, &rec, &arena, coords_mem, &point_hint,
+                  &buffer, params.scale);
+        rec.compute(kSiteCompute, 16);
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::pbbs

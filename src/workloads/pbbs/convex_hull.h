@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PBBS `convexHull` workload: quickhull over random 2D points —
+ * branch-dependent streaming scans and compactions over point arrays.
+ * The paper's Figure 12 shows convexHull as the one significant
+ * benchmark where a spatio-temporal prefetcher beats the context-based
+ * prefetcher; the streaming-scan character of quickhull is what
+ * produces that, and the reproduction keeps it.
+ */
+
+#ifndef CSP_WORKLOADS_PBBS_CONVEX_HULL_H
+#define CSP_WORKLOADS_PBBS_CONVEX_HULL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::pbbs {
+
+/** Quickhull; see file comment. */
+class ConvexHull final : public Workload
+{
+  public:
+    std::string name() const override { return "convexHull"; }
+    std::string suite() const override { return "pbbs"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+    /** Untraced reference: hull point indices in clockwise order
+     *  starting from the leftmost point (for correctness tests). */
+    static std::vector<std::uint32_t>
+    hull(const std::vector<double> &xs, const std::vector<double> &ys);
+};
+
+} // namespace csp::workloads::pbbs
+
+#endif // CSP_WORKLOADS_PBBS_CONVEX_HULL_H

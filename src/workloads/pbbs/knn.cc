@@ -1,0 +1,176 @@
+#include "workloads/pbbs/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::pbbs {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00630000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadCellStart = 0,
+    kSiteLoadPointId,
+    kSiteLoadCoords,
+    kSiteDistBranch,
+    kSiteCompute,
+};
+
+} // namespace
+
+std::vector<std::uint32_t>
+Knn::bruteForce(const std::vector<float> &xs,
+                const std::vector<float> &ys, float qx, float qy,
+                unsigned k)
+{
+    std::vector<std::uint32_t> idx(xs.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    const auto dist2 = [&](std::uint32_t i) {
+        const float dx = xs[i] - qx;
+        const float dy = ys[i] - qy;
+        return dx * dx + dy * dy;
+    };
+    std::sort(idx.begin(), idx.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const float da = dist2(a);
+                  const float db = dist2(b);
+                  return da != db ? da < db : a < b;
+              });
+    idx.resize(std::min<std::size_t>(k, idx.size()));
+    return idx;
+}
+
+trace::TraceBuffer
+Knn::generate(const WorkloadParams &params) const
+{
+    const std::uint32_t points = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(params.scale / 8, 4096, 131072));
+    const unsigned k = 8;
+    const auto grid = static_cast<std::uint32_t>(std::max(
+        4.0, std::sqrt(static_cast<double>(points) / 4.0)));
+    Rng rng(params.seed ^ 0x4aaull);
+
+    std::vector<float> xs(points);
+    std::vector<float> ys(points);
+    for (std::uint32_t i = 0; i < points; ++i) {
+        xs[i] = static_cast<float>(rng.uniform());
+        ys[i] = static_cast<float>(rng.uniform());
+    }
+
+    // Counting-sort points into grid cells (CSR-style buckets).
+    const auto cellOf = [&](std::uint32_t i) {
+        auto cx = static_cast<std::uint32_t>(xs[i] * grid);
+        auto cy = static_cast<std::uint32_t>(ys[i] * grid);
+        cx = std::min(cx, grid - 1);
+        cy = std::min(cy, grid - 1);
+        return cy * grid + cx;
+    };
+    const std::uint32_t cells = grid * grid;
+    std::vector<std::uint32_t> cell_start(cells + 1, 0);
+    for (std::uint32_t i = 0; i < points; ++i)
+        ++cell_start[cellOf(i) + 1];
+    for (std::uint32_t c = 0; c < cells; ++c)
+        cell_start[c + 1] += cell_start[c];
+    std::vector<std::uint32_t> cell_points(points);
+    {
+        std::vector<std::uint32_t> cursor(cell_start.begin(),
+                                          cell_start.end() - 1);
+        for (std::uint32_t i = 0; i < points; ++i)
+            cell_points[cursor[cellOf(i)]++] = i;
+    }
+
+    runtime::Arena arena(points * 16 + cells * 8 + (4u << 20),
+                         runtime::Placement::Sequential, params.seed);
+    auto *start_mem = static_cast<std::uint32_t *>(
+        arena.allocate((cells + 1) * 4));
+    std::copy(cell_start.begin(), cell_start.end(), start_mem);
+    auto *ids_mem =
+        static_cast<std::uint32_t *>(arena.allocate(points * 4));
+    std::copy(cell_points.begin(), cell_points.end(), ids_mem);
+    auto *coords_mem =
+        static_cast<float *>(arena.allocate(points * 8));
+    for (std::uint32_t i = 0; i < points; ++i) {
+        coords_mem[i * 2] = xs[i];
+        coords_mem[i * 2 + 1] = ys[i];
+    }
+
+    hints::TypeEnumerator types;
+    const hints::Hint start_hint{types.fresh(), hints::kNoLinkOffset,
+                                 hints::RefForm::Index};
+    const hints::Hint ids_hint{types.fresh(), hints::kNoLinkOffset,
+                               hints::RefForm::Index};
+    const hints::Hint coords_hint{types.fresh(), hints::kNoLinkOffset,
+                                  hints::RefForm::Index};
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    std::vector<float> best(k);
+    while (buffer.memAccesses() < params.scale) {
+        const float qx = static_cast<float>(rng.uniform());
+        const float qy = static_cast<float>(rng.uniform());
+        std::fill(best.begin(), best.end(), 1e30f);
+        auto qcx = std::min(static_cast<std::uint32_t>(qx * grid),
+                            grid - 1);
+        auto qcy = std::min(static_cast<std::uint32_t>(qy * grid),
+                            grid - 1);
+        // Spiral over rings of cells until k candidates are secure.
+        for (std::uint32_t ring = 0; ring <= 2; ++ring) {
+            for (std::int64_t dy = -(std::int64_t)ring;
+                 dy <= (std::int64_t)ring; ++dy) {
+                for (std::int64_t dx = -(std::int64_t)ring;
+                     dx <= (std::int64_t)ring; ++dx) {
+                    if (std::max(std::llabs(dx), std::llabs(dy)) !=
+                        (std::int64_t)ring)
+                        continue;
+                    const std::int64_t cx = (std::int64_t)qcx + dx;
+                    const std::int64_t cy = (std::int64_t)qcy + dy;
+                    if (cx < 0 || cy < 0 ||
+                        cx >= static_cast<std::int64_t>(grid) ||
+                        cy >= static_cast<std::int64_t>(grid))
+                        continue;
+                    const std::uint64_t c =
+                        static_cast<std::uint64_t>(cy) * grid +
+                        static_cast<std::uint64_t>(cx);
+                    rec.load(kSiteLoadCellStart,
+                             arena.addrOf(&start_mem[c]), start_hint,
+                             cell_start[c]);
+                    for (std::uint32_t p = cell_start[c];
+                         p < cell_start[c + 1]; ++p) {
+                        const std::uint32_t id = cell_points[p];
+                        rec.load(kSiteLoadPointId,
+                                 arena.addrOf(&ids_mem[p]), ids_hint,
+                                 id, /*dep_on_prev_load=*/true);
+                        rec.load(kSiteLoadCoords,
+                                 arena.addrOf(&coords_mem[id * 2]),
+                                 coords_hint, 0,
+                                 /*dep_on_prev_load=*/true);
+                        const float ddx = xs[id] - qx;
+                        const float ddy = ys[id] - qy;
+                        const float d2 = ddx * ddx + ddy * ddy;
+                        const bool improves = d2 < best[k - 1];
+                        rec.branch(kSiteDistBranch, improves);
+                        if (improves) {
+                            best[k - 1] = d2;
+                            for (unsigned j = k - 1;
+                                 j > 0 && best[j] < best[j - 1];
+                                 --j)
+                                std::swap(best[j], best[j - 1]);
+                            rec.compute(kSiteCompute, 3);
+                        }
+                    }
+                }
+            }
+        }
+        rec.compute(kSiteCompute, 6);
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::pbbs

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * PBBS `KNN` workload (paper Table 3): k-nearest-neighbour queries over
+ * 2D points bucketed into a uniform grid. Each query spirals outward
+ * over grid cells, gathering candidate points through cell bucket
+ * indirection — an indexed-gather pattern with data-dependent extent.
+ */
+
+#ifndef CSP_WORKLOADS_PBBS_KNN_H
+#define CSP_WORKLOADS_PBBS_KNN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::pbbs {
+
+/** Grid-bucketed KNN; see file comment. */
+class Knn final : public Workload
+{
+  public:
+    std::string name() const override { return "KNN"; }
+    std::string suite() const override { return "pbbs"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+    /** Untraced reference: indices of the k nearest points to
+     *  (@p qx, @p qy) by brute force (for correctness tests). */
+    static std::vector<std::uint32_t>
+    bruteForce(const std::vector<float> &xs, const std::vector<float> &ys,
+               float qx, float qy, unsigned k);
+};
+
+} // namespace csp::workloads::pbbs
+
+#endif // CSP_WORKLOADS_PBBS_KNN_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * PBBS `BFS` workload (paper Table 3): frontier-array breadth-first
+ * search over a CSR graph — the PBBS formulation builds a dense next
+ * frontier per level instead of a FIFO queue, so the access mix is
+ * frontier streaming plus irregular target/parent gathers.
+ */
+
+#ifndef CSP_WORKLOADS_PBBS_PBBS_BFS_H
+#define CSP_WORKLOADS_PBBS_PBBS_BFS_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::pbbs {
+
+/** Frontier-based BFS; see file comment. */
+class PbbsBfs final : public Workload
+{
+  public:
+    std::string name() const override { return "BFS"; }
+    std::string suite() const override { return "pbbs"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::pbbs
+
+#endif // CSP_WORKLOADS_PBBS_PBBS_BFS_H

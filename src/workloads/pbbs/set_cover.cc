@@ -1,0 +1,155 @@
+#include "workloads/pbbs/set_cover.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::pbbs {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00620000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadSetElem = 0,
+    kSiteLoadCovered,
+    kSiteStoreCovered,
+    kSiteCoverBranch,
+    kSiteBucketOp,
+    kSiteCompute,
+};
+
+/** Greedy core with lazy gain re-evaluation; optionally traced. */
+std::vector<std::uint32_t>
+greedyCore(const std::vector<std::vector<std::uint32_t>> &sets,
+           std::uint32_t universe, trace::Recorder *rec,
+           runtime::Arena *arena, std::uint8_t *covered_mem,
+           const std::uint32_t *const *set_mem,
+           const trace::TraceBuffer *buffer, std::uint64_t budget,
+           const hints::Hint *hints)
+{
+    std::vector<std::uint8_t> covered(universe, 0);
+    std::uint32_t remaining = universe;
+    // Buckets of set ids keyed by (stale) gain; lazy re-check on pop.
+    std::uint32_t max_gain = 0;
+    for (const auto &set : sets) {
+        max_gain = std::max(
+            max_gain, static_cast<std::uint32_t>(set.size()));
+    }
+    std::vector<std::vector<std::uint32_t>> buckets(max_gain + 1);
+    for (std::uint32_t s = 0; s < sets.size(); ++s)
+        buckets[sets[s].size()].push_back(s);
+
+    const auto trace_on = [&]() {
+        return rec != nullptr &&
+               (buffer == nullptr || buffer->memAccesses() < budget);
+    };
+
+    std::vector<std::uint32_t> chosen;
+    for (std::uint32_t gain = max_gain; gain > 0 && remaining > 0;) {
+        if (buckets[gain].empty()) {
+            --gain;
+            continue;
+        }
+        const std::uint32_t s = buckets[gain].back();
+        buckets[gain].pop_back();
+        if (trace_on())
+            rec->compute(kSiteBucketOp, 3);
+        // Re-evaluate the set's true gain.
+        std::uint32_t true_gain = 0;
+        for (std::size_t i = 0; i < sets[s].size(); ++i) {
+            const std::uint32_t e = sets[s][i];
+            if (trace_on()) {
+                rec->load(kSiteLoadSetElem,
+                          arena->addrOf(&set_mem[s][i]), hints[0], e);
+                rec->load(kSiteLoadCovered,
+                          arena->addrOf(&covered_mem[e]), hints[1],
+                          covered[e], /*dep_on_prev_load=*/true);
+            }
+            if (!covered[e])
+                ++true_gain;
+        }
+        if (true_gain == 0)
+            continue;
+        if (true_gain < gain) {
+            // Stale: reinsert at its true gain.
+            buckets[true_gain].push_back(s);
+            continue;
+        }
+        // Take the set.
+        chosen.push_back(s);
+        for (const std::uint32_t e : sets[s]) {
+            if (!covered[e]) {
+                covered[e] = 1;
+                --remaining;
+                if (trace_on()) {
+                    rec->store(kSiteStoreCovered,
+                               arena->addrOf(&covered_mem[e]),
+                               hints[1]);
+                    rec->branch(kSiteCoverBranch, true);
+                }
+            }
+        }
+    }
+    return chosen;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+SetCover::greedy(const std::vector<std::vector<std::uint32_t>> &sets,
+                 std::uint32_t universe)
+{
+    return greedyCore(sets, universe, nullptr, nullptr, nullptr,
+                      nullptr, nullptr, 0, nullptr);
+}
+
+trace::TraceBuffer
+SetCover::generate(const WorkloadParams &params) const
+{
+    Rng rng(params.seed ^ 0x5e7cull);
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+    hints::TypeEnumerator types;
+    const hints::Hint hint_arr[2] = {
+        {types.fresh(), hints::kNoLinkOffset, hints::RefForm::Index},
+        {types.fresh(), hints::kNoLinkOffset, hints::RefForm::Index},
+    };
+
+    while (buffer.memAccesses() < params.scale) {
+        const std::uint32_t universe = static_cast<std::uint32_t>(
+            std::clamp<std::uint64_t>(params.scale / 8, 4096, 65536));
+        const std::uint32_t num_sets = universe / 8;
+        std::vector<std::vector<std::uint32_t>> sets(num_sets);
+        for (auto &set : sets) {
+            // Skewed set sizes, skewed element popularity.
+            const std::uint64_t size = 2 + rng.skewedBelow(64, 2.0);
+            set.reserve(size);
+            for (std::uint64_t i = 0; i < size; ++i) {
+                set.push_back(static_cast<std::uint32_t>(
+                    rng.skewedBelow(universe, 1.0)));
+            }
+        }
+
+        runtime::Arena arena(universe * 2 + num_sets * 512 +
+                                 (4u << 20),
+                             runtime::Placement::Sequential,
+                             params.seed);
+        auto *covered_mem = static_cast<std::uint8_t *>(
+            arena.allocate(universe));
+        std::vector<const std::uint32_t *> set_mem(num_sets);
+        for (std::uint32_t s = 0; s < num_sets; ++s) {
+            auto *mem = static_cast<std::uint32_t *>(arena.allocate(
+                std::max<std::size_t>(1, sets[s].size()) * 4));
+            std::copy(sets[s].begin(), sets[s].end(), mem);
+            set_mem[s] = mem;
+        }
+        greedyCore(sets, universe, &rec, &arena, covered_mem,
+                   set_mem.data(), &buffer, params.scale, hint_arr);
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::pbbs

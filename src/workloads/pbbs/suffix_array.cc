@@ -1,0 +1,144 @@
+#include "workloads/pbbs/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::pbbs {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00600000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadSa = 0,
+    kSiteLoadRank,
+    kSiteLoadRankK,
+    kSiteStoreRank,
+    kSiteCompareBranch,
+    kSiteCompute,
+};
+
+/** Prefix-doubling core; optionally traced. */
+std::vector<std::uint32_t>
+buildCore(const std::string &text, trace::Recorder *rec,
+          runtime::Arena *arena, const trace::TraceBuffer *buffer,
+          std::uint64_t budget, const hints::Hint *hints)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(text.size());
+    std::vector<std::uint32_t> sa(n);
+    std::vector<std::int64_t> rank(n);
+    std::vector<std::int64_t> next_rank(n);
+    std::iota(sa.begin(), sa.end(), 0u);
+    for (std::uint32_t i = 0; i < n; ++i)
+        rank[i] = static_cast<unsigned char>(text[i]);
+
+    // Simulated-heap mirrors for tracing the gather pattern.
+    std::uint32_t *sa_mem = nullptr;
+    std::int64_t *rank_mem = nullptr;
+    if (arena != nullptr) {
+        sa_mem = static_cast<std::uint32_t *>(
+            arena->allocate(n * sizeof(std::uint32_t)));
+        rank_mem = static_cast<std::int64_t *>(
+            arena->allocate(n * sizeof(std::int64_t)));
+    }
+
+    const auto rank_at = [&](std::uint32_t pos,
+                             std::uint32_t k) -> std::int64_t {
+        if (pos + k >= n)
+            return -1;
+        if (rec != nullptr) {
+            rec->load(kSiteLoadRankK,
+                      arena->addrOf(&rank_mem[pos + k]), hints[1],
+                      static_cast<std::uint64_t>(rank[pos + k]),
+                      /*dep_on_prev_load=*/true);
+        }
+        return rank[pos + k];
+    };
+
+    for (std::uint32_t k = 1;; k <<= 1) {
+        const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+            if (rec != nullptr &&
+                (buffer == nullptr || buffer->memAccesses() < budget)) {
+                rec->load(kSiteLoadRank, arena->addrOf(&rank_mem[a]),
+                          hints[1],
+                          static_cast<std::uint64_t>(rank[a]));
+                rec->load(kSiteLoadRank, arena->addrOf(&rank_mem[b]),
+                          hints[1],
+                          static_cast<std::uint64_t>(rank[b]));
+                rec->branch(kSiteCompareBranch, rank[a] < rank[b]);
+            }
+            if (rank[a] != rank[b])
+                return rank[a] < rank[b];
+            const std::int64_t ra = rank_at(a, k);
+            const std::int64_t rb = rank_at(b, k);
+            return ra < rb;
+        };
+        std::sort(sa.begin(), sa.end(), cmp);
+
+        next_rank[sa[0]] = 0;
+        for (std::uint32_t i = 1; i < n; ++i) {
+            if (rec != nullptr &&
+                (buffer == nullptr || buffer->memAccesses() < budget)) {
+                rec->load(kSiteLoadSa, arena->addrOf(&sa_mem[i]),
+                          hints[0], sa[i]);
+                rec->store(kSiteStoreRank,
+                           arena->addrOf(&rank_mem[sa[i]]), hints[1]);
+            }
+            next_rank[sa[i]] =
+                next_rank[sa[i - 1]] +
+                (cmp(sa[i - 1], sa[i]) ? 1 : 0);
+        }
+        rank.swap(next_rank);
+        if (rec != nullptr)
+            rec->compute(kSiteCompute, 8);
+        if (rank[sa[n - 1]] == static_cast<std::int64_t>(n) - 1)
+            break;
+        if (k >= n)
+            break;
+    }
+    return sa;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+SuffixArray::build(const std::string &text)
+{
+    return buildCore(text, nullptr, nullptr, nullptr, 0, nullptr);
+}
+
+trace::TraceBuffer
+SuffixArray::generate(const WorkloadParams &params) const
+{
+    // Accesses ~ 6 * n * log^2(n); keep n modest and loop fresh texts.
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(params.scale / 64, 512, 16384));
+    Rng rng(params.seed ^ 0x5f17ull);
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+    hints::TypeEnumerator types;
+    const hints::Hint hints_arr[2] = {
+        {types.fresh(), hints::kNoLinkOffset, hints::RefForm::Index},
+        {types.fresh(), hints::kNoLinkOffset, hints::RefForm::Index},
+    };
+
+    while (buffer.memAccesses() < params.scale) {
+        std::string text(n, 'a');
+        for (auto &c : text) {
+            c = static_cast<char>('a' + rng.below(8)); // skewed alphabet
+        }
+        runtime::Arena arena(n * 16 + (1u << 20),
+                             runtime::Placement::Sequential,
+                             params.seed);
+        buildCore(text, &rec, &arena, &buffer, params.scale,
+                  hints_arr);
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::pbbs

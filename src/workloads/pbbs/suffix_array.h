@@ -1,0 +1,38 @@
+/**
+ * @file
+ * PBBS `suffixArray` workload (paper Table 3): suffix-array
+ * construction by prefix doubling (Manber–Myers). The hot pattern is
+ * rank-array gathers at (sa[i], sa[i]+k) — data-dependent indexed loads
+ * that defeat pure stride prefetching but carry exploitable history.
+ * The paper lists suffixArray among the benchmarks where a competing
+ * prefetcher can win (section 7.3, training speed / pattern depth);
+ * the reproduction preserves that character.
+ */
+
+#ifndef CSP_WORKLOADS_PBBS_SUFFIX_ARRAY_H
+#define CSP_WORKLOADS_PBBS_SUFFIX_ARRAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::pbbs {
+
+/** Suffix-array construction; see file comment. */
+class SuffixArray final : public Workload
+{
+  public:
+    std::string name() const override { return "suffixArray"; }
+    std::string suite() const override { return "pbbs"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+    /** Untraced reference construction for correctness tests. */
+    static std::vector<std::uint32_t> build(const std::string &text);
+};
+
+} // namespace csp::workloads::pbbs
+
+#endif // CSP_WORKLOADS_PBBS_SUFFIX_ARRAY_H

@@ -1,0 +1,67 @@
+#include "workloads/ubench/array_ubench.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::ubench {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00410000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadElem = 0,
+    kSiteCompute,
+    kSiteLoopBranch,
+};
+
+} // namespace
+
+trace::TraceBuffer
+ArrayTraversal::generate(const WorkloadParams &params) const
+{
+    const std::uint64_t elems =
+        std::min<std::uint64_t>(65536, std::max<std::uint64_t>(
+                                           1024, params.scale / 8));
+    // The array variant is always laid out sequentially — that is the
+    // point of the comparison.
+    runtime::Arena arena(elems * 8 + (1u << 16),
+                         runtime::Placement::Sequential, params.seed);
+    Rng rng(params.seed ^ 0xa88a1ull);
+
+    auto *data = static_cast<std::uint64_t *>(
+        arena.allocate(elems * sizeof(std::uint64_t)));
+    for (std::uint64_t i = 0; i < elems; ++i)
+        data[i] = rng.next();
+
+    hints::TypeEnumerator types;
+    const std::uint16_t elem_type = types.fresh();
+    const hints::Hint index_hint{elem_type, hints::kNoLinkOffset,
+                                 hints::RefForm::Index};
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    std::uint64_t accesses = 0;
+    std::uint64_t checksum = 0;
+    while (accesses < params.scale) {
+        for (std::uint64_t i = 0; i < elems && accesses < params.scale;
+             ++i) {
+            checksum += data[i];
+            rec.load(kSiteLoadElem, arena.addrOf(&data[i]), index_hint,
+                     /*loaded_value=*/data[i],
+                     /*dep_on_prev_load=*/false,
+                     /*reg_value=*/0);
+            rec.compute(kSiteCompute, 3);
+            rec.branch(kSiteLoopBranch, i + 1 < elems);
+            ++accesses;
+        }
+    }
+    (void)checksum;
+    return buffer;
+}
+
+} // namespace csp::workloads::ubench

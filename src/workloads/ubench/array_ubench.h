@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The `array` µbenchmark of paper Table 3: the spatially optimised twin
+ * of the `list` µbenchmark — the same repeated logical traversal over a
+ * dense array. Trivial for stride prefetchers; the experiment checks
+ * that the context-based prefetcher also captures strictly regular
+ * patterns (paper section 7.1: "the prefetcher indeed captures access
+ * semantics rather than focusing on a specific access pattern").
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_ARRAY_UBENCH_H
+#define CSP_WORKLOADS_UBENCH_ARRAY_UBENCH_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Repeated dense-array traversal. */
+class ArrayTraversal final : public Workload
+{
+  public:
+    std::string name() const override { return "array"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_ARRAY_UBENCH_H

@@ -1,0 +1,112 @@
+#include "workloads/ubench/bst.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::ubench {
+
+namespace {
+
+struct Node
+{
+    Node *left = nullptr;
+    Node *right = nullptr;
+    std::uint64_t key = 0;
+};
+
+constexpr Addr kPcBase = 0x00430000;
+
+enum Site : std::uint32_t
+{
+    kSiteDescend = 0,
+    kSiteCompareBranch,
+    kSiteStoreChild,
+    kSiteCompute,
+};
+
+} // namespace
+
+trace::TraceBuffer
+BstLookup::generate(const WorkloadParams &params) const
+{
+    const std::uint64_t keys = std::min<std::uint64_t>(
+        16384, std::max<std::uint64_t>(256, params.scale / 64));
+    runtime::Arena arena(keys * 64 + (1u << 20), params.placement,
+                         params.seed);
+    Rng rng(params.seed ^ 0xb57b57ull);
+
+    hints::TypeEnumerator types;
+    const std::uint16_t node_type = types.fresh();
+    const hints::Hint left_hint{
+        node_type, static_cast<std::uint16_t>(offsetof(Node, left)),
+        hints::RefForm::Arrow};
+    const hints::Hint right_hint{
+        node_type, static_cast<std::uint16_t>(offsetof(Node, right)),
+        hints::RefForm::Arrow};
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    // Keep the key universe modest so lookups usually find a key.
+    std::vector<std::uint64_t> inserted;
+    inserted.reserve(keys);
+
+    Node *root = nullptr;
+    auto descend = [&](std::uint64_t key, bool insert) {
+        Node *cursor = root;
+        Node *parent = nullptr;
+        bool went_left = false;
+        while (cursor != nullptr) {
+            const bool go_left = key < cursor->key;
+            Node *next = go_left ? cursor->left : cursor->right;
+            rec.load(kSiteDescend, arena.addrOf(cursor),
+                     go_left ? left_hint : right_hint,
+                     next != nullptr ? arena.addrOf(next) : 0,
+                     /*dep_on_prev_load=*/true, /*reg_value=*/key);
+            rec.branch(kSiteCompareBranch, go_left);
+            if (cursor->key == key)
+                return;
+            parent = cursor;
+            went_left = go_left;
+            cursor = next;
+        }
+        if (insert) {
+            Node *fresh = arena.make<Node>();
+            fresh->key = key;
+            rec.compute(kSiteCompute, 4);
+            if (parent == nullptr) {
+                root = fresh;
+            } else {
+                if (went_left)
+                    parent->left = fresh;
+                else
+                    parent->right = fresh;
+                rec.store(kSiteStoreChild, arena.addrOf(parent),
+                          went_left ? left_hint : right_hint);
+            }
+            inserted.push_back(key);
+        }
+    };
+
+    // Build phase.
+    for (std::uint64_t i = 0;
+         i < keys && buffer.memAccesses() < params.scale / 4; ++i) {
+        descend(rng.next() % (keys * 8), true);
+    }
+    // Lookup phase: mostly hits, some misses.
+    while (buffer.memAccesses() < params.scale && !inserted.empty()) {
+        const std::uint64_t key =
+            rng.chance(0.8)
+                ? inserted[rng.below(inserted.size())]
+                : rng.next() % (keys * 8);
+        descend(key, false);
+        rec.compute(kSiteCompute, 2);
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::ubench

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The `BST` µbenchmark: random insertions into an (unbalanced) binary
+ * search tree followed by many random lookups — input-dependent,
+ * heavily branching root-to-leaf pointer chases. The paper singles out
+ * this class (maptest, hashtest, BST) as "very difficult to predict,
+ * mostly due to their high degree of branching" (section 7.1); the
+ * experiment checks that our prefetcher degrades the same way.
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_BST_H
+#define CSP_WORKLOADS_UBENCH_BST_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Unbalanced binary-search-tree insert/lookup mix. */
+class BstLookup final : public Workload
+{
+  public:
+    std::string name() const override { return "bst"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_BST_H

@@ -1,0 +1,114 @@
+#include "workloads/ubench/hashtest.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/hashing.h"
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::ubench {
+
+namespace {
+
+struct Node
+{
+    Node *next = nullptr;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+};
+
+constexpr Addr kPcBase = 0x00440000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadBucket = 0,
+    kSiteChainWalk,
+    kSiteChainBranch,
+    kSiteHashCompute,
+    kSiteStoreInsert,
+};
+
+} // namespace
+
+trace::TraceBuffer
+HashTest::generate(const WorkloadParams &params) const
+{
+    const std::uint64_t entries = std::min<std::uint64_t>(
+        32768, std::max<std::uint64_t>(512, params.scale / 16));
+    const std::uint64_t bucket_count = entries / 2; // load factor ~2
+    runtime::Arena arena(entries * 64 + bucket_count * 8 + (1u << 20),
+                         params.placement, params.seed);
+    Rng rng(params.seed ^ 0x4a54ull);
+
+    hints::TypeEnumerator types;
+    const std::uint16_t bucket_type = types.fresh();
+    const std::uint16_t node_type = types.fresh();
+    const hints::Hint bucket_hint{bucket_type, hints::kNoLinkOffset,
+                                  hints::RefForm::Index};
+    const hints::Hint chain_hint{
+        node_type, static_cast<std::uint16_t>(offsetof(Node, next)),
+        hints::RefForm::Arrow};
+
+    auto **buckets = static_cast<Node **>(
+        arena.allocate(bucket_count * sizeof(Node *)));
+    for (std::uint64_t i = 0; i < bucket_count; ++i)
+        buckets[i] = nullptr;
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    std::vector<std::uint64_t> keys;
+    keys.reserve(entries);
+
+    auto bucketOf = [&](std::uint64_t key) {
+        return mix64(key) % bucket_count;
+    };
+
+    // Populate (untraced bucket writes kept minimal; inserts traced).
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        const std::uint64_t key = rng.next();
+        const std::uint64_t b = bucketOf(key);
+        Node *node = arena.make<Node>();
+        node->key = key;
+        node->value = key * 3;
+        node->next = buckets[b];
+        buckets[b] = node;
+        keys.push_back(key);
+    }
+
+    // Lookup mix.
+    std::uint64_t found_sum = 0;
+    while (buffer.memAccesses() < params.scale) {
+        const bool probe_known = rng.chance(0.85);
+        const std::uint64_t key =
+            probe_known ? keys[rng.below(keys.size())] : rng.next();
+        rec.compute(kSiteHashCompute, 4); // hashing the key
+        const std::uint64_t b = bucketOf(key);
+        Node *cursor = buckets[b];
+        rec.load(kSiteLoadBucket, arena.addrOf(&buckets[b]),
+                 bucket_hint,
+                 cursor != nullptr ? arena.addrOf(cursor) : 0,
+                 /*dep_on_prev_load=*/false, /*reg_value=*/key);
+        while (cursor != nullptr) {
+            const std::uint64_t next_addr =
+                cursor->next != nullptr ? arena.addrOf(cursor->next)
+                                        : 0;
+            rec.load(kSiteChainWalk, arena.addrOf(cursor), chain_hint,
+                     next_addr, /*dep_on_prev_load=*/true,
+                     /*reg_value=*/key);
+            const bool match = cursor->key == key;
+            rec.branch(kSiteChainBranch, match);
+            if (match) {
+                found_sum += cursor->value;
+                break;
+            }
+            cursor = cursor->next;
+        }
+    }
+    (void)found_sum;
+    return buffer;
+}
+
+} // namespace csp::workloads::ubench

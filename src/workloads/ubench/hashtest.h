@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The `hashtest` µbenchmark (paper Table 3: "STL unordered map"):
+ * lookups in a chained hash table — a bucket-array index access
+ * followed by a short pointer chase down the collision chain. We build
+ * our own chained table (rather than std::unordered_map) so every node
+ * lives in the simulated heap and every access carries the compiler
+ * hints the paper's LLVM pass would inject.
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_HASHTEST_H
+#define CSP_WORKLOADS_UBENCH_HASHTEST_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Chained-hash-table lookup mix. */
+class HashTest final : public Workload
+{
+  public:
+    std::string name() const override { return "hashtest"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_HASHTEST_H

@@ -1,0 +1,90 @@
+#include "workloads/ubench/linked_list.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::ubench {
+
+namespace {
+
+/** The list node the kernel actually manipulates. */
+struct Node
+{
+    Node *next = nullptr;
+    std::uint64_t payload = 0;
+};
+
+constexpr Addr kPcBase = 0x00400000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadNext = 0,
+    kSiteComputePayload,
+    kSiteLoopBranch,
+};
+
+} // namespace
+
+trace::TraceBuffer
+ListTraversal::generate(const WorkloadParams &params) const
+{
+    // Size the list so several full traversals fit in the access budget:
+    // long enough that the working set spills the L1 but recurs often
+    // enough to be learnable.
+    const std::uint64_t nodes =
+        std::min<std::uint64_t>(8192, std::max<std::uint64_t>(
+                                          256, params.scale / 24));
+    runtime::Arena arena(nodes * 64 + (1u << 20), params.placement,
+                         params.seed);
+    Rng rng(params.seed ^ 0x11515ull);
+
+    hints::TypeEnumerator types;
+    const std::uint16_t node_type = types.fresh();
+    const hints::Hint next_hint{
+        node_type, static_cast<std::uint16_t>(offsetof(Node, next)),
+        hints::RefForm::Arrow};
+
+    // Build the list. Interleave decoy allocations so that even the
+    // sequential arena does not produce a perfectly contiguous list.
+    Node *head = nullptr;
+    Node *tail = nullptr;
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        Node *node = arena.make<Node>();
+        node->payload = rng.next();
+        if (tail != nullptr)
+            tail->next = node;
+        else
+            head = node;
+        tail = node;
+        if (rng.chance(0.25))
+            arena.allocate(sizeof(Node)); // decoy, never freed
+    }
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    std::uint64_t accesses = 0;
+    std::uint64_t checksum = 0;
+    while (accesses < params.scale) {
+        for (Node *node = head; node != nullptr; node = node->next) {
+            const std::uint64_t next_addr =
+                node->next != nullptr ? arena.addrOf(node->next) : 0;
+            rec.load(kSiteLoadNext, arena.addrOf(node), next_hint,
+                     /*loaded_value=*/next_addr,
+                     /*dep_on_prev_load=*/true);
+            checksum += node->payload;
+            rec.compute(kSiteComputePayload, 3);
+            rec.branch(kSiteLoopBranch, node->next != nullptr);
+            ++accesses;
+        }
+        if (accesses == 0)
+            break; // defensive: empty list cannot make progress
+    }
+    (void)checksum;
+    return buffer;
+}
+
+} // namespace csp::workloads::ubench

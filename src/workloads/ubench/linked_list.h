@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The `list` and `array` µbenchmarks of paper Table 3: repeated
+ * traversal of the same elements in the same logical order, implemented
+ * once as a singly linked list scattered over the simulated heap and
+ * once as a dense array. The pair demonstrates that the context-based
+ * prefetcher captures the *semantic* traversal pattern regardless of
+ * layout, while spatio-temporal prefetchers only capture the array
+ * variant (paper sections 2 and 7.1).
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_LINKED_LIST_H
+#define CSP_WORKLOADS_UBENCH_LINKED_LIST_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Repeated traversal of a heap-scattered singly linked list. */
+class ListTraversal final : public Workload
+{
+  public:
+    std::string name() const override { return "list"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_LINKED_LIST_H

@@ -1,0 +1,154 @@
+#include "workloads/ubench/listsort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+
+namespace csp::workloads::ubench {
+
+namespace {
+
+struct Node
+{
+    Node *next = nullptr;
+    std::uint64_t key = 0;
+    /// Realistic record payload: one node per cache line.
+    std::uint64_t payload[6] = {};
+};
+
+constexpr Addr kPcBase = 0x00420000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadHead = 0,
+    kSiteLoadNext,
+    kSiteCompareBranch,
+    kSiteStoreLink,
+    kSiteAllocCompute,
+};
+
+} // namespace
+
+trace::TraceBuffer
+ListSort::generate(const WorkloadParams &params) const
+{
+    // Many independent sorted lists built concurrently (records
+    // bucketed by key range, the way sort-by-partition codes work).
+    // Each list stays small enough that semantic neighbours remain
+    // within short-pointer reach, while the combined working set
+    // exceeds the L1.
+    const std::uint64_t per_list = 128;
+    const std::uint64_t accesses_per_list =
+        per_list * per_list / 2 + per_list;
+    const std::uint64_t lists = std::clamp<std::uint64_t>(
+        params.scale / accesses_per_list, 4, 256);
+    runtime::Arena arena(lists * per_list * 128 + (4u << 20),
+                         params.placement, params.seed);
+    Rng rng(params.seed ^ 0x50f7ull);
+
+    hints::TypeEnumerator types;
+    const std::uint16_t node_type = types.fresh();
+    const hints::Hint next_hint{
+        node_type, static_cast<std::uint16_t>(offsetof(Node, next)),
+        hints::RefForm::Arrow};
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    // Each list's node pool is one contiguous block (the records to
+    // sort exist before sorting starts); the *linking order* is what
+    // becomes random. This is the layout a bucketed record-sort has.
+    std::vector<Node *> pools(lists);
+    for (std::uint64_t l = 0; l < lists; ++l) {
+        pools[l] = static_cast<Node *>(
+            arena.allocate(per_list * sizeof(Node)));
+        for (std::uint64_t i = 0; i < per_list; ++i)
+            new (&pools[l][i]) Node();
+    }
+
+    std::vector<Node *> heads(lists, nullptr);
+    for (std::uint64_t i = 0;
+         i < per_list && buffer.memAccesses() < params.scale; ++i) {
+        for (std::uint64_t l = 0;
+             l < lists && buffer.memAccesses() < params.scale; ++l) {
+            Node *fresh = &pools[l][i];
+            // Keys arrive in roughly ascending order with jitter (a
+            // mostly-sorted input stream, the adversarial case for
+            // insertion sort): every insertion walks most of the
+            // list, and the sorted order is a locally scrambled copy
+            // of the arrival order.
+            fresh->key = i * 4096 + rng.below(12288);
+            rec.compute(kSiteAllocCompute, 6); // allocator + init
+
+            // Walk the sorted prefix to the insertion point; every
+            // node visit loads the node (key + next share a line).
+            Node *prev = nullptr;
+            Node *cursor = heads[l];
+            if (cursor != nullptr) {
+                rec.load(kSiteLoadHead, arena.addrOf(cursor),
+                         /*loaded_value=*/arena.addrOf(cursor));
+            }
+            while (cursor != nullptr && cursor->key < fresh->key) {
+                const std::uint64_t next_addr =
+                    cursor->next != nullptr
+                        ? arena.addrOf(cursor->next)
+                        : 0;
+                rec.load(kSiteLoadNext, arena.addrOf(cursor),
+                         next_hint, next_addr,
+                         /*dep_on_prev_load=*/true,
+                         /*reg_value=*/fresh->key);
+                rec.branch(kSiteCompareBranch, true);
+                prev = cursor;
+                cursor = cursor->next;
+            }
+            rec.branch(kSiteCompareBranch, false);
+
+            fresh->next = cursor;
+            rec.store(kSiteStoreLink, arena.addrOf(fresh), next_hint);
+            if (prev == nullptr) {
+                heads[l] = fresh;
+            } else {
+                prev->next = fresh;
+                rec.store(kSiteStoreLink, arena.addrOf(prev),
+                          next_hint);
+            }
+        }
+    }
+    return buffer;
+}
+
+std::vector<ListSort::Fig1Sample>
+ListSort::accessPattern(unsigned elements, std::uint64_t seed)
+{
+    runtime::Arena arena(elements * 64 + (1u << 16),
+                         runtime::Placement::Randomized, seed);
+    Rng rng(seed ^ 0x50f7ull);
+    std::vector<Fig1Sample> samples;
+    Node *head = nullptr;
+    for (unsigned i = 0; i < elements; ++i) {
+        Node *fresh = arena.make<Node>();
+        fresh->key = rng.next();
+        Node *prev = nullptr;
+        Node *cursor = head;
+        std::uint64_t logical = 0;
+        while (cursor != nullptr && cursor->key < fresh->key) {
+            samples.push_back({arena.addrOf(cursor), logical});
+            prev = cursor;
+            cursor = cursor->next;
+            ++logical;
+        }
+        fresh->next = cursor;
+        if (prev == nullptr)
+            head = fresh;
+        else
+            prev->next = fresh;
+    }
+    return samples;
+}
+
+} // namespace csp::workloads::ubench

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The `listsort` µbenchmark (paper Table 3 and Figure 1): insertion
+ * sort of randomly valued, dynamically allocated elements into a sorted
+ * singly linked list. The list rapidly loses any spatial order, yet
+ * every insertion re-walks the sorted prefix in the same logical order —
+ * the canonical demonstration of semantic locality without spatial
+ * locality.
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_LISTSORT_H
+#define CSP_WORKLOADS_UBENCH_LISTSORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Linked-list insertion sort; see file comment. */
+class ListSort final : public Workload
+{
+  public:
+    std::string name() const override { return "listsort"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+    /**
+     * Figure 1 support: run a small instance and report, per memory
+     * access, the (simulated address, logical list index) pair.
+     */
+    struct Fig1Sample
+    {
+        Addr addr;
+        std::uint64_t logical_index;
+    };
+    static std::vector<Fig1Sample> accessPattern(unsigned elements,
+                                                 std::uint64_t seed);
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_LISTSORT_H

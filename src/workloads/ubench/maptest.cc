@@ -1,0 +1,108 @@
+#include "workloads/ubench/maptest.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+#include "workloads/ubench/rbtree.h"
+
+namespace csp::workloads::ubench {
+
+namespace {
+
+constexpr Addr kPcBase = 0x00450000;
+
+enum Site : std::uint32_t
+{
+    kSiteDescend = 0,
+    kSiteCompareBranch,
+    kSiteRebalance,
+    kSiteScanStep,
+    kSiteCompute,
+};
+
+} // namespace
+
+trace::TraceBuffer
+MapTest::generate(const WorkloadParams &params) const
+{
+    const std::uint64_t entries = std::min<std::uint64_t>(
+        16384, std::max<std::uint64_t>(256, params.scale / 48));
+    runtime::Arena arena(entries * 128 + (1u << 20), params.placement,
+                         params.seed);
+    Rng rng(params.seed ^ 0x3a93ull);
+
+    hints::TypeEnumerator types;
+    const std::uint16_t node_type = types.fresh();
+    const hints::Hint left_hint{
+        node_type,
+        static_cast<std::uint16_t>(offsetof(RbTree::Node, left)),
+        hints::RefForm::Arrow};
+    const hints::Hint right_hint{
+        node_type,
+        static_cast<std::uint16_t>(offsetof(RbTree::Node, right)),
+        hints::RefForm::Arrow};
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    RbTree tree(arena);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(entries);
+
+    std::uint64_t probe_key = 0;
+    const auto visit = [&](const RbTree::Node *node, bool went_left) {
+        const RbTree::Node *next =
+            went_left ? node->left : node->right;
+        rec.load(kSiteDescend, arena.addrOf(node),
+                 went_left ? left_hint : right_hint,
+                 next != nullptr ? arena.addrOf(next) : 0,
+                 /*dep_on_prev_load=*/true, /*reg_value=*/probe_key);
+        rec.branch(kSiteCompareBranch, went_left);
+    };
+
+    // Build phase.
+    for (std::uint64_t i = 0;
+         i < entries && buffer.memAccesses() < params.scale / 3; ++i) {
+        probe_key = rng.next() % (entries * 16);
+        unsigned rebalance = 0;
+        tree.insert(probe_key, probe_key * 7, visit, &rebalance);
+        keys.push_back(probe_key);
+        // Rebalancing touches parent/uncle chains: account its memory
+        // work as hinted stores plus compute.
+        for (unsigned r = 0; r < rebalance; ++r) {
+            rec.store(kSiteRebalance, arena.addrOf(tree.root()),
+                      left_hint);
+            rec.compute(kSiteCompute, 4);
+        }
+    }
+
+    // Query phase: point lookups and short range scans.
+    std::uint64_t sum = 0;
+    while (buffer.memAccesses() < params.scale && !keys.empty()) {
+        probe_key = rng.chance(0.75) ? keys[rng.below(keys.size())]
+                                     : rng.next() % (entries * 16);
+        const RbTree::Node *hit = tree.find(probe_key, visit);
+        if (hit != nullptr && rng.chance(0.2)) {
+            // Range scan: a few in-order successors.
+            const RbTree::Node *cursor = hit;
+            for (unsigned step = 0; step < 8 && cursor != nullptr;
+                 ++step) {
+                const RbTree::Node *next = RbTree::successor(cursor);
+                rec.load(kSiteScanStep, arena.addrOf(cursor),
+                         right_hint,
+                         next != nullptr ? arena.addrOf(next) : 0,
+                         /*dep_on_prev_load=*/true);
+                sum += cursor->value;
+                cursor = next;
+            }
+        }
+        rec.compute(kSiteCompute, 3);
+    }
+    (void)sum;
+    return buffer;
+}
+
+} // namespace csp::workloads::ubench

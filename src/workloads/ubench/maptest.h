@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The `maptest` µbenchmark (paper Table 3: "STL RBtree map"): ordered
+ * map traffic over our red–black tree — inserts, point lookups, and
+ * short in-order range scans. Like hashtest/BST, the paper classifies
+ * it among the hardest, most branch-divergent patterns (section 7.1).
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_MAPTEST_H
+#define CSP_WORKLOADS_UBENCH_MAPTEST_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Red-black-tree map traffic; see file comment. */
+class MapTest final : public Workload
+{
+  public:
+    std::string name() const override { return "maptest"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_MAPTEST_H

@@ -1,0 +1,158 @@
+#include "workloads/ubench/prim.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+#include "workloads/graph/linked_graph.h"
+
+namespace csp::workloads::ubench {
+
+using graph::Edge;
+using graph::LinkedGraph;
+
+namespace {
+
+constexpr Addr kPcBase = 0x00460000;
+constexpr std::uint32_t kInfKey = 0xffffffffu;
+
+enum Site : std::uint32_t
+{
+    kSiteScanKey = 0,
+    kSiteScanBranch,
+    kSiteLoadVertex,
+    kSiteLoadEdge,
+    kSiteLoadNeighborKey,
+    kSiteStoreKey,
+    kSiteCompute,
+};
+
+/** Core of Prim's algorithm; records the trace when @p rec != null. */
+std::uint64_t
+primKernel(const std::vector<Edge> &edges, std::uint32_t n,
+           runtime::Arena *arena, trace::Recorder *rec,
+           const trace::TraceBuffer *buffer, std::uint64_t budget)
+{
+    runtime::Arena local(
+        LinkedGraph::arenaBytes(n, edges.size(), true) + n * 8,
+        runtime::Placement::Sequential, 1);
+    runtime::Arena &heap = arena != nullptr ? *arena : local;
+    LinkedGraph g(heap, edges, n);
+
+    hints::TypeEnumerator types;
+    const hints::Hint key_hint{types.fresh(), hints::kNoLinkOffset,
+                               hints::RefForm::Index};
+    const hints::Hint vertex_hint{
+        types.fresh(),
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::VertexNode, first)),
+        hints::RefForm::Arrow};
+    const hints::Hint edge_hint{
+        types.fresh(),
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::EdgeNode, next)),
+        hints::RefForm::Arrow};
+
+    auto *key = static_cast<std::uint32_t *>(
+        heap.allocate(n * sizeof(std::uint32_t)));
+    auto *in_mst = static_cast<std::uint8_t *>(
+        heap.allocate(n * sizeof(std::uint8_t)));
+    std::fill(key, key + n, kInfKey);
+    std::fill(in_mst, in_mst + n, 0);
+
+    key[0] = 0;
+    std::uint64_t total = 0;
+    for (std::uint32_t round = 0; round < n; ++round) {
+        if (buffer != nullptr && buffer->memAccesses() >= budget)
+            break;
+        // Scan for the cheapest fringe vertex (the regular part).
+        std::uint32_t best = kInfKey;
+        std::uint32_t best_v = n;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (rec != nullptr) {
+                rec->load(kSiteScanKey, heap.addrOf(&key[v]), key_hint,
+                          key[v]);
+            }
+            const bool better = in_mst[v] == 0 && key[v] < best;
+            if (rec != nullptr)
+                rec->branch(kSiteScanBranch, better);
+            if (better) {
+                best = key[v];
+                best_v = v;
+            }
+        }
+        if (best_v == n)
+            break; // remaining vertices unreachable
+        in_mst[best_v] = 1;
+        total += best;
+        if (rec != nullptr) {
+            rec->store(kSiteStoreKey, heap.addrOf(&in_mst[best_v]),
+                       key_hint);
+            rec->compute(kSiteCompute, 4);
+        }
+        // Relax the linked adjacency list (the irregular part).
+        LinkedGraph::VertexNode *u = g.vertex(best_v);
+        if (rec != nullptr) {
+            rec->load(kSiteLoadVertex, heap.addrOf(u), vertex_hint,
+                      u->first != nullptr ? heap.addrOf(u->first) : 0,
+                      /*dep_on_prev_load=*/true);
+        }
+        for (LinkedGraph::EdgeNode *e = u->first; e != nullptr;
+             e = e->next) {
+            const std::uint32_t v = e->to->id;
+            if (rec != nullptr) {
+                rec->load(kSiteLoadEdge, heap.addrOf(e), edge_hint,
+                          e->next != nullptr ? heap.addrOf(e->next)
+                                             : 0,
+                          /*dep_on_prev_load=*/true);
+                rec->load(kSiteLoadNeighborKey, heap.addrOf(&key[v]),
+                          key_hint, key[v], /*dep_on_prev_load=*/true);
+            }
+            if (in_mst[v] == 0 && e->weight < key[v]) {
+                key[v] = e->weight;
+                if (rec != nullptr) {
+                    rec->store(kSiteStoreKey, heap.addrOf(&key[v]),
+                               key_hint);
+                }
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+trace::TraceBuffer
+PrimMst::generate(const WorkloadParams &params) const
+{
+    // Accesses ~ passes * V^2; run Prim repeatedly on fresh graphs
+    // until the budget is met.
+    graph::RmatParams rmat;
+    rmat.scale = 9; // 512 vertices -> ~260k scan accesses per run
+    rmat.edge_factor = 6;
+    rmat.seed = params.seed;
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+    std::uint64_t round = 0;
+    while (buffer.memAccesses() < params.scale) {
+        rmat.seed = params.seed + round++;
+        const std::vector<Edge> edges = graph::generateRmat(rmat);
+        const std::uint32_t n = graph::vertexCount(rmat);
+        runtime::Arena arena(
+            LinkedGraph::arenaBytes(n, edges.size(), true) + n * 8,
+            runtime::Placement::Sequential, params.seed + round);
+        primKernel(edges, n, &arena, &rec, &buffer, params.scale);
+    }
+    return buffer;
+}
+
+std::uint64_t
+PrimMst::mstWeight(const std::vector<Edge> &edges,
+                   std::uint32_t vertices)
+{
+    return primKernel(edges, vertices, nullptr, nullptr, nullptr, 0);
+}
+
+} // namespace csp::workloads::ubench

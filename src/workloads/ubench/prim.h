@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The `Prim` µkernel (paper Table 3): Prim's minimum-spanning-tree
+ * algorithm over a pointer-linked adjacency-list graph, in its naive
+ * O(V^2 + E) array-scan formulation — a mix of a regular key-array scan
+ * (stride friendly) and irregular linked-edge relaxation (context
+ * friendly).
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_PRIM_H
+#define CSP_WORKLOADS_UBENCH_PRIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph/rmat.h"
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Prim's MST over a linked graph; see file comment. */
+class PrimMst final : public Workload
+{
+  public:
+    std::string name() const override { return "prim"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+
+    /**
+     * Untraced reference: total MST weight over the connected component
+     * of vertex 0 (used by the unit tests against a Kruskal oracle).
+     */
+    static std::uint64_t
+    mstWeight(const std::vector<graph::Edge> &edges,
+              std::uint32_t vertices);
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_PRIM_H

@@ -1,0 +1,200 @@
+#include "workloads/ubench/rbtree.h"
+
+namespace csp::workloads::ubench {
+
+void
+RbTree::rotateLeft(Node *node)
+{
+    Node *pivot = node->right;
+    node->right = pivot->left;
+    if (pivot->left != nullptr)
+        pivot->left->parent = node;
+    pivot->parent = node->parent;
+    if (node->parent == nullptr)
+        root_ = pivot;
+    else if (node == node->parent->left)
+        node->parent->left = pivot;
+    else
+        node->parent->right = pivot;
+    pivot->left = node;
+    node->parent = pivot;
+}
+
+void
+RbTree::rotateRight(Node *node)
+{
+    Node *pivot = node->left;
+    node->left = pivot->right;
+    if (pivot->right != nullptr)
+        pivot->right->parent = node;
+    pivot->parent = node->parent;
+    if (node->parent == nullptr)
+        root_ = pivot;
+    else if (node == node->parent->right)
+        node->parent->right = pivot;
+    else
+        node->parent->left = pivot;
+    pivot->right = node;
+    node->parent = pivot;
+}
+
+void
+RbTree::fixInsert(Node *node, unsigned *steps)
+{
+    while (node->parent != nullptr &&
+           node->parent->color == Color::Red) {
+        if (steps != nullptr)
+            ++*steps;
+        Node *parent = node->parent;
+        Node *grandparent = parent->parent;
+        if (parent == grandparent->left) {
+            Node *uncle = grandparent->right;
+            if (uncle != nullptr && uncle->color == Color::Red) {
+                parent->color = Color::Black;
+                uncle->color = Color::Black;
+                grandparent->color = Color::Red;
+                node = grandparent;
+            } else {
+                if (node == parent->right) {
+                    node = parent;
+                    rotateLeft(node);
+                    parent = node->parent;
+                }
+                parent->color = Color::Black;
+                grandparent->color = Color::Red;
+                rotateRight(grandparent);
+            }
+        } else {
+            Node *uncle = grandparent->left;
+            if (uncle != nullptr && uncle->color == Color::Red) {
+                parent->color = Color::Black;
+                uncle->color = Color::Black;
+                grandparent->color = Color::Red;
+                node = grandparent;
+            } else {
+                if (node == parent->left) {
+                    node = parent;
+                    rotateRight(node);
+                    parent = node->parent;
+                }
+                parent->color = Color::Black;
+                grandparent->color = Color::Red;
+                rotateLeft(grandparent);
+            }
+        }
+    }
+    root_->color = Color::Black;
+}
+
+void
+RbTree::insert(std::uint64_t key, std::uint64_t value,
+               const std::function<void(const Node *, bool)> &visit,
+               unsigned *rebalance_steps)
+{
+    Node *parent = nullptr;
+    Node *cursor = root_;
+    bool went_left = false;
+    while (cursor != nullptr) {
+        went_left = key < cursor->key;
+        if (visit)
+            visit(cursor, went_left);
+        if (cursor->key == key) {
+            cursor->value = value;
+            return;
+        }
+        parent = cursor;
+        cursor = went_left ? cursor->left : cursor->right;
+    }
+    Node *fresh = arena_.make<Node>();
+    fresh->key = key;
+    fresh->value = value;
+    fresh->parent = parent;
+    if (parent == nullptr)
+        root_ = fresh;
+    else if (went_left)
+        parent->left = fresh;
+    else
+        parent->right = fresh;
+    ++size_;
+    fixInsert(fresh, rebalance_steps);
+}
+
+const RbTree::Node *
+RbTree::find(std::uint64_t key,
+             const std::function<void(const Node *, bool)> &visit) const
+{
+    const Node *cursor = root_;
+    while (cursor != nullptr) {
+        const bool went_left = key < cursor->key;
+        if (visit)
+            visit(cursor, went_left);
+        if (cursor->key == key)
+            return cursor;
+        cursor = went_left ? cursor->left : cursor->right;
+    }
+    return nullptr;
+}
+
+const RbTree::Node *
+RbTree::minimum() const
+{
+    const Node *cursor = root_;
+    if (cursor == nullptr)
+        return nullptr;
+    while (cursor->left != nullptr)
+        cursor = cursor->left;
+    return cursor;
+}
+
+const RbTree::Node *
+RbTree::successor(const Node *node)
+{
+    if (node->right != nullptr) {
+        const Node *cursor = node->right;
+        while (cursor->left != nullptr)
+            cursor = cursor->left;
+        return cursor;
+    }
+    const Node *parent = node->parent;
+    while (parent != nullptr && node == parent->right) {
+        node = parent;
+        parent = parent->parent;
+    }
+    return parent;
+}
+
+int
+RbTree::blackHeight(const Node *node)
+{
+    if (node == nullptr)
+        return 1; // null leaves are black
+    if (node->color == Color::Red) {
+        if ((node->left != nullptr &&
+             node->left->color == Color::Red) ||
+            (node->right != nullptr &&
+             node->right->color == Color::Red)) {
+            return -1; // red-red violation
+        }
+    }
+    if (node->left != nullptr && node->left->key >= node->key)
+        return -1; // BST order violation
+    if (node->right != nullptr && node->right->key <= node->key)
+        return -1;
+    const int left = blackHeight(node->left);
+    const int right = blackHeight(node->right);
+    if (left < 0 || right < 0 || left != right)
+        return -1;
+    return left + (node->color == Color::Black ? 1 : 0);
+}
+
+int
+RbTree::checkInvariants() const
+{
+    if (root_ == nullptr)
+        return 0;
+    if (root_->color != Color::Black)
+        return -1;
+    return blackHeight(root_);
+}
+
+} // namespace csp::workloads::ubench

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A from-scratch left-leaning-free, classic red–black tree over the
+ * simulated heap. This is the substrate for the `maptest` µbenchmark
+ * (paper Table 3: "STL RBtree map"); we implement our own so that every
+ * node lives in the Arena and every traversal step can be traced with
+ * compiler hints.
+ *
+ * The tree implements standard insert with recoloring/rotations
+ * (CLRS-style) and exposes an invariant checker used by the unit tests:
+ * root is black, no red node has a red child, and every root-to-null
+ * path has the same black height.
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_RBTREE_H
+#define CSP_WORKLOADS_UBENCH_RBTREE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/arena.h"
+
+namespace csp::workloads::ubench {
+
+/** See file comment. */
+class RbTree
+{
+  public:
+    enum class Color : std::uint8_t { Red, Black };
+
+    struct Node
+    {
+        Node *left = nullptr;
+        Node *right = nullptr;
+        Node *parent = nullptr;
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+        Color color = Color::Red;
+    };
+
+    explicit RbTree(runtime::Arena &arena) : arena_(arena) {}
+
+    /**
+     * Insert (or overwrite) @p key. @p visit, when set, is called for
+     * every node touched on the downward search path — the tracing
+     * hook; rebalancing work is reported through @p rebalance_steps.
+     */
+    void insert(std::uint64_t key, std::uint64_t value,
+                const std::function<void(const Node *, bool
+                                         /*went_left*/)> &visit = {},
+                unsigned *rebalance_steps = nullptr);
+
+    /** Find @p key; @p visit as in insert(). */
+    const Node *find(std::uint64_t key,
+                     const std::function<void(const Node *, bool)>
+                         &visit = {}) const;
+
+    /** Smallest-key node (leftmost). */
+    const Node *minimum() const;
+
+    /** In-order successor within the tree. */
+    static const Node *successor(const Node *node);
+
+    std::size_t size() const { return size_; }
+    const Node *root() const { return root_; }
+
+    /**
+     * Validate the red-black invariants; returns the tree's black
+     * height, or -1 if an invariant is violated.
+     */
+    int checkInvariants() const;
+
+  private:
+    void rotateLeft(Node *node);
+    void rotateRight(Node *node);
+    void fixInsert(Node *node, unsigned *steps);
+    static int blackHeight(const Node *node);
+
+    runtime::Arena &arena_;
+    Node *root_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_RBTREE_H

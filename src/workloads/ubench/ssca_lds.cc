@@ -1,0 +1,132 @@
+#include "workloads/ubench/ssca_lds.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "core/rng.h"
+#include "hints/hint.h"
+#include "workloads/graph/linked_graph.h"
+
+namespace csp::workloads::ubench {
+
+using graph::LinkedGraph;
+
+namespace {
+
+constexpr Addr kPcBase = 0x00470000;
+
+enum Site : std::uint32_t
+{
+    kSiteLoadVertex = 0,
+    kSiteLoadEdge,
+    kSiteWeightBranch,
+    kSiteLoadNeighbor,
+    kSiteStoreMark,
+    kSiteCompute,
+};
+
+} // namespace
+
+trace::TraceBuffer
+SscaLds::generate(const WorkloadParams &params) const
+{
+    graph::RmatParams rmat;
+    rmat.scale = 9;
+    rmat.edge_factor = 8;
+    rmat.seed = params.seed;
+    const std::vector<graph::Edge> edges = graph::generateRmat(rmat);
+    const std::uint32_t n = graph::vertexCount(rmat);
+
+    // SSCA's vertex sets are reached through permutation arrays (the
+    // kernels chain into each other via extracted vertex lists), so
+    // the sweep order is scattered — but identical on every pass.
+    std::vector<std::uint32_t> order(n);
+    {
+        Rng perm_rng(params.seed ^ 0x0e0aull);
+        std::iota(order.begin(), order.end(), 0u);
+        for (std::uint32_t i = n; i > 1; --i) {
+            const auto j =
+                static_cast<std::uint32_t>(perm_rng.below(i));
+            std::swap(order[i - 1], order[j]);
+        }
+    }
+
+    runtime::Arena arena(
+        LinkedGraph::arenaBytes(n, edges.size(), true),
+        runtime::Placement::Sequential, params.seed);
+    LinkedGraph g(arena, edges, n);
+
+    hints::TypeEnumerator types;
+    const hints::Hint vertex_hint{
+        types.fresh(),
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::VertexNode, first)),
+        hints::RefForm::Arrow};
+    const hints::Hint edge_hint{
+        types.fresh(),
+        static_cast<std::uint16_t>(
+            offsetof(LinkedGraph::EdgeNode, next)),
+        hints::RefForm::Arrow};
+    const hints::Hint neighbor_hint{
+        types.fresh(),
+        static_cast<std::uint16_t>(offsetof(LinkedGraph::EdgeNode, to)),
+        hints::RefForm::Arrow};
+
+    trace::TraceBuffer buffer;
+    trace::Recorder rec(buffer, kPcBase);
+
+    const std::uint32_t heavy_threshold = 230; // top ~10% of weights
+    while (buffer.memAccesses() < params.scale) {
+        // Kernel 2: sweep every adjacency chain for heavy edges, in
+        // the extracted-list order.
+        std::vector<LinkedGraph::EdgeNode *> heavy;
+        for (std::uint32_t idx = 0;
+             idx < n && buffer.memAccesses() < params.scale; ++idx) {
+            const std::uint32_t v = order[idx];
+            LinkedGraph::VertexNode *vn = g.vertex(v);
+            rec.load(kSiteLoadVertex, arena.addrOf(vn), vertex_hint,
+                     vn->first != nullptr ? arena.addrOf(vn->first)
+                                          : 0);
+            for (LinkedGraph::EdgeNode *e = vn->first; e != nullptr;
+                 e = e->next) {
+                rec.load(kSiteLoadEdge, arena.addrOf(e), edge_hint,
+                         e->next != nullptr ? arena.addrOf(e->next)
+                                            : 0,
+                         /*dep_on_prev_load=*/true);
+                const bool is_heavy = e->weight >= heavy_threshold;
+                rec.branch(kSiteWeightBranch, is_heavy);
+                if (is_heavy)
+                    heavy.push_back(e);
+            }
+        }
+        // Kernel 3: extract 2-hop neighbourhoods around heavy edges.
+        for (LinkedGraph::EdgeNode *seed : heavy) {
+            if (buffer.memAccesses() >= params.scale)
+                break;
+            LinkedGraph::VertexNode *center = seed->to;
+            rec.load(kSiteLoadNeighbor, arena.addrOf(center),
+                     neighbor_hint,
+                     center->first != nullptr
+                         ? arena.addrOf(center->first)
+                         : 0,
+                     /*dep_on_prev_load=*/true);
+            unsigned steps = 0;
+            for (LinkedGraph::EdgeNode *e = center->first;
+                 e != nullptr && steps < 16; e = e->next, ++steps) {
+                rec.load(kSiteLoadEdge, arena.addrOf(e), edge_hint,
+                         e->next != nullptr ? arena.addrOf(e->next)
+                                            : 0,
+                         /*dep_on_prev_load=*/true);
+                e->to->accum += e->weight;
+                rec.store(kSiteStoreMark, arena.addrOf(e->to),
+                          neighbor_hint);
+            }
+            rec.compute(kSiteCompute, 2);
+        }
+    }
+    return buffer;
+}
+
+} // namespace csp::workloads::ubench

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The `SSCA_LDS` µkernel (paper Table 3: the linked-data-structure
+ * version of the SSCA graph kernels): repeated full sweeps over a
+ * pointer-linked graph — classify heavy edges (SSCA2 kernel 2) and
+ * extract their neighbourhoods (kernel 3) — all through edge-chain
+ * pointer chasing.
+ */
+
+#ifndef CSP_WORKLOADS_UBENCH_SSCA_LDS_H
+#define CSP_WORKLOADS_UBENCH_SSCA_LDS_H
+
+#include "workloads/workload.h"
+
+namespace csp::workloads::ubench {
+
+/** Linked-graph SSCA kernels 2+3; see file comment. */
+class SscaLds final : public Workload
+{
+  public:
+    std::string name() const override { return "ssca_lds"; }
+    std::string suite() const override { return "ubench"; }
+    trace::TraceBuffer generate(const WorkloadParams &params)
+        const override;
+};
+
+} // namespace csp::workloads::ubench
+
+#endif // CSP_WORKLOADS_UBENCH_SSCA_LDS_H

@@ -1,0 +1,7 @@
+#include "workloads/workload.h"
+
+namespace csp::workloads {
+
+Workload::~Workload() = default;
+
+} // namespace csp::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload interface: a workload is a kernel that runs natively over the
+ * simulated heap and records an annotated instruction/memory trace
+ * (the substitute for gem5 executing a compiled binary). Table 3 of the
+ * paper — SPEC2006, PBBS, Graph500, HPCS SSCA2 and the µkernels — is
+ * reproduced by the implementations registered in registry.cc.
+ */
+
+#ifndef CSP_WORKLOADS_WORKLOAD_H
+#define CSP_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+
+#include "runtime/arena.h"
+#include "trace/trace.h"
+
+namespace csp::workloads {
+
+/** Generation knobs shared by all workloads. */
+struct WorkloadParams
+{
+    std::uint64_t seed = 1;
+    /**
+     * Approximate number of memory-access records to generate; each
+     * workload scales its own problem size from this.
+     */
+    std::uint64_t scale = 200000;
+    /** Heap placement for linked structures (layout experiments). */
+    runtime::Placement placement = runtime::Placement::Randomized;
+};
+
+/** See file comment. */
+class Workload
+{
+  public:
+    virtual ~Workload();
+
+    /** Identifier used by the registry and the result tables. */
+    virtual std::string name() const = 0;
+
+    /** Suite label (paper Table 3): spec2006, pbbs, graph500, hpcs,
+     *  ubench. */
+    virtual std::string suite() const = 0;
+
+    /** Run the kernel natively and record its trace. */
+    virtual trace::TraceBuffer generate(const WorkloadParams &params)
+        const = 0;
+};
+
+} // namespace csp::workloads
+
+#endif // CSP_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,270 @@
+/** @file Correctness tests for the workload kernels' algorithms,
+ *  checked against independent oracles. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "workloads/graph/rmat.h"
+#include "workloads/pbbs/convex_hull.h"
+#include "workloads/pbbs/knn.h"
+#include "workloads/pbbs/set_cover.h"
+#include "workloads/pbbs/suffix_array.h"
+#include "workloads/ubench/prim.h"
+
+namespace csp::workloads {
+namespace {
+
+using graph::Edge;
+
+/** Kruskal oracle for the MST weight of vertex 0's component. */
+std::uint64_t
+kruskalComponentWeight(std::vector<Edge> edges, std::uint32_t n)
+{
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.weight < b.weight;
+              });
+    std::vector<std::uint32_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0u);
+    const auto find = [&](std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    std::uint64_t total = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> taken;
+    for (const Edge &edge : edges) {
+        const std::uint32_t a = find(edge.from);
+        const std::uint32_t b = find(edge.to);
+        if (a != b) {
+            parent[a] = b;
+            taken.push_back({edge.from, edge.to});
+            total += edge.weight;
+        }
+    }
+    // Restrict to vertex 0's component: subtract edges outside it.
+    // (Rebuild union-find for component membership.)
+    std::vector<std::uint32_t> comp(n);
+    std::iota(comp.begin(), comp.end(), 0u);
+    const auto cfind = [&](std::uint32_t x) {
+        while (comp[x] != x) {
+            comp[x] = comp[comp[x]];
+            x = comp[x];
+        }
+        return x;
+    };
+    std::uint64_t outside = 0;
+    // Union all chosen edges, then re-walk to classify.
+    for (const auto &[a, b] : taken)
+        comp[cfind(a)] = cfind(b);
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.weight < b.weight;
+              });
+    // Recompute per-component MST weights via a second Kruskal pass.
+    std::vector<std::uint32_t> uf(n);
+    std::iota(uf.begin(), uf.end(), 0u);
+    const auto ufind = [&](std::uint32_t x) {
+        while (uf[x] != x) {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        return x;
+    };
+    std::uint64_t zero_comp_weight = 0;
+    for (const Edge &edge : edges) {
+        const std::uint32_t a = ufind(edge.from);
+        const std::uint32_t b = ufind(edge.to);
+        if (a != b) {
+            uf[a] = b;
+            if (cfind(edge.from) == cfind(0))
+                zero_comp_weight += edge.weight;
+        }
+    }
+    (void)outside;
+    (void)total;
+    return zero_comp_weight;
+}
+
+TEST(Prim, MatchesKruskalOnSmallGraphs)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        graph::RmatParams params;
+        params.scale = 6;
+        params.edge_factor = 6;
+        params.seed = seed;
+        const auto edges = graph::generateRmat(params);
+        const std::uint32_t n = graph::vertexCount(params);
+        EXPECT_EQ(ubench::PrimMst::mstWeight(edges, n),
+                  kruskalComponentWeight(edges, n))
+            << "seed " << seed;
+    }
+}
+
+TEST(Prim, HandDrawnGraph)
+{
+    // Classic 4-vertex example with MST weight 1+2+3 = 6.
+    const std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 2},
+                                     {2, 3, 3}, {0, 3, 10},
+                                     {0, 2, 9}};
+    EXPECT_EQ(ubench::PrimMst::mstWeight(edges, 4), 6u);
+}
+
+/** Brute-force suffix-array oracle. */
+std::vector<std::uint32_t>
+naiveSuffixArray(const std::string &text)
+{
+    std::vector<std::uint32_t> sa(text.size());
+    std::iota(sa.begin(), sa.end(), 0u);
+    std::sort(sa.begin(), sa.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return text.compare(a, std::string::npos, text, b,
+                                      std::string::npos) < 0;
+              });
+    return sa;
+}
+
+TEST(SuffixArray, MatchesNaiveSortOnKnownString)
+{
+    const std::string text = "banana";
+    EXPECT_EQ(pbbs::SuffixArray::build(text), naiveSuffixArray(text));
+}
+
+TEST(SuffixArray, MatchesNaiveSortOnRandomStrings)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::string text(200, 'a');
+        for (auto &c : text)
+            c = static_cast<char>('a' + rng.below(4));
+        EXPECT_EQ(pbbs::SuffixArray::build(text),
+                  naiveSuffixArray(text))
+            << "trial " << trial;
+    }
+}
+
+TEST(SuffixArray, SingleCharacterRuns)
+{
+    const std::string text = "aaaa";
+    const auto sa = pbbs::SuffixArray::build(text);
+    // Shortest suffix sorts first.
+    EXPECT_EQ(sa, (std::vector<std::uint32_t>{3, 2, 1, 0}));
+}
+
+TEST(SetCover, CoversTheUniverse)
+{
+    const std::vector<std::vector<std::uint32_t>> sets = {
+        {0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}};
+    const auto chosen = pbbs::SetCover::greedy(sets, 6);
+    std::set<std::uint32_t> covered;
+    for (std::uint32_t s : chosen) {
+        for (std::uint32_t e : sets[s])
+            covered.insert(e);
+    }
+    EXPECT_EQ(covered.size(), 6u);
+}
+
+TEST(SetCover, GreedyPicksLargestFirst)
+{
+    const std::vector<std::vector<std::uint32_t>> sets = {
+        {0}, {1, 2}, {3, 4, 5, 6}};
+    const auto chosen = pbbs::SetCover::greedy(sets, 7);
+    ASSERT_FALSE(chosen.empty());
+    EXPECT_EQ(chosen.front(), 2u);
+}
+
+TEST(SetCover, SkipsRedundantSets)
+{
+    const std::vector<std::vector<std::uint32_t>> sets = {
+        {0, 1, 2, 3}, {1, 2}, {3}};
+    const auto chosen = pbbs::SetCover::greedy(sets, 4);
+    EXPECT_EQ(chosen.size(), 1u);
+}
+
+TEST(Knn, BruteForceFindsExactNeighbours)
+{
+    const std::vector<float> xs = {0.1f, 0.2f, 0.9f, 0.11f};
+    const std::vector<float> ys = {0.1f, 0.2f, 0.9f, 0.12f};
+    const auto knn = pbbs::Knn::bruteForce(xs, ys, 0.1f, 0.1f, 2);
+    ASSERT_EQ(knn.size(), 2u);
+    EXPECT_EQ(knn[0], 0u);
+    EXPECT_EQ(knn[1], 3u);
+}
+
+TEST(Knn, KLargerThanPointCount)
+{
+    const std::vector<float> xs = {0.5f};
+    const std::vector<float> ys = {0.5f};
+    EXPECT_EQ(pbbs::Knn::bruteForce(xs, ys, 0.0f, 0.0f, 8).size(), 1u);
+}
+
+TEST(ConvexHull, SquareWithInteriorPoints)
+{
+    const std::vector<double> xs = {0, 1, 1, 0, 0.5, 0.3};
+    const std::vector<double> ys = {0, 0, 1, 1, 0.5, 0.7};
+    const auto hull = pbbs::ConvexHull::hull(xs, ys);
+    const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+    EXPECT_EQ(hull_set, (std::set<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(ConvexHull, CollinearPointsExcluded)
+{
+    const std::vector<double> xs = {0, 1, 2};
+    const std::vector<double> ys = {0, 0, 0};
+    const auto hull = pbbs::ConvexHull::hull(xs, ys);
+    const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+    EXPECT_TRUE(hull_set.contains(0));
+    EXPECT_TRUE(hull_set.contains(2));
+    EXPECT_FALSE(hull_set.contains(1));
+}
+
+TEST(ConvexHull, AllPointsOnCircleAreHull)
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 12; ++i) {
+        const double angle = i * 0.5235987755982988; // pi/6
+        xs.push_back(std::cos(angle));
+        ys.push_back(std::sin(angle));
+    }
+    const auto hull = pbbs::ConvexHull::hull(xs, ys);
+    EXPECT_EQ(hull.size(), 12u);
+}
+
+TEST(ConvexHull, HullOfRandomCloudContainsAllPoints)
+{
+    Rng rng(13);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 300; ++i) {
+        xs.push_back(rng.uniform());
+        ys.push_back(rng.uniform());
+    }
+    const auto hull = pbbs::ConvexHull::hull(xs, ys);
+    ASSERT_GE(hull.size(), 3u);
+    // The hull is emitted clockwise: every input point must lie on or
+    // right of each directed hull edge (non-positive cross product).
+    for (std::size_t p = 0; p < xs.size(); ++p) {
+        for (std::size_t h = 0; h < hull.size(); ++h) {
+            const std::uint32_t a = hull[h];
+            const std::uint32_t b = hull[(h + 1) % hull.size()];
+            const double cross =
+                (xs[b] - xs[a]) * (ys[p] - ys[a]) -
+                (ys[b] - ys[a]) * (xs[p] - xs[a]);
+            EXPECT_LE(cross, 1e-9)
+                << "point " << p << " outside edge " << h;
+        }
+    }
+}
+
+} // namespace
+} // namespace csp::workloads

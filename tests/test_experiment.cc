@@ -1,0 +1,93 @@
+/** @file Tests for the experiment runner and its helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.h"
+
+namespace csp::sim {
+namespace {
+
+TEST(Experiment, MakePrefetcherKnowsPaperLineup)
+{
+    SystemConfig config;
+    for (const std::string &name : paperPrefetchers()) {
+        auto prefetcher = makePrefetcher(name, config);
+        ASSERT_NE(prefetcher, nullptr);
+        EXPECT_EQ(prefetcher->name(), name);
+    }
+    EXPECT_EQ(makePrefetcher("markov", config)->name(), "markov");
+}
+
+TEST(Experiment, PaperLineupStartsWithBaseline)
+{
+    const auto lineup = paperPrefetchers();
+    ASSERT_FALSE(lineup.empty());
+    EXPECT_EQ(lineup.front(), "none");
+    EXPECT_EQ(lineup.back(), "context");
+}
+
+TEST(Experiment, WorkloadGroupsMatchPaperTable3)
+{
+    EXPECT_EQ(specWorkloads().size(), 16u);
+    EXPECT_EQ(ubenchWorkloads().size(), 8u);
+    const auto all = allWorkloads();
+    EXPECT_EQ(all.size(), specWorkloads().size() +
+                              irregularWorkloads().size() +
+                              ubenchWorkloads().size());
+}
+
+TEST(Experiment, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+}
+
+TEST(Experiment, EffectiveScaleHonoursEnvironment)
+{
+    unsetenv("CSP_SCALE");
+    EXPECT_EQ(effectiveScale(1000), 1000u);
+    setenv("CSP_SCALE", "2.5", 1);
+    EXPECT_EQ(effectiveScale(1000), 2500u);
+    setenv("CSP_SCALE", "garbage", 1);
+    EXPECT_EQ(effectiveScale(1000), 1000u);
+    unsetenv("CSP_SCALE");
+}
+
+TEST(Experiment, SweepProducesFullMatrix)
+{
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 15000;
+    const SweepResult sweep = runSweep(
+        {"array", "list"}, {"none", "context"}, params, config,
+        /*verbose=*/false);
+    EXPECT_EQ(sweep.cells.size(), 4u);
+    EXPECT_GT(sweep.at("array", "none").ipc(), 0.0);
+    EXPECT_GT(sweep.at("list", "context").ipc(), 0.0);
+}
+
+TEST(Experiment, SpeedupRelativeToBaseline)
+{
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 40000;
+    const SweepResult sweep =
+        runSweep({"list"}, {"none", "context"}, params, config,
+                 /*verbose=*/false);
+    EXPECT_NEAR(sweep.speedup("list", "none"), 1.0, 1e-9);
+    EXPECT_GT(sweep.speedup("list", "context"), 1.0);
+    EXPECT_NEAR(sweep.geomeanSpeedup("context"),
+                sweep.speedup("list", "context"), 1e-9);
+}
+
+TEST(ExperimentDeathTest, MissingCellIsFatal)
+{
+    SweepResult sweep;
+    EXPECT_DEATH((void)sweep.at("nope", "none"), "no cell");
+}
+
+} // namespace
+} // namespace csp::sim

@@ -1,0 +1,204 @@
+/** @file Unit tests for the graph substrates (R-MAT, CSR, linked). */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "workloads/graph/csr_graph.h"
+#include "workloads/graph/linked_graph.h"
+#include "workloads/graph/rmat.h"
+
+namespace csp::workloads::graph {
+namespace {
+
+TEST(Rmat, EdgeCountMatchesParameters)
+{
+    RmatParams params;
+    params.scale = 8;
+    params.edge_factor = 4;
+    const auto edges = generateRmat(params);
+    EXPECT_EQ(edges.size(), (1u << 8) * 4);
+    EXPECT_EQ(vertexCount(params), 256u);
+}
+
+TEST(Rmat, VerticesInRange)
+{
+    RmatParams params;
+    params.scale = 9;
+    const auto edges = generateRmat(params);
+    for (const Edge &edge : edges) {
+        EXPECT_LT(edge.from, 512u);
+        EXPECT_LT(edge.to, 512u);
+        EXPECT_GE(edge.weight, 1u);
+        EXPECT_LE(edge.weight, params.max_weight);
+    }
+}
+
+TEST(Rmat, DeterministicPerSeed)
+{
+    RmatParams params;
+    params.scale = 8;
+    params.seed = 77;
+    const auto a = generateRmat(params);
+    const auto b = generateRmat(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].from, b[i].from);
+        EXPECT_EQ(a[i].to, b[i].to);
+    }
+}
+
+TEST(Rmat, SkewedDegreeDistribution)
+{
+    // R-MAT with Graph500 parameters produces hubs: the max degree is
+    // far above the mean.
+    RmatParams params;
+    params.scale = 10;
+    params.edge_factor = 8;
+    params.permute_vertices = false;
+    const auto edges = generateRmat(params);
+    std::vector<std::uint32_t> degree(1u << 10, 0);
+    for (const Edge &edge : edges)
+        ++degree[edge.from];
+    const std::uint32_t max_degree =
+        *std::max_element(degree.begin(), degree.end());
+    EXPECT_GT(max_degree, 8u * 8);
+}
+
+TEST(Csr, DegreesAndOffsetsConsistent)
+{
+    const std::vector<Edge> edges = {
+        {0, 1, 1}, {0, 2, 1}, {1, 2, 1}};
+    const CsrGraph graph(edges, 3, /*undirected=*/false);
+    EXPECT_EQ(graph.edgeCount(), 3u);
+    EXPECT_EQ(graph.degree(0), 2u);
+    EXPECT_EQ(graph.degree(1), 1u);
+    EXPECT_EQ(graph.degree(2), 0u);
+}
+
+TEST(Csr, UndirectedSymmetrises)
+{
+    const std::vector<Edge> edges = {{0, 1, 5}};
+    const CsrGraph graph(edges, 2, /*undirected=*/true);
+    EXPECT_EQ(graph.edgeCount(), 2u);
+    EXPECT_EQ(graph.degree(0), 1u);
+    EXPECT_EQ(graph.degree(1), 1u);
+    EXPECT_EQ(graph.target(graph.offset(1)), 0u);
+    EXPECT_EQ(graph.weight(graph.offset(1)), 5u);
+}
+
+TEST(Csr, SelfLoopNotDuplicated)
+{
+    const std::vector<Edge> edges = {{1, 1, 2}};
+    const CsrGraph graph(edges, 2, /*undirected=*/true);
+    EXPECT_EQ(graph.edgeCount(), 1u);
+}
+
+TEST(Csr, BfsDistancesOnPathGraph)
+{
+    const std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+    const CsrGraph graph(edges, 4);
+    const auto dist = graph.bfsDistances(0);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 1u);
+    EXPECT_EQ(dist[2], 2u);
+    EXPECT_EQ(dist[3], 3u);
+}
+
+TEST(Csr, BfsMarksUnreachable)
+{
+    const std::vector<Edge> edges = {{0, 1, 1}};
+    const CsrGraph graph(edges, 3);
+    const auto dist = graph.bfsDistances(0);
+    EXPECT_EQ(dist[2], 0xffffffffu);
+}
+
+TEST(Linked, MirrorsCsrStructure)
+{
+    RmatParams params;
+    params.scale = 6;
+    params.edge_factor = 4;
+    const auto edges = generateRmat(params);
+    const std::uint32_t n = vertexCount(params);
+    const CsrGraph csr(edges, n);
+    runtime::Arena arena(LinkedGraph::arenaBytes(n, edges.size(), true),
+                         runtime::Placement::Sequential, 1);
+    LinkedGraph linked(arena, edges, n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        std::multiset<std::uint32_t> csr_targets;
+        for (std::uint64_t e = csr.offset(v); e < csr.offset(v + 1);
+             ++e)
+            csr_targets.insert(csr.target(e));
+        std::multiset<std::uint32_t> linked_targets;
+        for (const LinkedGraph::EdgeNode *e = linked.vertex(v)->first;
+             e != nullptr; e = e->next)
+            linked_targets.insert(e->to->id);
+        ASSERT_EQ(csr_targets, linked_targets) << "vertex " << v;
+    }
+}
+
+TEST(Linked, BfsAgreesWithCsrReference)
+{
+    RmatParams params;
+    params.scale = 7;
+    params.edge_factor = 4;
+    const auto edges = generateRmat(params);
+    const std::uint32_t n = vertexCount(params);
+    const CsrGraph csr(edges, n);
+    runtime::Arena arena(LinkedGraph::arenaBytes(n, edges.size(), true),
+                         runtime::Placement::Sequential, 1);
+    LinkedGraph linked(arena, edges, n);
+
+    const auto reference = csr.bfsDistances(0);
+    linked.clearMarks();
+    std::queue<LinkedGraph::VertexNode *> frontier;
+    linked.vertex(0)->mark = 0;
+    frontier.push(linked.vertex(0));
+    while (!frontier.empty()) {
+        LinkedGraph::VertexNode *u = frontier.front();
+        frontier.pop();
+        for (LinkedGraph::EdgeNode *e = u->first; e != nullptr;
+             e = e->next) {
+            if (e->to->mark == 0xffffffffu) {
+                e->to->mark = u->mark + 1;
+                frontier.push(e->to);
+            }
+        }
+    }
+    for (std::uint32_t v = 0; v < n; ++v)
+        EXPECT_EQ(linked.vertex(v)->mark, reference[v]) << v;
+}
+
+TEST(Linked, AdjacencyChainsAreAllocationLocal)
+{
+    // Edges grouped by source: a vertex's chain nodes sit close in the
+    // simulated heap, within reach of the CST's 1-byte deltas.
+    RmatParams params;
+    params.scale = 8;
+    params.edge_factor = 8;
+    const auto edges = generateRmat(params);
+    const std::uint32_t n = vertexCount(params);
+    runtime::Arena arena(LinkedGraph::arenaBytes(n, edges.size(), true),
+                         runtime::Placement::Sequential, 1);
+    LinkedGraph linked(arena, edges, n);
+    std::uint64_t within_reach = 0;
+    std::uint64_t total = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+        for (const LinkedGraph::EdgeNode *e = linked.vertex(v)->first;
+             e != nullptr && e->next != nullptr; e = e->next) {
+            const std::int64_t delta =
+                blockDelta(arena.addrOf(e), arena.addrOf(e->next), 64);
+            ++total;
+            if (delta >= -127 && delta <= 127)
+                ++within_reach;
+        }
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(within_reach) /
+                  static_cast<double>(total),
+              0.95);
+}
+
+} // namespace
+} // namespace csp::workloads::graph

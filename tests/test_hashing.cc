@@ -1,0 +1,95 @@
+/** @file Unit tests for the hashing primitives. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "core/hashing.h"
+
+namespace csp {
+namespace {
+
+TEST(Hashing, Fnv1aKnownVector)
+{
+    // FNV-1a of the empty input is the offset basis.
+    EXPECT_EQ(fnv1a({}), 0xcbf29ce484222325ull);
+}
+
+TEST(Hashing, Fnv1aDiffersPerByte)
+{
+    const std::array<std::uint8_t, 3> a{1, 2, 3};
+    const std::array<std::uint8_t, 3> b{1, 2, 4};
+    EXPECT_NE(fnv1a(a), fnv1a(b));
+}
+
+TEST(Hashing, Mix64IsDeterministicAndNontrivial)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), 42u);
+    EXPECT_NE(mix64(0), mix64(1));
+}
+
+TEST(Hashing, Mix64AvalanchesLowBits)
+{
+    // Flipping one input bit should flip many output bits.
+    const std::uint64_t a = mix64(0x1000);
+    const std::uint64_t b = mix64(0x1001);
+    int flipped = __builtin_popcountll(a ^ b);
+    EXPECT_GT(flipped, 16);
+}
+
+TEST(Hashing, CombineOrderMatters)
+{
+    const std::uint64_t ab = hashCombine(hashCombine(0, 1), 2);
+    const std::uint64_t ba = hashCombine(hashCombine(0, 2), 1);
+    EXPECT_NE(ab, ba);
+}
+
+TEST(Hashing, WordHasherDeterministic)
+{
+    WordHasher a;
+    WordHasher b;
+    for (std::uint64_t v : {1ull, 99ull, 0xdeadbeefull}) {
+        a.add(v);
+        b.add(v);
+    }
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Hashing, WordHasherOrderSensitive)
+{
+    WordHasher a;
+    a.add(1);
+    a.add(2);
+    WordHasher b;
+    b.add(2);
+    b.add(1);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hashing, DigestBitsMasks)
+{
+    WordHasher h;
+    h.add(0x123456789abcdef0ull);
+    EXPECT_LT(h.digestBits(16), 1ull << 16);
+    EXPECT_LT(h.digestBits(19), 1ull << 19);
+    EXPECT_EQ(h.digestBits(64), h.digest());
+    EXPECT_EQ(h.digestBits(16), h.digest() & 0xffff);
+}
+
+TEST(Hashing, FewCollisionsOnSmallDomain)
+{
+    // 1000 consecutive integers into 19 bits: expect mostly unique.
+    std::set<std::uint64_t> seen;
+    WordHasher base;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        WordHasher h;
+        h.add(i);
+        seen.insert(h.digestBits(19));
+    }
+    EXPECT_GT(seen.size(), 995u);
+}
+
+} // namespace
+} // namespace csp

@@ -1,0 +1,76 @@
+/** @file Unit tests for the compiler-hint layer. */
+
+#include <gtest/gtest.h>
+
+#include "hints/hint.h"
+
+namespace csp::hints {
+namespace {
+
+TEST(Hint, DefaultIsInvalid)
+{
+    const Hint hint;
+    EXPECT_FALSE(hint.valid());
+    EXPECT_EQ(hint.link_offset, kNoLinkOffset);
+}
+
+TEST(Hint, ValidWhenRefFormSet)
+{
+    const Hint hint{1, 8, RefForm::Arrow};
+    EXPECT_TRUE(hint.valid());
+}
+
+TEST(Hint, PackUnpackRoundTrip)
+{
+    const Hint hint{1234, 24, RefForm::Deref};
+    const Hint back = Hint::unpack(hint.pack());
+    EXPECT_EQ(back.type_id, 1234);
+    EXPECT_EQ(back.link_offset, 24);
+    EXPECT_EQ(back.ref_form, RefForm::Deref);
+    EXPECT_EQ(back, hint);
+}
+
+TEST(Hint, UnpackOfZeroIsInvalid)
+{
+    const Hint hint = Hint::unpack(0);
+    EXPECT_FALSE(hint.valid());
+    EXPECT_EQ(hint.link_offset, kNoLinkOffset);
+}
+
+TEST(Hint, AllRefFormsRoundTrip)
+{
+    for (RefForm form : {RefForm::Dot, RefForm::Arrow, RefForm::Deref,
+                         RefForm::Index}) {
+        const Hint hint{7, 16, form};
+        EXPECT_EQ(Hint::unpack(hint.pack()).ref_form, form);
+    }
+}
+
+TEST(Hint, Equality)
+{
+    const Hint a{1, 8, RefForm::Arrow};
+    const Hint b{1, 8, RefForm::Arrow};
+    const Hint c{2, 8, RefForm::Arrow};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(TypeEnumerator, SequentialUniqueIds)
+{
+    TypeEnumerator types;
+    const auto a = types.fresh();
+    const auto b = types.fresh();
+    const auto c = types.fresh();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(c, 3);
+}
+
+TEST(TypeEnumerator, ZeroIsReservedForNoType)
+{
+    TypeEnumerator types;
+    EXPECT_NE(types.fresh(), 0);
+}
+
+} // namespace
+} // namespace csp::hints

@@ -1,0 +1,126 @@
+/** @file Unit tests for the jump-pointer (dependence-based)
+ *  prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "prefetch/jump_pointer.h"
+#include "trace/context.h"
+
+namespace csp::prefetch {
+namespace {
+
+class JumpPointerTest : public ::testing::Test
+{
+  protected:
+    /** A pointer-chasing load: returns @p pointee as its value. */
+    AccessInfo
+    chase(Addr pc, Addr vaddr, Addr pointee)
+    {
+        AccessInfo info;
+        info.pc = pc;
+        info.vaddr = vaddr;
+        info.line_addr = alignDown(vaddr, 64);
+        info.loaded_value = pointee;
+        info.context = &ctx;
+        return info;
+    }
+
+    /** Walk a stored chain once from its head. */
+    void
+    walkChain(JumpPointerPrefetcher &pf, const std::vector<Addr> &chain,
+              Addr pc = 0x400)
+    {
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+            const Addr next =
+                i + 1 < chain.size() ? chain[i + 1] : 0;
+            out.clear();
+            pf.observe(chase(pc, chain[i], next), out);
+        }
+    }
+
+    JumpPointerConfig config;
+    trace::ContextSnapshot ctx;
+    std::vector<PrefetchRequest> out;
+};
+
+TEST_F(JumpPointerTest, LearnsPointersAndChasesChain)
+{
+    JumpPointerPrefetcher pf(config);
+    const std::vector<Addr> chain = {0x10000, 0x93000, 0x5a000,
+                                     0x21000, 0x77000};
+    walkChain(pf, chain); // trains pointers + producer confidence
+    // Second traversal: from node 0 the predictor should chase ahead.
+    out.clear();
+    pf.observe(chase(0x400, chain[0], chain[1]), out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr, chain[1]);
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_EQ(out[1].addr, chain[2]);
+}
+
+TEST_F(JumpPointerTest, ChainDepthBounded)
+{
+    config.chain_depth = 2;
+    JumpPointerPrefetcher pf(config);
+    const std::vector<Addr> chain = {0x10000, 0x93000, 0x5a000,
+                                     0x21000, 0x77000};
+    walkChain(pf, chain);
+    out.clear();
+    pf.observe(chase(0x400, chain[0], chain[1]), out);
+    EXPECT_LE(out.size(), 2u);
+}
+
+TEST_F(JumpPointerTest, NonChasingLoadsNeverTrigger)
+{
+    JumpPointerPrefetcher pf(config);
+    // Strided loads returning data values (not addresses that get
+    // dereferenced next): no dependence ever fires.
+    for (int i = 0; i < 100; ++i) {
+        out.clear();
+        pf.observe(chase(0x400, 0x10000 + i * 64, 0xdead0000), out);
+    }
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(JumpPointerTest, StoresIgnored)
+{
+    JumpPointerPrefetcher pf(config);
+    AccessInfo info = chase(0x400, 0x10000, 0x93000);
+    info.is_store = true;
+    pf.observe(info, out);
+    EXPECT_EQ(pf.livePointers(), 0u);
+}
+
+TEST_F(JumpPointerTest, PointerTableTracksLatestPointee)
+{
+    JumpPointerPrefetcher pf(config);
+    const std::vector<Addr> chain = {0x10000, 0x93000, 0x5a000,
+                                     0x21000};
+    walkChain(pf, chain);
+    // Relink node 0 to a different successor; the chase must follow
+    // the new pointer.
+    out.clear();
+    pf.observe(chase(0x400, chain[0], 0x44000), out);
+    pf.observe(chase(0x400, 0x44000, 0), out);
+    out.clear();
+    pf.observe(chase(0x400, chain[0], 0x44000), out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr, 0x44000u);
+}
+
+TEST_F(JumpPointerTest, ConfidenceRequiredBeforeChasing)
+{
+    JumpPointerPrefetcher pf(config);
+    // A single dependence observation is not enough.
+    out.clear();
+    pf.observe(chase(0x400, 0x10000, 0x93000), out);
+    pf.observe(chase(0x400, 0x93000, 0x5a000), out);
+    out.clear();
+    pf.observe(chase(0x400, 0x10000, 0x93000), out);
+    EXPECT_TRUE(out.empty()); // confidence 1 < threshold 2
+}
+
+} // namespace
+} // namespace csp::prefetch

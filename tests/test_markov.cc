@@ -1,0 +1,125 @@
+/** @file Unit tests for the Markov prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/markov.h"
+#include "trace/context.h"
+
+namespace csp::prefetch {
+namespace {
+
+class MarkovTest : public ::testing::Test
+{
+  protected:
+    AccessInfo
+    missAt(Addr vaddr)
+    {
+        AccessInfo info;
+        info.pc = 0x400;
+        info.vaddr = vaddr;
+        info.line_addr = alignDown(vaddr, 64);
+        info.l1_miss = true;
+        info.context = &ctx;
+        return info;
+    }
+
+    MarkovConfig config;
+    trace::ContextSnapshot ctx;
+    std::vector<PrefetchRequest> out;
+};
+
+TEST_F(MarkovTest, LearnsSuccessorTransitions)
+{
+    MarkovPrefetcher pf(config);
+    // Repeating sequence A -> B -> C.
+    const Addr seq[] = {0x1000, 0x9000, 0x5000};
+    for (int rep = 0; rep < 5; ++rep) {
+        for (Addr a : seq) {
+            out.clear();
+            pf.observe(missAt(a), out);
+        }
+    }
+    // After the last C, observing A predicts B.
+    out.clear();
+    pf.observe(missAt(0x1000), out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr, 0x9000u);
+}
+
+TEST_F(MarkovTest, StrongestSuccessorRanksFirst)
+{
+    MarkovPrefetcher pf(config);
+    // A -> B three times, A -> C once.
+    for (int i = 0; i < 3; ++i) {
+        pf.observe(missAt(0x1000), out);
+        pf.observe(missAt(0x9000), out);
+    }
+    pf.observe(missAt(0x1000), out);
+    pf.observe(missAt(0x5000), out);
+    out.clear();
+    pf.observe(missAt(0x1000), out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr, 0x9000u);
+}
+
+TEST_F(MarkovTest, HitsAreNotTrained)
+{
+    MarkovPrefetcher pf(config);
+    for (int rep = 0; rep < 5; ++rep) {
+        AccessInfo a = missAt(0x1000);
+        a.l1_miss = false;
+        pf.observe(a, out);
+        AccessInfo b = missAt(0x9000);
+        b.l1_miss = false;
+        pf.observe(b, out);
+    }
+    out.clear();
+    pf.observe(missAt(0x1000), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(MarkovTest, SelfTransitionIgnored)
+{
+    MarkovPrefetcher pf(config);
+    for (int i = 0; i < 10; ++i)
+        pf.observe(missAt(0x1000), out);
+    out.clear();
+    pf.observe(missAt(0x1000), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(MarkovTest, DegreeBoundsPredictions)
+{
+    config.degree = 1;
+    MarkovPrefetcher pf(config);
+    // A followed by many different successors.
+    for (Addr succ : {0x2000, 0x3000, 0x4000, 0x5000}) {
+        pf.observe(missAt(0x1000), out);
+        pf.observe(missAt(succ), out);
+    }
+    out.clear();
+    pf.observe(missAt(0x1000), out);
+    EXPECT_LE(out.size(), 1u);
+}
+
+TEST_F(MarkovTest, WeakSuccessorsDecayBeforeReplacement)
+{
+    MarkovConfig small = config;
+    small.successors = 2;
+    MarkovPrefetcher pf(small);
+    // Establish strong A -> B.
+    for (int i = 0; i < 4; ++i) {
+        pf.observe(missAt(0x1000), out);
+        pf.observe(missAt(0x9000), out);
+    }
+    // One-off A -> C must not immediately displace B.
+    pf.observe(missAt(0x1000), out);
+    pf.observe(missAt(0x5000), out);
+    out.clear();
+    pf.observe(missAt(0x1000), out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr, 0x9000u);
+}
+
+} // namespace
+} // namespace csp::prefetch

@@ -1,0 +1,133 @@
+/** @file Unit and property tests for the red-black tree substrate. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/rng.h"
+#include "workloads/ubench/rbtree.h"
+
+namespace csp::workloads::ubench {
+namespace {
+
+runtime::Arena &
+testArena()
+{
+    static runtime::Arena arena(64u << 20,
+                                runtime::Placement::Sequential, 1);
+    return arena;
+}
+
+TEST(RbTree, EmptyTreeInvariants)
+{
+    RbTree tree(testArena());
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.checkInvariants(), 0);
+    EXPECT_EQ(tree.minimum(), nullptr);
+}
+
+TEST(RbTree, InsertAndFind)
+{
+    RbTree tree(testArena());
+    tree.insert(5, 50);
+    tree.insert(3, 30);
+    tree.insert(8, 80);
+    ASSERT_NE(tree.find(3), nullptr);
+    EXPECT_EQ(tree.find(3)->value, 30u);
+    EXPECT_EQ(tree.find(99), nullptr);
+}
+
+TEST(RbTree, InsertOverwritesValue)
+{
+    RbTree tree(testArena());
+    tree.insert(5, 50);
+    tree.insert(5, 51);
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.find(5)->value, 51u);
+}
+
+TEST(RbTree, SortedInsertionKeepsInvariants)
+{
+    // The classic degenerate case for unbalanced BSTs.
+    RbTree tree(testArena());
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        tree.insert(k, k);
+        ASSERT_GT(tree.checkInvariants(), 0) << "after key " << k;
+    }
+    // Height is logarithmic: black height of 1000 nodes < 12.
+    EXPECT_LT(tree.checkInvariants(), 12);
+}
+
+TEST(RbTree, InOrderTraversalIsSorted)
+{
+    RbTree tree(testArena());
+    Rng rng(7);
+    std::set<std::uint64_t> keys;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t k = rng.below(100000);
+        tree.insert(k, k);
+        keys.insert(k);
+    }
+    std::vector<std::uint64_t> walked;
+    for (const RbTree::Node *node = tree.minimum(); node != nullptr;
+         node = RbTree::successor(node)) {
+        walked.push_back(node->key);
+    }
+    EXPECT_TRUE(std::is_sorted(walked.begin(), walked.end()));
+    EXPECT_EQ(walked.size(), keys.size());
+}
+
+TEST(RbTree, VisitCallbackSeesDescentPath)
+{
+    RbTree tree(testArena());
+    for (std::uint64_t k : {50, 25, 75, 10, 30})
+        tree.insert(k, k);
+    std::vector<std::uint64_t> path;
+    tree.find(30, [&](const RbTree::Node *node, bool) {
+        path.push_back(node->key);
+    });
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 50u);
+    EXPECT_EQ(path.back(), 30u);
+}
+
+TEST(RbTree, RebalanceStepsReported)
+{
+    RbTree tree(testArena());
+    unsigned total_steps = 0;
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        unsigned steps = 0;
+        tree.insert(k, k, {}, &steps);
+        total_steps += steps;
+    }
+    // Sorted insertion forces rotations/recolorings.
+    EXPECT_GT(total_steps, 0u);
+}
+
+/** Property sweep: invariants hold for assorted insertion orders. */
+class RbTreeSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RbTreeSeedTest, RandomInsertionsKeepInvariants)
+{
+    RbTree tree(testArena());
+    Rng rng(GetParam());
+    std::set<std::uint64_t> reference;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t k = rng.below(5000);
+        tree.insert(k, k * 2);
+        reference.insert(k);
+    }
+    EXPECT_GT(tree.checkInvariants(), 0);
+    EXPECT_EQ(tree.size(), reference.size());
+    for (std::uint64_t k : reference)
+        ASSERT_NE(tree.find(k), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeSeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace csp::workloads::ubench

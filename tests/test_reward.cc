@@ -1,0 +1,109 @@
+/** @file Unit and property tests for the bell-shaped reward function. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/context/reward.h"
+
+namespace csp::prefetch::ctx {
+namespace {
+
+RewardConfig
+paperReward()
+{
+    return RewardConfig{};
+}
+
+TEST(Reward, PositiveInsideWindow)
+{
+    const RewardFunction reward(paperReward());
+    for (unsigned d = reward.windowLo(); d <= reward.windowHi(); ++d)
+        EXPECT_GT(reward(d), 0) << "depth " << d;
+}
+
+TEST(Reward, NegativeBelowWindow)
+{
+    const RewardFunction reward(paperReward());
+    for (unsigned d = 0; d < reward.windowLo(); ++d)
+        EXPECT_LT(reward(d), 0) << "depth " << d;
+}
+
+TEST(Reward, NegativeAboveWindow)
+{
+    const RewardFunction reward(paperReward());
+    for (unsigned d = reward.windowHi() + 1; d < 128; ++d)
+        EXPECT_LT(reward(d), 0) << "depth " << d;
+}
+
+TEST(Reward, PeaksAtCenter)
+{
+    const RewardConfig config;
+    const RewardFunction reward(config);
+    const int at_center = reward(config.window_center);
+    EXPECT_EQ(at_center, config.peak_reward);
+    for (unsigned d = config.window_lo; d <= config.window_hi; ++d)
+        EXPECT_LE(reward(d), at_center);
+}
+
+TEST(Reward, BellIsUnimodal)
+{
+    const RewardConfig config;
+    const RewardFunction reward(config);
+    // Non-decreasing up to the center, non-increasing after.
+    for (unsigned d = config.window_lo; d < config.window_center; ++d)
+        EXPECT_LE(reward(d), reward(d + 1));
+    for (unsigned d = config.window_center; d < config.window_hi; ++d)
+        EXPECT_GE(reward(d), reward(d + 1));
+}
+
+TEST(Reward, LatePenaltyStrongerThanEarly)
+{
+    // Paper: too-late prefetches are useless and demoted harder.
+    const RewardConfig config;
+    const RewardFunction reward(config);
+    EXPECT_LE(reward(0), reward(127));
+}
+
+TEST(Reward, ExpiryPenaltyNegative)
+{
+    const RewardFunction reward(paperReward());
+    EXPECT_LT(reward.expiryPenalty(), 0);
+}
+
+TEST(Reward, TabulateMatchesOperator)
+{
+    const RewardFunction reward(paperReward());
+    const auto table = reward.tabulate(100);
+    ASSERT_EQ(table.size(), 101u);
+    for (unsigned d = 0; d <= 100; ++d)
+        EXPECT_EQ(table[d], reward(d));
+}
+
+/** Property sweep over alternative window geometries. */
+class RewardWindowTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(RewardWindowTest, WindowEdgesStillEarnPositiveReward)
+{
+    const auto [lo, hi] = GetParam();
+    RewardConfig config;
+    config.window_lo = lo;
+    config.window_hi = hi;
+    config.window_center = (lo + hi) / 2;
+    const RewardFunction reward(config);
+    EXPECT_GE(reward(lo), 1);
+    EXPECT_GE(reward(hi), 1);
+    EXPECT_LT(reward(lo - 1), 0);
+    EXPECT_LT(reward(hi + 1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowGeometries, RewardWindowTest,
+    ::testing::Values(std::make_tuple(10u, 40u),
+                      std::make_tuple(18u, 50u),
+                      std::make_tuple(5u, 100u),
+                      std::make_tuple(30u, 60u),
+                      std::make_tuple(2u, 8u)));
+
+} // namespace
+} // namespace csp::prefetch::ctx

@@ -1,0 +1,79 @@
+/** @file Unit tests for RunStats derived metrics (target prefetch
+ *  distance of paper section 4.3, JSON export). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+
+namespace csp::sim {
+namespace {
+
+RunStats
+sampleStats()
+{
+    RunStats stats;
+    stats.instructions = 1000000;
+    stats.cycles = 500000; // IPC 2.0
+    stats.demand_accesses = 300000;
+    stats.l1_misses = 30000;
+    stats.l2_demand_misses = 15000; // L2 miss rate 0.5
+    stats.classes[static_cast<std::size_t>(
+        AccessClass::HitOlderDemand)] = 270000;
+    stats.classes[static_cast<std::size_t>(
+        AccessClass::MissNotPrefetched)] = 30000;
+    return stats;
+}
+
+TEST(RunStats, DerivedRatios)
+{
+    const RunStats stats = sampleStats();
+    EXPECT_DOUBLE_EQ(stats.ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.cpi(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.memFraction(), 0.3);
+    EXPECT_DOUBLE_EQ(stats.l2MissRate(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.l1Mpki(), 30.0);
+    EXPECT_DOUBLE_EQ(stats.l2Mpki(), 15.0);
+}
+
+TEST(RunStats, TargetDistanceMatchesPaperFormula)
+{
+    // Paper section 4.3: penalty = 20 + 0.5*300 = 170 cycles;
+    // distance = 170 * 2.0 IPC * 0.3 mem = 102 accesses.
+    const RunStats stats = sampleStats();
+    const MemoryConfig memory;
+    EXPECT_NEAR(stats.targetPrefetchDistance(memory), 102.0, 1e-9);
+}
+
+TEST(RunStats, TargetDistanceZeroOnEmptyRun)
+{
+    const RunStats stats;
+    const MemoryConfig memory;
+    EXPECT_DOUBLE_EQ(stats.targetPrefetchDistance(memory), 0.0);
+}
+
+TEST(RunStats, JsonContainsKeyFields)
+{
+    const std::string json = sampleStats().toJson();
+    EXPECT_NE(json.find("\"instructions\":1000000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"classes\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"hit-older-demand\":270000"),
+              std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(RunStats, JsonStartsAndEndsAsObject)
+{
+    const std::string json = sampleStats().toJson();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+} // namespace
+} // namespace csp::sim

@@ -1,0 +1,156 @@
+/** @file End-to-end simulator tests: timing sanity, accounting
+ *  invariants, and prefetcher benefit on the flagship workloads. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "workloads/registry.h"
+
+namespace csp::sim {
+namespace {
+
+trace::TraceBuffer
+makeTrace(const std::string &name, std::uint64_t scale = 60000)
+{
+    workloads::WorkloadParams params;
+    params.scale = scale;
+    params.seed = 2;
+    return workloads::Registry::builtin().create(name)->generate(
+        params);
+}
+
+RunStats
+runWith(const trace::TraceBuffer &trace, const std::string &pf_name)
+{
+    SystemConfig config;
+    auto prefetcher = makePrefetcher(pf_name, config);
+    Simulator simulator(config);
+    return simulator.run(trace, *prefetcher);
+}
+
+TEST(Simulator, InstructionCountMatchesTrace)
+{
+    const auto trace = makeTrace("array");
+    const RunStats stats = runWith(trace, "none");
+    EXPECT_EQ(stats.instructions, trace.instructions());
+    EXPECT_EQ(stats.demand_accesses, trace.memAccesses());
+}
+
+TEST(Simulator, IpcWithinPhysicalBounds)
+{
+    for (const std::string name : {"array", "list", "hashtest"}) {
+        const RunStats stats = runWith(makeTrace(name), "none");
+        EXPECT_GT(stats.ipc(), 0.0) << name;
+        EXPECT_LE(stats.ipc(), 4.0) << name;
+    }
+}
+
+TEST(Simulator, ClassificationPartitionsDemandAccesses)
+{
+    for (const std::string pf : {"none", "sms", "context"}) {
+        const RunStats stats = runWith(makeTrace("list"), pf);
+        std::uint64_t sum = 0;
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(AccessClass::Count); ++c) {
+            sum += stats.classes[c];
+        }
+        EXPECT_EQ(sum, stats.demand_accesses) << pf;
+    }
+}
+
+TEST(Simulator, NoPrefetcherMeansNoPrefetchCategories)
+{
+    const RunStats stats = runWith(makeTrace("list"), "none");
+    EXPECT_EQ(stats.classCount(AccessClass::HitPrefetchedLine), 0u);
+    EXPECT_EQ(stats.classCount(AccessClass::ShorterWait), 0u);
+    EXPECT_EQ(stats.prefetch_never_hit, 0u);
+}
+
+TEST(Simulator, MpkiConsistentWithCounters)
+{
+    const RunStats stats = runWith(makeTrace("list"), "none");
+    EXPECT_NEAR(stats.l1Mpki(),
+                1000.0 * static_cast<double>(stats.l1_misses) /
+                    static_cast<double>(stats.instructions),
+                1e-9);
+    EXPECT_LE(stats.l2_demand_misses, stats.l1_misses);
+}
+
+TEST(Simulator, DeterministicRuns)
+{
+    const auto trace = makeTrace("listsort");
+    const RunStats a = runWith(trace, "context");
+    const RunStats b = runWith(trace, "context");
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.hierarchy.prefetches_issued,
+              b.hierarchy.prefetches_issued);
+}
+
+TEST(Simulator, ContextPrefetcherSpeedsUpLinkedTraversal)
+{
+    // The paper's headline behaviour: big gains on semantically
+    // regular, spatially scattered pointer chasing.
+    const auto trace = makeTrace("list", 150000);
+    const RunStats base = runWith(trace, "none");
+    const RunStats ctx = runWith(trace, "context");
+    EXPECT_GT(ctx.ipc(), base.ipc() * 1.3);
+    EXPECT_LT(ctx.l1Mpki(), base.l1Mpki());
+    EXPECT_GT(ctx.classCount(AccessClass::HitPrefetchedLine), 0u);
+}
+
+TEST(Simulator, ContextPrefetcherBeatsSpatioTemporalOnLinkedList)
+{
+    const auto trace = makeTrace("list", 150000);
+    const double ctx = runWith(trace, "context").ipc();
+    const double sms = runWith(trace, "sms").ipc();
+    const double ghb = runWith(trace, "ghb-gdc").ipc();
+    EXPECT_GT(ctx, sms);
+    EXPECT_GT(ctx, ghb);
+}
+
+TEST(Simulator, StridePrefetcherCoversStreamingWorkload)
+{
+    const auto trace = makeTrace("libquantum", 80000);
+    const RunStats base = runWith(trace, "none");
+    const RunStats stride = runWith(trace, "stride");
+    EXPECT_GT(stride.ipc(), base.ipc() * 1.5);
+}
+
+TEST(Simulator, PrefetchersNeverBreakCorrectnessCounters)
+{
+    for (const std::string &pf : paperPrefetchers()) {
+        const RunStats stats = runWith(makeTrace("bst"), pf);
+        // Demand-side counters must not depend on the prefetcher.
+        EXPECT_EQ(stats.demand_accesses,
+                  runWith(makeTrace("bst"), "none").demand_accesses)
+            << pf;
+    }
+}
+
+TEST(Simulator, HitDepthHistogramPopulatedForContext)
+{
+    SystemConfig config;
+    auto prefetcher = makePrefetcher("context", config);
+    Simulator simulator(config);
+    const auto trace = makeTrace("list", 100000);
+    simulator.run(trace, *prefetcher);
+    const Histogram *depths = prefetcher->hitDepths();
+    ASSERT_NE(depths, nullptr);
+    EXPECT_GT(depths->count(), 0u);
+}
+
+TEST(Simulator, AccessClassNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(AccessClass::Count); ++c) {
+        names.insert(accessClassName(static_cast<AccessClass>(c)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(AccessClass::Count));
+}
+
+} // namespace
+} // namespace csp::sim

@@ -1,0 +1,143 @@
+/** @file Unit tests for the SMS prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prefetch/sms.h"
+#include "trace/context.h"
+
+namespace csp::prefetch {
+namespace {
+
+class SmsTest : public ::testing::Test
+{
+  protected:
+    AccessInfo
+    access(Addr pc, Addr vaddr)
+    {
+        AccessInfo info;
+        info.pc = pc;
+        info.vaddr = vaddr;
+        info.line_addr = alignDown(vaddr, 64);
+        info.context = &ctx;
+        return info;
+    }
+
+    /** Touch the lines of @p pattern within the region at @p base,
+     *  triggering from the first pattern line with @p pc. */
+    void
+    visitRegion(SmsPrefetcher &pf, Addr base, Addr pc,
+                std::initializer_list<unsigned> pattern,
+                std::vector<PrefetchRequest> *first_out = nullptr)
+    {
+        bool first = true;
+        for (unsigned line : pattern) {
+            out.clear();
+            pf.observe(access(pc, base + line * 64), out);
+            if (first && first_out != nullptr)
+                *first_out = out;
+            first = false;
+        }
+    }
+
+    SmsConfig config;
+    trace::ContextSnapshot ctx;
+    std::vector<PrefetchRequest> out;
+};
+
+TEST_F(SmsTest, LearnsRecurringRegionPattern)
+{
+    SmsPrefetcher pf(config);
+    // Same (pc, trigger-offset) pattern over many distinct regions;
+    // after AGT evictions train the PHT, new triggers predict.
+    std::vector<PrefetchRequest> trigger_out;
+    for (Addr region = 0; region < 64; ++region) {
+        visitRegion(pf, 0x100000 + region * 2048, 0x400,
+                    {0, 3, 7, 12}, &trigger_out);
+    }
+    EXPECT_FALSE(trigger_out.empty());
+}
+
+TEST_F(SmsTest, PredictedLinesMatchTrainedPattern)
+{
+    SmsPrefetcher pf(config);
+    std::vector<PrefetchRequest> trigger_out;
+    for (Addr region = 0; region < 64; ++region) {
+        visitRegion(pf, 0x100000 + region * 2048, 0x400, {0, 3, 7},
+                    &trigger_out);
+    }
+    ASSERT_EQ(trigger_out.size(), 2u);
+    std::set<Addr> offsets;
+    const Addr base = 0x100000 + 63 * 2048;
+    for (const PrefetchRequest &req : trigger_out)
+        offsets.insert((req.addr - base) / 64);
+    EXPECT_TRUE(offsets.contains(3));
+    EXPECT_TRUE(offsets.contains(7));
+}
+
+TEST_F(SmsTest, SingleLineRegionsDoNotTrain)
+{
+    SmsPrefetcher pf(config);
+    std::vector<PrefetchRequest> trigger_out;
+    for (Addr region = 0; region < 64; ++region) {
+        visitRegion(pf, 0x100000 + region * 2048, 0x400, {5},
+                    &trigger_out);
+    }
+    EXPECT_TRUE(trigger_out.empty());
+}
+
+TEST_F(SmsTest, DifferentTriggerOffsetsUseDifferentPatterns)
+{
+    SmsPrefetcher pf(config);
+    // Train offset-0 triggers only.
+    for (Addr region = 0; region < 64; ++region) {
+        visitRegion(pf, 0x100000 + region * 2048, 0x400, {0, 9});
+    }
+    // A trigger at offset 5 has no trained pattern.
+    out.clear();
+    pf.observe(access(0x400, 0x100000 + 200 * 2048 + 5 * 64), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(SmsTest, FinishFlushesLiveGenerations)
+{
+    SmsPrefetcher pf(config);
+    // One region visited, never evicted from the AGT.
+    visitRegion(pf, 0x100000, 0x400, {0, 4, 8});
+    pf.finish(); // trains the PHT
+    std::vector<PrefetchRequest> trigger_out;
+    out.clear();
+    pf.observe(access(0x400, 0x900000), trigger_out);
+    EXPECT_FALSE(trigger_out.empty());
+}
+
+TEST_F(SmsTest, TriggerLineItselfNotPrefetched)
+{
+    SmsPrefetcher pf(config);
+    std::vector<PrefetchRequest> trigger_out;
+    for (Addr region = 0; region < 64; ++region) {
+        visitRegion(pf, 0x100000 + region * 2048, 0x400, {2, 6},
+                    &trigger_out);
+    }
+    const Addr base = 0x100000 + 63 * 2048;
+    for (const PrefetchRequest &req : trigger_out)
+        EXPECT_NE(req.addr, base + 2 * 64);
+}
+
+TEST_F(SmsTest, RepeatedSameLineStaysInFilter)
+{
+    SmsPrefetcher pf(config);
+    // Hitting the same line repeatedly must not promote to the AGT.
+    for (int i = 0; i < 10; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x100000 + 5 * 64), out);
+    }
+    pf.finish();
+    out.clear();
+    pf.observe(access(0x400, 0x200000 + 5 * 64), out);
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace csp::prefetch

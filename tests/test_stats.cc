@@ -1,0 +1,170 @@
+/** @file Unit tests for stats primitives. */
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+
+namespace csp {
+namespace {
+
+TEST(SaturatingCounter, StartsAtZero)
+{
+    Score8 score;
+    EXPECT_EQ(score.value(), 0);
+}
+
+TEST(SaturatingCounter, AddsWithinBounds)
+{
+    Score8 score;
+    score.add(5);
+    EXPECT_EQ(score.value(), 5);
+    score.add(-3);
+    EXPECT_EQ(score.value(), 2);
+}
+
+TEST(SaturatingCounter, SaturatesHigh)
+{
+    Score8 score;
+    score.add(1000);
+    EXPECT_EQ(score.value(), 127);
+    score.add(1);
+    EXPECT_EQ(score.value(), 127);
+}
+
+TEST(SaturatingCounter, SaturatesLow)
+{
+    Score8 score;
+    score.add(-1000);
+    EXPECT_EQ(score.value(), -128);
+    score.add(-1);
+    EXPECT_EQ(score.value(), -128);
+}
+
+TEST(SaturatingCounter, SetClamps)
+{
+    SaturatingCounter<int, -4, 4> c;
+    c.set(100);
+    EXPECT_EQ(c.value(), 4);
+    c.set(-100);
+    EXPECT_EQ(c.value(), -4);
+}
+
+TEST(SaturatingCounter, Comparison)
+{
+    Score8 a(3);
+    Score8 b(7);
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+}
+
+TEST(Histogram, CountsSamples)
+{
+    Histogram h(128, 128);
+    h.sample(0);
+    h.sample(5);
+    h.sample(127);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(128, 128);
+    h.sample(128);
+    h.sample(10000);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, CdfMonotonic)
+{
+    Histogram h(100, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    double prev = -1.0;
+    for (std::uint64_t v = 0; v < 100; v += 5) {
+        const double cdf = h.cdfAt(v);
+        EXPECT_GE(cdf, prev);
+        prev = cdf;
+    }
+    EXPECT_DOUBLE_EQ(h.cdfAt(99), 1.0);
+}
+
+TEST(Histogram, CdfAtMedian)
+{
+    Histogram h(100, 100);
+    for (int i = 0; i < 50; ++i)
+        h.sample(10);
+    for (int i = 0; i < 50; ++i)
+        h.sample(90);
+    EXPECT_NEAR(h.cdfAt(50), 0.5, 0.01);
+}
+
+TEST(Histogram, MeanOfUniformSamples)
+{
+    Histogram h(1000, 100);
+    for (std::uint64_t v = 0; v < 1000; ++v)
+        h.sample(v);
+    EXPECT_NEAR(h.mean(), 499.5, 1.0);
+}
+
+TEST(Histogram, MeanClampsOverflowAtMax)
+{
+    Histogram h(10, 10);
+    h.sample(1000000);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(10, 10);
+    h.sample(3);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.cdfAt(9), 0.0);
+}
+
+TEST(Histogram, EmptyCdfIsZero)
+{
+    Histogram h(10, 10);
+    EXPECT_DOUBLE_EQ(h.cdfAt(9), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(EwmaRate, ConvergesUp)
+{
+    EwmaRate rate(0.05, 0.0);
+    for (int i = 0; i < 500; ++i)
+        rate.record(true);
+    EXPECT_GT(rate.value(), 0.95);
+}
+
+TEST(EwmaRate, ConvergesDown)
+{
+    EwmaRate rate(0.05, 1.0);
+    for (int i = 0; i < 500; ++i)
+        rate.record(false);
+    EXPECT_LT(rate.value(), 0.05);
+}
+
+TEST(EwmaRate, TracksMixedRate)
+{
+    EwmaRate rate(0.01, 0.5);
+    // 30% success rate.
+    for (int i = 0; i < 5000; ++i)
+        rate.record(i % 10 < 3);
+    EXPECT_NEAR(rate.value(), 0.3, 0.1);
+}
+
+TEST(EwmaRate, StaysInUnitInterval)
+{
+    EwmaRate rate(0.5, 0.5);
+    for (int i = 0; i < 100; ++i) {
+        rate.record(i % 2 == 0);
+        EXPECT_GE(rate.value(), 0.0);
+        EXPECT_LE(rate.value(), 1.0);
+    }
+}
+
+} // namespace
+} // namespace csp

@@ -1,0 +1,124 @@
+/** @file Unit tests for the stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/stride.h"
+#include "trace/context.h"
+
+namespace csp::prefetch {
+namespace {
+
+AccessInfo
+access(Addr pc, Addr vaddr, const trace::ContextSnapshot &ctx)
+{
+    AccessInfo info;
+    info.pc = pc;
+    info.vaddr = vaddr;
+    info.line_addr = alignDown(vaddr, 64);
+    info.context = &ctx;
+    return info;
+}
+
+class StrideTest : public ::testing::Test
+{
+  protected:
+    StrideConfig config;
+    trace::ContextSnapshot ctx;
+    std::vector<PrefetchRequest> out;
+};
+
+TEST_F(StrideTest, DetectsConstantStride)
+{
+    StridePrefetcher pf(config);
+    for (int i = 0; i < 8; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x10000 + i * 256, ctx), out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr, alignDown(0x10000 + 7 * 256 + 256, 64));
+}
+
+TEST_F(StrideTest, NoPredictionWithoutConfidence)
+{
+    StridePrefetcher pf(config);
+    out.clear();
+    pf.observe(access(0x400, 0x10000, ctx), out);
+    pf.observe(access(0x400, 0x10100, ctx), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(StrideTest, RandomAddressesNeverPredict)
+{
+    StridePrefetcher pf(config);
+    const Addr addrs[] = {0x1000, 0x9000, 0x2340, 0x88000, 0x1700,
+                          0x55000, 0x3000, 0x61000};
+    for (Addr a : addrs) {
+        out.clear();
+        pf.observe(access(0x400, a, ctx), out);
+    }
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(StrideTest, NegativeStridesWork)
+{
+    StridePrefetcher pf(config);
+    for (int i = 0; i < 8; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x100000 - i * 128, ctx), out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_LT(out[0].addr, 0x100000u - 7 * 128);
+}
+
+TEST_F(StrideTest, PerPcStreamsAreIndependent)
+{
+    StridePrefetcher pf(config);
+    for (int i = 0; i < 8; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x10000 + i * 256, ctx), out);
+        out.clear();
+        pf.observe(access(0x800, 0x90000 + i * 512, ctx), out);
+    }
+    // The PC 0x800 stream predicts its own stride.
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].addr,
+              alignDown(0x90000 + 7 * 512 + 512, 64));
+}
+
+TEST_F(StrideTest, DegreeEmitsMultipleLines)
+{
+    config.degree = 4;
+    StridePrefetcher pf(config);
+    for (int i = 0; i < 8; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x10000 + i * 256, ctx), out);
+    }
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(StrideTest, SubLineStridesDeduplicateLines)
+{
+    config.degree = 2;
+    StridePrefetcher pf(config);
+    // Stride 8 within a 64B line: successive predictions fall in the
+    // same line and must not be emitted twice.
+    for (int i = 0; i < 10; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x10000 + i * 8, ctx), out);
+    }
+    EXPECT_LE(out.size(), 1u);
+}
+
+TEST_F(StrideTest, StridePredictionsAreLineAligned)
+{
+    StridePrefetcher pf(config);
+    for (int i = 0; i < 8; ++i) {
+        out.clear();
+        pf.observe(access(0x400, 0x10004 + i * 200, ctx), out);
+    }
+    for (const PrefetchRequest &req : out)
+        EXPECT_EQ(req.addr % 64, 0u);
+}
+
+} // namespace
+} // namespace csp::prefetch

@@ -1,0 +1,59 @@
+/** @file Unit tests for the table renderer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/table.h"
+
+namespace csp::sim {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "22"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("long-name"), std::string::npos);
+    // Every data line has the same length (aligned columns).
+    std::istringstream lines(text);
+    std::string header;
+    std::getline(lines, header);
+    std::string rule;
+    std::getline(lines, rule);
+    std::string row;
+    while (std::getline(lines, row))
+        EXPECT_LE(row.size(), header.size() + 2);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream out;
+    table.printCsv(out);
+    EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(1.23456, 0), "1");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RowCount)
+{
+    Table table({"x"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+} // namespace
+} // namespace csp::sim

@@ -1,0 +1,108 @@
+/** @file Unit tests for trace records, buffer and recorder. */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace csp::trace {
+namespace {
+
+TEST(TraceBuffer, CountsInstructionsAndAccesses)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    rec.load(0, 0x2000);
+    rec.store(1, 0x3000);
+    rec.branch(2, true);
+    rec.compute(3, 10);
+    EXPECT_EQ(buffer.instructions(), 13u);
+    EXPECT_EQ(buffer.memAccesses(), 2u);
+}
+
+TEST(TraceBuffer, ComputeBurstsFold)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    rec.compute(0, 3);
+    rec.compute(0, 4);
+    EXPECT_EQ(buffer.size(), 1u);
+    EXPECT_EQ(buffer[0].repeat, 7u);
+    EXPECT_EQ(buffer.instructions(), 7u);
+}
+
+TEST(TraceBuffer, ComputeBurstsFromDifferentSitesDoNotFold)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    rec.compute(0, 3);
+    rec.compute(1, 4);
+    EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(TraceBuffer, ComputeAfterLoadDoesNotFold)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    rec.compute(0, 2);
+    rec.load(1, 0x2000);
+    rec.compute(0, 2);
+    EXPECT_EQ(buffer.size(), 3u);
+}
+
+TEST(TraceBuffer, ZeroComputeIsDropped)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    rec.compute(0, 0);
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Recorder, SyntheticPcsAreDistinctPerSite)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x400000);
+    EXPECT_NE(rec.pc(0), rec.pc(1));
+    EXPECT_EQ(rec.pc(0), 0x400000u);
+}
+
+TEST(Recorder, LoadCarriesHintAndDep)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    const hints::Hint hint{5, 0, hints::RefForm::Arrow};
+    rec.load(0, 0xabc0, hint, /*loaded_value=*/0x1234,
+             /*dep_on_prev_load=*/true, /*reg_value=*/0x77);
+    const TraceRecord &r = buffer[0];
+    EXPECT_EQ(r.kind, InstKind::Load);
+    EXPECT_EQ(r.vaddr, 0xabc0u);
+    EXPECT_EQ(r.hint, hint);
+    EXPECT_EQ(r.loaded_value, 0x1234u);
+    EXPECT_TRUE(r.dep_on_prev_load);
+    EXPECT_EQ(r.reg_value, 0x77u);
+}
+
+TEST(Recorder, BranchRecordsOutcome)
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x1000);
+    rec.branch(0, true);
+    rec.branch(0, false);
+    EXPECT_TRUE(buffer[0].taken);
+    EXPECT_FALSE(buffer[1].taken);
+}
+
+TEST(TraceRecord, IsMemClassification)
+{
+    TraceRecord rec;
+    rec.kind = InstKind::Load;
+    EXPECT_TRUE(rec.isMem());
+    rec.kind = InstKind::Store;
+    EXPECT_TRUE(rec.isMem());
+    rec.kind = InstKind::Branch;
+    EXPECT_FALSE(rec.isMem());
+    rec.kind = InstKind::Compute;
+    EXPECT_FALSE(rec.isMem());
+}
+
+} // namespace
+} // namespace csp::trace

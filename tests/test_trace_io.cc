@@ -1,0 +1,124 @@
+/** @file Unit tests for binary trace serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.h"
+#include "workloads/registry.h"
+
+namespace csp::trace {
+namespace {
+
+TraceBuffer
+sampleTrace()
+{
+    TraceBuffer buffer;
+    Recorder rec(buffer, 0x400000);
+    const hints::Hint hint{3, 8, hints::RefForm::Arrow};
+    rec.load(0, 0x10000, hint, 0xfeed, true, 0x77);
+    rec.store(1, 0x20000, hint);
+    rec.branch(2, true);
+    rec.compute(3, 42);
+    rec.load(0, 0x10040);
+    return buffer;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const TraceBuffer original = sampleTrace();
+    std::stringstream stream;
+    ASSERT_TRUE(saveTrace(original, stream));
+    TraceBuffer loaded;
+    ASSERT_EQ(loadTrace(stream, loaded), TraceIoStatus::Ok);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.instructions(), original.instructions());
+    EXPECT_EQ(loaded.memAccesses(), original.memAccesses());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const TraceRecord &a = original[i];
+        const TraceRecord &b = loaded[i];
+        EXPECT_EQ(a.kind, b.kind) << i;
+        EXPECT_EQ(a.pc, b.pc) << i;
+        EXPECT_EQ(a.vaddr, b.vaddr) << i;
+        EXPECT_EQ(a.repeat, b.repeat) << i;
+        EXPECT_EQ(a.hint, b.hint) << i;
+        EXPECT_EQ(a.loaded_value, b.loaded_value) << i;
+        EXPECT_EQ(a.reg_value, b.reg_value) << i;
+        EXPECT_EQ(a.dep_on_prev_load, b.dep_on_prev_load) << i;
+        EXPECT_EQ(a.taken, b.taken) << i;
+    }
+}
+
+TEST(TraceIo, RoundTripOfGeneratedWorkload)
+{
+    workloads::WorkloadParams params;
+    params.scale = 5000;
+    const TraceBuffer original = workloads::Registry::builtin()
+                                     .create("list")
+                                     ->generate(params);
+    std::stringstream stream;
+    ASSERT_TRUE(saveTrace(original, stream));
+    TraceBuffer loaded;
+    ASSERT_EQ(loadTrace(stream, loaded), TraceIoStatus::Ok);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); i += 37)
+        EXPECT_EQ(loaded[i].vaddr, original[i].vaddr);
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    std::stringstream stream;
+    stream << "NOTATRACEFILE_PADDING_PADDING";
+    TraceBuffer loaded;
+    EXPECT_EQ(loadTrace(stream, loaded), TraceIoStatus::BadMagic);
+}
+
+TEST(TraceIo, TruncatedHeaderRejected)
+{
+    std::stringstream stream;
+    stream << "CSP";
+    TraceBuffer loaded;
+    EXPECT_EQ(loadTrace(stream, loaded), TraceIoStatus::Truncated);
+}
+
+TEST(TraceIo, TruncatedBodyRejected)
+{
+    const TraceBuffer original = sampleTrace();
+    std::stringstream stream;
+    ASSERT_TRUE(saveTrace(original, stream));
+    std::string bytes = stream.str();
+    bytes.resize(bytes.size() - 10);
+    std::stringstream cut(bytes);
+    TraceBuffer loaded;
+    EXPECT_EQ(loadTrace(cut, loaded), TraceIoStatus::Truncated);
+}
+
+TEST(TraceIo, MissingFileReported)
+{
+    TraceBuffer loaded;
+    EXPECT_EQ(loadTraceFile("/nonexistent/path/x.trace", loaded),
+              TraceIoStatus::CannotOpen);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const TraceBuffer original = sampleTrace();
+    const std::string path = "/tmp/csp_test_trace.bin";
+    ASSERT_TRUE(saveTraceFile(original, path));
+    TraceBuffer loaded;
+    EXPECT_EQ(loadTraceFile(path, loaded), TraceIoStatus::Ok);
+    EXPECT_EQ(loaded.size(), original.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, StatusNamesDistinct)
+{
+    EXPECT_STRNE(traceIoStatusName(TraceIoStatus::Ok),
+                 traceIoStatusName(TraceIoStatus::BadMagic));
+    EXPECT_STRNE(traceIoStatusName(TraceIoStatus::Truncated),
+                 traceIoStatusName(TraceIoStatus::CannotOpen));
+}
+
+} // namespace
+} // namespace csp::trace

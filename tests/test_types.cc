@@ -1,0 +1,86 @@
+/** @file Unit tests for core/types.h address arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace csp {
+namespace {
+
+TEST(Types, AlignDownToLine)
+{
+    EXPECT_EQ(alignDown(0x1000, 64), 0x1000u);
+    EXPECT_EQ(alignDown(0x103f, 64), 0x1000u);
+    EXPECT_EQ(alignDown(0x1040, 64), 0x1040u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+}
+
+TEST(Types, AlignUpToLine)
+{
+    EXPECT_EQ(alignUp(0x1000, 64), 0x1000u);
+    EXPECT_EQ(alignUp(0x1001, 64), 0x1040u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 4096), 4096u);
+}
+
+TEST(Types, AlignIsIdempotent)
+{
+    for (Addr a : {0x0ull, 0x37ull, 0x1234ull, 0xffffffull}) {
+        EXPECT_EQ(alignDown(alignDown(a, 64), 64), alignDown(a, 64));
+        EXPECT_EQ(alignUp(alignUp(a, 64), 64), alignUp(a, 64));
+    }
+}
+
+TEST(Types, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(2048), 11u);
+    EXPECT_EQ(floorLog2(16384), 14u);
+}
+
+TEST(Types, BlockDeltaForward)
+{
+    EXPECT_EQ(blockDelta(0x1000, 0x1040, 64), 1);
+    EXPECT_EQ(blockDelta(0x1000, 0x1000, 64), 0);
+    EXPECT_EQ(blockDelta(0x1000, 0x2000, 64), 64);
+}
+
+TEST(Types, BlockDeltaBackward)
+{
+    EXPECT_EQ(blockDelta(0x1040, 0x1000, 64), -1);
+    EXPECT_EQ(blockDelta(0x2000, 0x1000, 64), -64);
+}
+
+TEST(Types, BlockDeltaSubLineAccessesCollapse)
+{
+    // Two addresses in the same block have delta zero regardless of
+    // byte offsets.
+    EXPECT_EQ(blockDelta(0x1001, 0x103f, 64), 0);
+}
+
+TEST(Types, BlockDeltaRespectsGranularity)
+{
+    EXPECT_EQ(blockDelta(0, 4096, 4096), 1);
+    EXPECT_EQ(blockDelta(0, 4096, 64), 64);
+}
+
+TEST(Types, Sentinels)
+{
+    EXPECT_GT(kInvalidAddr, 0xffffffffffffull);
+    EXPECT_GT(kInvalidCycle, 0xffffffffffffull);
+}
+
+} // namespace
+} // namespace csp

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * cspsim — command-line driver for the simulator.
+ *
+ * Runs any registered workload against any prefetcher (or the paper's
+ * whole lineup), with the common configuration knobs exposed as flags,
+ * optional trace caching on disk, and table or CSV output.
+ *
+ * Examples:
+ *   cspsim --list
+ *   cspsim --workload list --prefetcher all
+ *   cspsim --workload mcf --prefetcher context --scale 1000000
+ *   cspsim --workload graph500-list --save-trace g.trace
+ *   cspsim --load-trace g.trace --prefetcher sms --csv
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/logging.h"
+#include "prefetch/context/context_prefetcher.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "trace/trace_io.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace csp;
+
+struct Options
+{
+    std::string workload;
+    std::string prefetcher = "context";
+    std::uint64_t scale = 250000;
+    std::uint64_t seed = 1;
+    runtime::Placement placement = runtime::Placement::Randomized;
+    std::string save_trace;
+    std::string load_trace;
+    bool csv = false;
+    bool json = false;
+    bool list = false;
+    bool describe = false;
+    bool verbose = false;
+    SystemConfig config;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: cspsim [options]\n"
+        "  --list                   list registered workloads\n"
+        "  --describe               print the system configuration\n"
+        "  --workload NAME          workload to run\n"
+        "  --prefetcher NAME|all    one of: none stride ghb-gdc ghb-pcdc\n"
+        "                           sms markov jump next-line context;\n"
+        "                           'all' = the paper lineup (default:\n"
+        "                           context)\n"
+        "  --scale N                target memory accesses (default "
+        "250000)\n"
+        "  --seed N                 workload + learner seed\n"
+        "  --placement seq|rand     heap placement for workloads\n"
+        "  --save-trace FILE        write the generated trace and "
+        "exit\n"
+        "  --load-trace FILE        simulate a saved trace instead of "
+        "generating\n"
+        "  --csv                    CSV instead of aligned table\n"
+        "  --json                   one JSON object per prefetcher\n"
+        "  --verbose                progress on stderr\n"
+        "  --cst-entries N          context prefetcher CST size\n"
+        "  --max-degree N           context prefetcher degree cap\n"
+        "  --softmax                softmax exploration (extension)\n"
+        "  --dram-latency N         DRAM latency in cycles\n";
+}
+
+std::optional<Options>
+parse(int argc, char **argv)
+{
+    Options options;
+    const auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return std::nullopt;
+        } else if (arg == "--list") {
+            options.list = true;
+        } else if (arg == "--describe") {
+            options.describe = true;
+        } else if (arg == "--workload") {
+            options.workload = need_value(i);
+        } else if (arg == "--prefetcher") {
+            options.prefetcher = need_value(i);
+        } else if (arg == "--scale") {
+            options.scale = std::strtoull(need_value(i), nullptr, 10);
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(need_value(i), nullptr, 10);
+        } else if (arg == "--placement") {
+            const std::string mode = need_value(i);
+            if (mode == "seq")
+                options.placement = runtime::Placement::Sequential;
+            else if (mode == "rand")
+                options.placement = runtime::Placement::Randomized;
+            else
+                fatal("unknown placement: %s", mode.c_str());
+        } else if (arg == "--save-trace") {
+            options.save_trace = need_value(i);
+        } else if (arg == "--load-trace") {
+            options.load_trace = need_value(i);
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else if (arg == "--json") {
+            options.json = true;
+        } else if (arg == "--verbose") {
+            options.verbose = true;
+        } else if (arg == "--cst-entries") {
+            options.config.context.cst_entries = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (arg == "--max-degree") {
+            options.config.context.max_degree = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
+        } else if (arg == "--softmax") {
+            options.config.context.softmax_exploration = true;
+        } else if (arg == "--dram-latency") {
+            options.config.memory.dram_latency =
+                std::strtoull(need_value(i), nullptr, 10);
+        } else {
+            fatal("unknown option: %s (try --help)", arg.c_str());
+        }
+    }
+    options.config.seed = options.seed;
+    return options;
+}
+
+std::vector<std::string>
+prefetcherList(const std::string &selection)
+{
+    if (selection == "all")
+        return sim::paperPrefetchers();
+    return {selection};
+}
+
+trace::TraceBuffer
+obtainTrace(const Options &options)
+{
+    if (!options.load_trace.empty()) {
+        trace::TraceBuffer buffer;
+        const trace::TraceIoStatus status =
+            trace::loadTraceFile(options.load_trace, buffer);
+        if (status != trace::TraceIoStatus::Ok) {
+            fatal("cannot load trace %s: %s",
+                  options.load_trace.c_str(),
+                  trace::traceIoStatusName(status));
+        }
+        return buffer;
+    }
+    if (options.workload.empty())
+        fatal("--workload or --load-trace is required (see --help)");
+    workloads::WorkloadParams params;
+    params.scale = options.scale;
+    params.seed = options.seed;
+    params.placement = options.placement;
+    const auto workload =
+        workloads::Registry::builtin().create(options.workload);
+    return workload->generate(params);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto parsed = parse(argc, argv);
+    if (!parsed.has_value())
+        return 0;
+    const Options &options = *parsed;
+
+    if (options.list) {
+        const auto &registry = workloads::Registry::builtin();
+        for (const std::string suite :
+             {"spec2006", "pbbs", "graph500", "hpcs", "ubench"}) {
+            std::cout << suite << ":";
+            for (const auto &name : registry.namesInSuite(suite))
+                std::cout << ' ' << name;
+            std::cout << '\n';
+        }
+        return 0;
+    }
+    if (options.describe) {
+        std::cout << options.config.describe();
+        return 0;
+    }
+
+    const trace::TraceBuffer trace = obtainTrace(options);
+    if (options.verbose) {
+        inform("trace: %llu instructions, %llu memory accesses",
+               static_cast<unsigned long long>(trace.instructions()),
+               static_cast<unsigned long long>(trace.memAccesses()));
+    }
+    if (!options.save_trace.empty()) {
+        if (!trace::saveTraceFile(trace, options.save_trace))
+            fatal("cannot write %s", options.save_trace.c_str());
+        inform("saved %zu records to %s", trace.size(),
+               options.save_trace.c_str());
+        return 0;
+    }
+
+    sim::Table table({"prefetcher", "IPC", "speedup", "L1-MPKI",
+                      "L2-MPKI", "pf-issued", "pf-never-hit",
+                      "hit-pf%", "shorter%"});
+    double baseline_ipc = 0.0;
+    for (const std::string &pf_name :
+         prefetcherList(options.prefetcher)) {
+        auto prefetcher =
+            sim::makePrefetcher(pf_name, options.config);
+        sim::Simulator simulator(options.config);
+        const sim::RunStats stats =
+            simulator.run(trace, *prefetcher);
+        if (options.json) {
+            std::cout << "{\"prefetcher\":\"" << pf_name
+                      << "\",\"stats\":" << stats.toJson() << "}\n";
+        }
+        if (baseline_ipc == 0.0) {
+            // First row is the reference (it is "none" for "all").
+            baseline_ipc = stats.ipc();
+        }
+        table.addRow(
+            {pf_name, sim::Table::num(stats.ipc(), 3),
+             sim::Table::num(stats.ipc() / baseline_ipc, 3),
+             sim::Table::num(stats.l1Mpki(), 1),
+             sim::Table::num(stats.l2Mpki(), 2),
+             std::to_string(stats.hierarchy.prefetches_issued),
+             std::to_string(stats.prefetch_never_hit),
+             sim::Table::num(
+                 100.0 * stats.classFraction(
+                             sim::AccessClass::HitPrefetchedLine),
+                 1),
+             sim::Table::num(
+                 100.0 * stats.classFraction(
+                             sim::AccessClass::ShorterWait),
+                 1)});
+    }
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}
