@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_semantic_pattern.dir/fig01_semantic_pattern.cc.o"
+  "CMakeFiles/fig01_semantic_pattern.dir/fig01_semantic_pattern.cc.o.d"
+  "fig01_semantic_pattern"
+  "fig01_semantic_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_semantic_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

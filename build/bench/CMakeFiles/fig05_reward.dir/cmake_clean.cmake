@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_reward.dir/fig05_reward.cc.o"
+  "CMakeFiles/fig05_reward.dir/fig05_reward.cc.o.d"
+  "fig05_reward"
+  "fig05_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_l2_mpki.dir/fig11_l2_mpki.cc.o"
+  "CMakeFiles/fig11_l2_mpki.dir/fig11_l2_mpki.cc.o.d"
+  "fig11_l2_mpki"
+  "fig11_l2_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l2_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_storage_sweep.dir/fig13_storage_sweep.cc.o"
+  "CMakeFiles/fig13_storage_sweep.dir/fig13_storage_sweep.cc.o.d"
+  "fig13_storage_sweep"
+  "fig13_storage_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_storage_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

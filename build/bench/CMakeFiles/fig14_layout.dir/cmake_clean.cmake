@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_layout.dir/fig14_layout.cc.o"
+  "CMakeFiles/fig14_layout.dir/fig14_layout.cc.o.d"
+  "fig14_layout"
+  "fig14_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

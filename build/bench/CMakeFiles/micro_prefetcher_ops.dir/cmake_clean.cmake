@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_prefetcher_ops.dir/micro_prefetcher_ops.cc.o"
+  "CMakeFiles/micro_prefetcher_ops.dir/micro_prefetcher_ops.cc.o.d"
+  "micro_prefetcher_ops"
+  "micro_prefetcher_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_prefetcher_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_stability.dir/phase_stability.cc.o"
+  "CMakeFiles/phase_stability.dir/phase_stability.cc.o.d"
+  "phase_stability"
+  "phase_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_distance.dir/prefetch_distance.cc.o"
+  "CMakeFiles/prefetch_distance.dir/prefetch_distance.cc.o.d"
+  "prefetch_distance"
+  "prefetch_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

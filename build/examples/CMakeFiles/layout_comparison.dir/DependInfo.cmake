@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/layout_comparison.cpp" "examples/CMakeFiles/layout_comparison.dir/layout_comparison.cpp.o" "gcc" "examples/CMakeFiles/layout_comparison.dir/layout_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

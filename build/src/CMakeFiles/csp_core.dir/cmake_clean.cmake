@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_core.dir/core/config.cc.o"
+  "CMakeFiles/csp_core.dir/core/config.cc.o.d"
+  "CMakeFiles/csp_core.dir/core/hashing.cc.o"
+  "CMakeFiles/csp_core.dir/core/hashing.cc.o.d"
+  "CMakeFiles/csp_core.dir/core/logging.cc.o"
+  "CMakeFiles/csp_core.dir/core/logging.cc.o.d"
+  "CMakeFiles/csp_core.dir/core/stats.cc.o"
+  "CMakeFiles/csp_core.dir/core/stats.cc.o.d"
+  "libcsp_core.a"
+  "libcsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_cpu.dir/cpu/core_model.cc.o"
+  "CMakeFiles/csp_cpu.dir/cpu/core_model.cc.o.d"
+  "libcsp_cpu.a"
+  "libcsp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

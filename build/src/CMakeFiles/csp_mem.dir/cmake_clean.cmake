@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/csp_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/csp_mem.dir/mem/hierarchy.cc.o"
+  "CMakeFiles/csp_mem.dir/mem/hierarchy.cc.o.d"
+  "CMakeFiles/csp_mem.dir/mem/mshr.cc.o"
+  "CMakeFiles/csp_mem.dir/mem/mshr.cc.o.d"
+  "libcsp_mem.a"
+  "libcsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/context/bandit.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/bandit.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/bandit.cc.o.d"
+  "/root/repo/src/prefetch/context/context_prefetcher.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/context_prefetcher.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/context_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/context/cst.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/cst.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/cst.cc.o.d"
+  "/root/repo/src/prefetch/context/history_queue.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/history_queue.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/history_queue.cc.o.d"
+  "/root/repo/src/prefetch/context/prefetch_queue.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/prefetch_queue.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/prefetch_queue.cc.o.d"
+  "/root/repo/src/prefetch/context/reducer.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/reducer.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/reducer.cc.o.d"
+  "/root/repo/src/prefetch/context/reward.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/reward.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/context/reward.cc.o.d"
+  "/root/repo/src/prefetch/ghb.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/ghb.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/ghb.cc.o.d"
+  "/root/repo/src/prefetch/jump_pointer.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/jump_pointer.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/jump_pointer.cc.o.d"
+  "/root/repo/src/prefetch/markov.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/markov.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/markov.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/sms.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/sms.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/sms.cc.o.d"
+  "/root/repo/src/prefetch/stride.cc" "src/CMakeFiles/csp_prefetch.dir/prefetch/stride.cc.o" "gcc" "src/CMakeFiles/csp_prefetch.dir/prefetch/stride.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/bandit.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/bandit.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/context_prefetcher.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/context_prefetcher.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/cst.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/cst.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/history_queue.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/history_queue.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/prefetch_queue.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/prefetch_queue.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/reducer.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/reducer.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/reward.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/context/reward.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/ghb.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/ghb.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/jump_pointer.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/jump_pointer.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/markov.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/markov.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/prefetcher.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/prefetcher.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/sms.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/sms.cc.o.d"
+  "CMakeFiles/csp_prefetch.dir/prefetch/stride.cc.o"
+  "CMakeFiles/csp_prefetch.dir/prefetch/stride.cc.o.d"
+  "libcsp_prefetch.a"
+  "libcsp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

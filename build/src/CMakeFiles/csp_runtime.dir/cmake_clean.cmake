@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_runtime.dir/runtime/arena.cc.o"
+  "CMakeFiles/csp_runtime.dir/runtime/arena.cc.o.d"
+  "libcsp_runtime.a"
+  "libcsp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

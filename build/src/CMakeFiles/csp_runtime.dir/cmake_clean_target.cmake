@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsp_runtime.a"
+)

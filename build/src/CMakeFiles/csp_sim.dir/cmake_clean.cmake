@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/csp_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/csp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/csp_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/csp_sim.dir/sim/table.cc.o"
+  "CMakeFiles/csp_sim.dir/sim/table.cc.o.d"
+  "libcsp_sim.a"
+  "libcsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

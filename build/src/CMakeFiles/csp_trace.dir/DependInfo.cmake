@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/context.cc" "src/CMakeFiles/csp_trace.dir/trace/context.cc.o" "gcc" "src/CMakeFiles/csp_trace.dir/trace/context.cc.o.d"
+  "/root/repo/src/trace/hw_state.cc" "src/CMakeFiles/csp_trace.dir/trace/hw_state.cc.o" "gcc" "src/CMakeFiles/csp_trace.dir/trace/hw_state.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/csp_trace.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/csp_trace.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/csp_trace.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/csp_trace.dir/trace/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

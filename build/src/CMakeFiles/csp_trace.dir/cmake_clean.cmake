@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_trace.dir/trace/context.cc.o"
+  "CMakeFiles/csp_trace.dir/trace/context.cc.o.d"
+  "CMakeFiles/csp_trace.dir/trace/hw_state.cc.o"
+  "CMakeFiles/csp_trace.dir/trace/hw_state.cc.o.d"
+  "CMakeFiles/csp_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/csp_trace.dir/trace/trace.cc.o.d"
+  "CMakeFiles/csp_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/csp_trace.dir/trace/trace_io.cc.o.d"
+  "libcsp_trace.a"
+  "libcsp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

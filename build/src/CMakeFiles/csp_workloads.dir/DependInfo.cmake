@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph/csr_graph.cc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/csr_graph.cc.o.d"
+  "/root/repo/src/workloads/graph/graph500.cc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/graph500.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/graph500.cc.o.d"
+  "/root/repo/src/workloads/graph/rmat.cc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/rmat.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/rmat.cc.o.d"
+  "/root/repo/src/workloads/graph/ssca2.cc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/ssca2.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/graph/ssca2.cc.o.d"
+  "/root/repo/src/workloads/pbbs/convex_hull.cc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/convex_hull.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/convex_hull.cc.o.d"
+  "/root/repo/src/workloads/pbbs/knn.cc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/knn.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/knn.cc.o.d"
+  "/root/repo/src/workloads/pbbs/pbbs_bfs.cc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/pbbs_bfs.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/pbbs_bfs.cc.o.d"
+  "/root/repo/src/workloads/pbbs/set_cover.cc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/set_cover.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/set_cover.cc.o.d"
+  "/root/repo/src/workloads/pbbs/suffix_array.cc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/suffix_array.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/pbbs/suffix_array.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/csp_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/spec/spec_synth.cc" "src/CMakeFiles/csp_workloads.dir/workloads/spec/spec_synth.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/spec/spec_synth.cc.o.d"
+  "/root/repo/src/workloads/ubench/array_ubench.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/array_ubench.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/array_ubench.cc.o.d"
+  "/root/repo/src/workloads/ubench/bst.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/bst.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/bst.cc.o.d"
+  "/root/repo/src/workloads/ubench/hashtest.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/hashtest.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/hashtest.cc.o.d"
+  "/root/repo/src/workloads/ubench/linked_list.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/linked_list.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/linked_list.cc.o.d"
+  "/root/repo/src/workloads/ubench/listsort.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/listsort.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/listsort.cc.o.d"
+  "/root/repo/src/workloads/ubench/maptest.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/maptest.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/maptest.cc.o.d"
+  "/root/repo/src/workloads/ubench/prim.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/prim.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/prim.cc.o.d"
+  "/root/repo/src/workloads/ubench/rbtree.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/rbtree.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/rbtree.cc.o.d"
+  "/root/repo/src/workloads/ubench/ssca_lds.cc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/ssca_lds.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/ubench/ssca_lds.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/csp_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/csp_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

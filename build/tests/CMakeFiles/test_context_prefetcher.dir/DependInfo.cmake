@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bandit.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_bandit.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_bandit.cc.o.d"
+  "/root/repo/tests/test_context_end_to_end.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_context_end_to_end.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_context_end_to_end.cc.o.d"
+  "/root/repo/tests/test_cst.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_cst.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_cst.cc.o.d"
+  "/root/repo/tests/test_history_queue.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_history_queue.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_history_queue.cc.o.d"
+  "/root/repo/tests/test_prefetch_queue.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_prefetch_queue.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_prefetch_queue.cc.o.d"
+  "/root/repo/tests/test_reducer.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_reducer.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_reducer.cc.o.d"
+  "/root/repo/tests/test_reward.cc" "tests/CMakeFiles/test_context_prefetcher.dir/test_reward.cc.o" "gcc" "tests/CMakeFiles/test_context_prefetcher.dir/test_reward.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

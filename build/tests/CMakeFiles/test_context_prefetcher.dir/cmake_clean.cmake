@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_prefetcher.dir/test_bandit.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_bandit.cc.o.d"
+  "CMakeFiles/test_context_prefetcher.dir/test_context_end_to_end.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_context_end_to_end.cc.o.d"
+  "CMakeFiles/test_context_prefetcher.dir/test_cst.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_cst.cc.o.d"
+  "CMakeFiles/test_context_prefetcher.dir/test_history_queue.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_history_queue.cc.o.d"
+  "CMakeFiles/test_context_prefetcher.dir/test_prefetch_queue.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_prefetch_queue.cc.o.d"
+  "CMakeFiles/test_context_prefetcher.dir/test_reducer.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_reducer.cc.o.d"
+  "CMakeFiles/test_context_prefetcher.dir/test_reward.cc.o"
+  "CMakeFiles/test_context_prefetcher.dir/test_reward.cc.o.d"
+  "test_context_prefetcher"
+  "test_context_prefetcher.pdb"
+  "test_context_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/test_core.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_hashing.cc" "tests/CMakeFiles/test_core.dir/test_hashing.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_hashing.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/test_core.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/test_core.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/test_core.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_types.cc" "tests/CMakeFiles/test_core.dir/test_types.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

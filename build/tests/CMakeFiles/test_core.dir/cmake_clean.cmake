@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_config.cc.o"
+  "CMakeFiles/test_core.dir/test_config.cc.o.d"
+  "CMakeFiles/test_core.dir/test_hashing.cc.o"
+  "CMakeFiles/test_core.dir/test_hashing.cc.o.d"
+  "CMakeFiles/test_core.dir/test_rng.cc.o"
+  "CMakeFiles/test_core.dir/test_rng.cc.o.d"
+  "CMakeFiles/test_core.dir/test_stats.cc.o"
+  "CMakeFiles/test_core.dir/test_stats.cc.o.d"
+  "CMakeFiles/test_core.dir/test_table.cc.o"
+  "CMakeFiles/test_core.dir/test_table.cc.o.d"
+  "CMakeFiles/test_core.dir/test_types.cc.o"
+  "CMakeFiles/test_core.dir/test_types.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/test_cache.cc.o"
+  "CMakeFiles/test_mem.dir/test_cache.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_hierarchy.cc.o"
+  "CMakeFiles/test_mem.dir/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_mshr.cc.o"
+  "CMakeFiles/test_mem.dir/test_mshr.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_writeback.cc.o"
+  "CMakeFiles/test_mem.dir/test_writeback.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ghb.cc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_ghb.cc.o" "gcc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_ghb.cc.o.d"
+  "/root/repo/tests/test_jump_pointer.cc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_jump_pointer.cc.o" "gcc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_jump_pointer.cc.o.d"
+  "/root/repo/tests/test_markov.cc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_markov.cc.o" "gcc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_markov.cc.o.d"
+  "/root/repo/tests/test_sms.cc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_sms.cc.o" "gcc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_sms.cc.o.d"
+  "/root/repo/tests/test_stride.cc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_stride.cc.o" "gcc" "tests/CMakeFiles/test_prefetch_baselines.dir/test_stride.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

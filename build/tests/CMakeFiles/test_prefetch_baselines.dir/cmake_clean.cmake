@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch_baselines.dir/test_ghb.cc.o"
+  "CMakeFiles/test_prefetch_baselines.dir/test_ghb.cc.o.d"
+  "CMakeFiles/test_prefetch_baselines.dir/test_jump_pointer.cc.o"
+  "CMakeFiles/test_prefetch_baselines.dir/test_jump_pointer.cc.o.d"
+  "CMakeFiles/test_prefetch_baselines.dir/test_markov.cc.o"
+  "CMakeFiles/test_prefetch_baselines.dir/test_markov.cc.o.d"
+  "CMakeFiles/test_prefetch_baselines.dir/test_sms.cc.o"
+  "CMakeFiles/test_prefetch_baselines.dir/test_sms.cc.o.d"
+  "CMakeFiles/test_prefetch_baselines.dir/test_stride.cc.o"
+  "CMakeFiles/test_prefetch_baselines.dir/test_stride.cc.o.d"
+  "test_prefetch_baselines"
+  "test_prefetch_baselines.pdb"
+  "test_prefetch_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

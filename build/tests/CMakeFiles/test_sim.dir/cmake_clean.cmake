@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_experiment.cc.o"
+  "CMakeFiles/test_sim.dir/test_experiment.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_fuzz.cc.o"
+  "CMakeFiles/test_sim.dir/test_fuzz.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_property_sweeps.cc.o"
+  "CMakeFiles/test_sim.dir/test_property_sweeps.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_run_stats.cc.o"
+  "CMakeFiles/test_sim.dir/test_run_stats.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_simulator.cc.o"
+  "CMakeFiles/test_sim.dir/test_simulator.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_context.cc" "tests/CMakeFiles/test_trace.dir/test_context.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_context.cc.o.d"
+  "/root/repo/tests/test_hints.cc" "tests/CMakeFiles/test_trace.dir/test_hints.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_hints.cc.o.d"
+  "/root/repo/tests/test_hw_state.cc" "tests/CMakeFiles/test_trace.dir/test_hw_state.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_hw_state.cc.o.d"
+  "/root/repo/tests/test_trace_buffer.cc" "tests/CMakeFiles/test_trace.dir/test_trace_buffer.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace_buffer.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/test_trace.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/csp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/test_context.cc.o"
+  "CMakeFiles/test_trace.dir/test_context.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_hints.cc.o"
+  "CMakeFiles/test_trace.dir/test_hints.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_hw_state.cc.o"
+  "CMakeFiles/test_trace.dir/test_hw_state.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_trace_buffer.cc.o"
+  "CMakeFiles/test_trace.dir/test_trace_buffer.cc.o.d"
+  "CMakeFiles/test_trace.dir/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/test_trace_io.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

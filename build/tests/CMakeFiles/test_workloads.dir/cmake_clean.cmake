@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/test_algorithms.cc.o"
+  "CMakeFiles/test_workloads.dir/test_algorithms.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_graph.cc.o"
+  "CMakeFiles/test_workloads.dir/test_graph.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_rbtree.cc.o"
+  "CMakeFiles/test_workloads.dir/test_rbtree.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_spec_profiles.cc.o"
+  "CMakeFiles/test_workloads.dir/test_spec_profiles.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_workload_traces.cc.o"
+  "CMakeFiles/test_workloads.dir/test_workload_traces.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cspsim.dir/cspsim.cc.o"
+  "CMakeFiles/cspsim.dir/cspsim.cc.o.d"
+  "cspsim"
+  "cspsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cspsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
