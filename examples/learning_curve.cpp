@@ -1,9 +1,19 @@
 /**
  * @file
  * Watching the contextual bandit learn: run a pointer-chasing workload
- * in slices and print, per slice, the prefetcher's internal learning
- * signals — accuracy, exploration rate, real/shadow mix, reducer
- * adaptation — the instrumentation view of paper section 4.
+ * with interval stats sampling enabled and print, per interval, the
+ * prefetcher's internal learning signals — accuracy, exploration rate,
+ * real/shadow mix, reducer adaptation — the instrumentation view of
+ * paper section 4.
+ *
+ * This is the worked example for the stats registry: the simulator
+ * samples every registered "context.*" stat each interval, and the
+ * resulting time-series is read back through column names. The same
+ * series is available from cspsim as a CSV:
+ *
+ *   cspsim --workload list --prefetcher context \
+ *          --stats-interval 40000 --stats-filter context \
+ *          --stats-csv curve.csv
  *
  * Usage: learning_curve [workload] [slices]
  */
@@ -11,10 +21,10 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/stats_registry.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "sim/simulator.h"
 #include "sim/table.h"
-#include "trace/hw_state.h"
 #include "workloads/registry.h"
 
 int
@@ -32,64 +42,46 @@ main(int argc, char **argv)
             .create(workload_name)
             ->generate(params);
     std::cout << "Learning curve on '" << workload_name << "' ("
-              << trace.memAccesses() << " accesses, " << slices
+              << trace.instructions() << " instructions, " << slices
               << " slices)\n\n";
 
-    // Drive the prefetcher directly (no timing model) so the learning
-    // dynamics are isolated from memory-system feedback.
     SystemConfig config;
     prefetch::ctx::ContextPrefetcher prefetcher(config.context,
                                                 config.seed);
-    trace::HwContextTracker hw(config.memory.l1d.line_bytes);
-    std::vector<prefetch::PrefetchRequest> out;
-    AccessSeq seq = 0;
 
-    sim::Table table({"accesses", "accuracy", "epsilon", "real",
+    sim::Simulator simulator(config);
+    simulator.setSampling(trace.instructions() / slices + 1,
+                          "context");
+    simulator.run(trace, prefetcher);
+    const stats::TimeSeries &series = simulator.lastSeries();
+
+    // Counters arrive as per-interval deltas, gauges as point samples.
+    const int accuracy = series.columnIndex("context.bandit.accuracy");
+    const int epsilon = series.columnIndex("context.bandit.epsilon");
+    const int real = series.columnIndex("context.predictions.real");
+    const int shadow =
+        series.columnIndex("context.predictions.shadow");
+    const int assoc = series.columnIndex("context.cst.associations");
+    const int overloads =
+        series.columnIndex("context.reducer.overloads");
+    const int occupancy = series.columnIndex("context.cst.occupancy");
+    const int attrs =
+        series.columnIndex("context.reducer.active_attrs_mean");
+
+    sim::Table table({"insts", "accuracy", "epsilon", "real",
                       "shadow", "assoc", "overloads", "CST-live",
                       "attrs/ctx"});
-    const std::uint64_t per_slice =
-        trace.memAccesses() / slices + 1;
-    std::uint64_t next_report = per_slice;
-    prefetch::ctx::ContextStats last{};
-
-    for (const trace::TraceRecord &rec : trace.records()) {
-        if (rec.isMem()) {
-            const trace::ContextSnapshot ctx = hw.capture(rec);
-            prefetch::AccessInfo info;
-            info.seq = seq;
-            info.pc = rec.pc;
-            info.vaddr = rec.vaddr;
-            info.line_addr =
-                alignDown(rec.vaddr, config.memory.l1d.line_bytes);
-            info.free_l1_mshrs = config.memory.l1d.mshrs;
-            info.context = &ctx;
-            out.clear();
-            prefetcher.observe(info, out);
-            ++seq;
-            if (seq >= next_report) {
-                next_report += per_slice;
-                const auto &stats = prefetcher.stats();
-                table.addRow(
-                    {std::to_string(seq),
-                     sim::Table::num(prefetcher.policy().accuracy(),
-                                     3),
-                     sim::Table::num(prefetcher.policy().epsilon(),
-                                     3),
-                     std::to_string(stats.real_predictions -
-                                    last.real_predictions),
-                     std::to_string(stats.shadow_predictions -
-                                    last.shadow_predictions),
-                     std::to_string(stats.associations -
-                                    last.associations),
-                     std::to_string(stats.overload_events -
-                                    last.overload_events),
-                     std::to_string(prefetcher.cst().liveEntries()),
-                     sim::Table::num(
-                         prefetcher.reducer().meanActiveAttrs(), 2)});
-                last = stats;
-            }
-        }
-        hw.update(rec);
+    for (const stats::TimeSeries::Row &row : series.rows) {
+        const auto count = [&row](int col) {
+            return std::to_string(
+                static_cast<std::uint64_t>(row.values[col]));
+        };
+        table.addRow({std::to_string(row.instructions),
+                      sim::Table::num(row.values[accuracy], 3),
+                      sim::Table::num(row.values[epsilon], 3),
+                      count(real), count(shadow), count(assoc),
+                      count(overloads), count(occupancy),
+                      sim::Table::num(row.values[attrs], 2)});
     }
     table.print(std::cout);
     std::cout << "\nExpect accuracy to rise and epsilon to fall as "

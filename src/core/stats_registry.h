@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hierarchical named-statistics registry with interval sampling.
+ *
+ * Components register scalar counters, gauges, distributions and formula
+ * stats under a dotted namespace ("sim.ipc", "mem.l1.misses",
+ * "context.bandit.epsilon"). The registry never owns the hot-path
+ * storage: counters are read through a pointer (or callback) only when a
+ * snapshot is taken, so instrumentation costs nothing while the
+ * simulation runs unsampled.
+ *
+ * Three consumers sit on top:
+ *  - Registry::report() flattens the current values into an owned
+ *    Report that survives component teardown (end-of-run dump);
+ *  - Report::toJson() renders the dotted names as nested JSON objects
+ *    (machine-readable export, --stats-out);
+ *  - IntervalSampler snapshots the registry every N instructions into a
+ *    TimeSeries of per-interval rows — counter columns hold interval
+ *    deltas, gauge columns point samples, formula columns ratios of the
+ *    interval deltas — written as CSV (--stats-interval).
+ */
+
+#ifndef CSP_CORE_STATS_REGISTRY_H
+#define CSP_CORE_STATS_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace csp::stats {
+
+/** What a registered stat measures. */
+enum class Kind : std::uint8_t
+{
+    Counter,      ///< monotonic cumulative count (interval = delta)
+    Gauge,        ///< instantaneous value (interval = point sample)
+    Distribution, ///< sample distribution (count/mean/min/max)
+    Formula,      ///< scale * numerator / denominator of other stats
+};
+
+/** Point-in-time summary of a distribution stat. */
+struct DistSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** One flattened stat value (owned, component-independent). */
+struct ReportEntry
+{
+    std::string name;
+    std::string desc;
+    Kind kind = Kind::Counter;
+    double value = 0.0; ///< scalar kinds; dist.mean for distributions
+    DistSummary dist;   ///< valid when kind == Distribution
+};
+
+/**
+ * Owned snapshot of every registered stat, taken at end of run. Safe to
+ * keep after the instrumented components are destroyed.
+ */
+struct Report
+{
+    std::vector<ReportEntry> entries;
+
+    bool contains(const std::string &name) const;
+
+    /** Value of a scalar stat; panics on unknown names. */
+    double value(const std::string &name) const;
+
+    /** Entries as a nested JSON object keyed by the dotted segments. */
+    std::string toJson() const;
+};
+
+/**
+ * Per-interval time series produced by an IntervalSampler. The first
+ * column is always "instructions" (the sample position); counter columns
+ * hold interval deltas, everything else point values.
+ */
+struct TimeSeries
+{
+    std::vector<std::string> columns; ///< excludes "instructions"
+    struct Row
+    {
+        std::uint64_t instructions = 0;
+        std::vector<double> values;
+    };
+    std::vector<Row> rows;
+
+    bool empty() const { return rows.empty(); }
+
+    /** Index of @p column, or -1 when absent. */
+    int columnIndex(const std::string &column) const;
+
+    /** Header line plus one line per interval row. */
+    void writeCsv(std::ostream &out) const;
+};
+
+/** See file comment. */
+class Registry
+{
+  public:
+    /** Cumulative counter read through a stable pointer. */
+    void counter(const std::string &name, const std::uint64_t *value,
+                 const std::string &desc = "");
+
+    /** Cumulative counter read through a callback. */
+    void counter(const std::string &name,
+                 std::function<std::uint64_t()> fn,
+                 const std::string &desc = "");
+
+    /** Instantaneous value read through a callback. */
+    void gauge(const std::string &name, std::function<double()> fn,
+               const std::string &desc = "");
+
+    /** Distribution backed by a Histogram. */
+    void distribution(const std::string &name, const Histogram *hist,
+                      const std::string &desc = "");
+
+    /** Distribution summarised on demand by a callback. */
+    void distribution(const std::string &name,
+                      std::function<DistSummary()> fn,
+                      const std::string &desc = "");
+
+    /**
+     * Ratio formula: value = @p scale * numerator / denominator
+     * (0 when the denominator is 0). The operands are referenced by
+     * name and resolved lazily, so registration order does not matter.
+     * In interval samples, counter operands use their interval deltas —
+     * "sim.ipc" over an interval is the interval's own IPC.
+     */
+    void formula(const std::string &name, const std::string &numerator,
+                 const std::string &denominator, double scale = 1.0,
+                 const std::string &desc = "");
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Current cumulative value of a scalar stat; panics on unknown
+     *  names and on distributions (use distSummary). */
+    double value(const std::string &name) const;
+
+    /** Current summary of a distribution stat; panics otherwise. */
+    DistSummary distSummary(const std::string &name) const;
+
+    /** Flatten current values, keeping names matching @p filter (a
+     *  dotted prefix; empty keeps everything). */
+    Report report(const std::string &filter = "") const;
+
+    /** Shorthand for report(filter).toJson(). */
+    std::string toJson(const std::string &filter = "") const;
+
+    /** True when @p name lies under the dotted prefix @p filter. */
+    static bool matchesFilter(const std::string &name,
+                              const std::string &filter);
+
+  private:
+    friend class IntervalSampler;
+
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        Kind kind = Kind::Counter;
+        std::function<std::uint64_t()> counter;
+        std::function<double()> gauge;
+        std::function<DistSummary()> dist;
+        std::string num, den; ///< formula operand names
+        double scale = 1.0;
+    };
+
+    void add(Entry entry);
+    const Entry *find(const std::string &name) const;
+    double entryValue(const Entry &entry) const;
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Snapshots a Registry every N instructions into a TimeSeries. The
+ * hot-path cost when disabled (interval 0) is the inlined due() compare.
+ */
+class IntervalSampler
+{
+  public:
+    /** @param interval instructions per sample; 0 disables sampling.
+     *  @param filter dotted-prefix column filter (empty = all). */
+    IntervalSampler(const Registry &registry, std::uint64_t interval,
+                    const std::string &filter = "");
+
+    bool enabled() const { return interval_ != 0; }
+    std::uint64_t interval() const { return interval_; }
+
+    /** True when @p instructions crossed the next sample boundary. */
+    bool
+    due(std::uint64_t instructions) const
+    {
+        return interval_ != 0 && instructions >= next_;
+    }
+
+    /** Instruction count of the next sample boundary; UINT64_MAX when
+     *  sampling is disabled (lets callers fuse the hot-loop check into
+     *  one compare against a register-resident bound). */
+    std::uint64_t
+    nextSampleAt() const
+    {
+        return interval_ == 0 ? UINT64_MAX : next_;
+    }
+
+    /** Record one row at @p instructions and advance the boundary. */
+    void sample(std::uint64_t instructions);
+
+    /** Record the final partial interval, if any instructions ran since
+     *  the last row (call after end-of-run flushes). */
+    void finish(std::uint64_t instructions);
+
+    const TimeSeries &series() const { return series_; }
+    TimeSeries takeSeries() { return std::move(series_); }
+
+  private:
+    const Registry &registry_;
+    std::uint64_t interval_;
+    std::uint64_t next_;
+    std::vector<std::size_t> sampled_;   ///< registry entry indices
+    std::vector<double> last_cumulative_; ///< per sampled column
+    std::vector<double> last_num_, last_den_; ///< formula operands
+    std::uint64_t last_instructions_ = 0;
+    TimeSeries series_;
+};
+
+} // namespace csp::stats
+
+#endif // CSP_CORE_STATS_REGISTRY_H

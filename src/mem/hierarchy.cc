@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/stats_registry.h"
+
 namespace csp::mem {
 
 Hierarchy::Hierarchy(const MemoryConfig &config)
@@ -39,7 +41,7 @@ Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
         std::max(slot + l2_lat, dram_next_free_);
     dram_next_free_ = dram_start + config_.dram_issue_interval;
     const Cycle fill = dram_start + config_.dram_latency;
-    l2_mshrs_.allocate(fill);
+    l2_mshrs_.allocate(slot, fill);
     EvictInfo evicted;
     l2_.insert(addr, fill, is_prefetch, &evicted,
                /*lru_insert=*/is_prefetch);
@@ -82,7 +84,8 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store)
     // Full L1 miss: wait for an MSHR, then look below.
     result.l1_miss = true;
     ++stats_.l1_misses;
-    const Cycle start = l1_mshrs_.availableAt(now) + l1_lat;
+    const Cycle slot = l1_mshrs_.availableAt(now);
+    const Cycle start = slot + l1_lat;
     bool went_to_memory = false;
     bool served_by_l2_prefetch = false;
     const Cycle fill = fillFromBelow(line_addr, start, false,
@@ -96,7 +99,7 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store)
         result.level = ServiceLevel::L2;
         result.shorter_wait = served_by_l2_prefetch;
     }
-    l1_mshrs_.allocate(fill);
+    l1_mshrs_.allocate(slot, fill);
     EvictInfo evicted;
     LineState &line = l1_.insert(line_addr, fill, false, &evicted);
     if (evicted.prefetched_unused)
@@ -169,7 +172,7 @@ Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs)
     const unsigned free =
         l1_mshrs_.freeWithin(now, config_.dram_latency);
     if (free > min_free_mshrs) {
-        l1_mshrs_.allocate(fill);
+        l1_mshrs_.allocate(now, fill);
         EvictInfo evicted;
         // LIP for L1 prefetch fills too: a wrong prefetch must not
         // displace a hot line in an at-capacity working set.
@@ -196,6 +199,54 @@ Hierarchy::finish()
 {
     stats_.prefetch_unused_at_end =
         l1_.countUnusedPrefetches() + l2_.countUnusedPrefetches();
+}
+
+void
+Hierarchy::registerStats(stats::Registry &registry) const
+{
+    registry.counter("mem.l1.demand_accesses", &stats_.demand_accesses,
+                     "demand loads and stores seen by L1D");
+    registry.counter("mem.l1.misses", &stats_.l1_misses,
+                     "L1D misses, including in-flight (MSHR) hits");
+    registry.counter("mem.l1.writebacks", &stats_.l1_writebacks,
+                     "dirty L1 lines pushed to L2");
+    registry.formula("mem.l1.miss_rate", "mem.l1.misses",
+                     "mem.l1.demand_accesses", 1.0,
+                     "L1D miss rate over demand accesses");
+    registry.counter("mem.l2.demand_misses", &stats_.l2_demand_misses,
+                     "demand requests that reached DRAM");
+    registry.counter("mem.l2.writebacks", &stats_.l2_writebacks,
+                     "dirty L2 lines written to DRAM");
+    registry.formula("mem.l2.miss_rate", "mem.l2.demand_misses",
+                     "mem.l1.misses", 1.0,
+                     "demand L2 miss rate relative to L1 misses");
+    registry.counter("mem.prefetch.issued", &stats_.prefetches_issued,
+                     "prefetch requests dispatched to the hierarchy");
+    registry.counter("mem.prefetch.duplicate",
+                     &stats_.prefetches_duplicate,
+                     "prefetches elided: line already present");
+    registry.counter("mem.prefetch.dropped", &stats_.prefetches_dropped,
+                     "prefetches dropped under MSHR pressure");
+    registry.counter("mem.prefetch.evicted_unused",
+                     &stats_.prefetch_evicted_unused,
+                     "prefetched lines evicted before any demand use");
+    registry.counter("mem.prefetch.unused_at_end",
+                     &stats_.prefetch_unused_at_end,
+                     "prefetched lines never used by end of run");
+    registry.counter(
+        "mem.prefetch.never_hit",
+        [this] { return stats_.prefetchesNeverHit(); },
+        "issued prefetches that never served a demand access");
+    registry.counter("mem.mshr.l1_allocations",
+                     &l1_mshrs_.allocations(),
+                     "fills booked into L1 MSHRs");
+    registry.counter("mem.mshr.l1_busy_cycles", &l1_mshrs_.busyCycles(),
+                     "summed L1 MSHR slot-busy cycles");
+    registry.counter("mem.mshr.l2_allocations",
+                     &l2_mshrs_.allocations(),
+                     "fills booked into L2 MSHRs");
+    registry.counter("mem.mshr.l2_busy_cycles", &l2_mshrs_.busyCycles(),
+                     "summed L2 MSHR slot-busy cycles");
 }
 
 void

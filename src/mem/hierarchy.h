@@ -15,6 +15,10 @@
 #include "mem/cache.h"
 #include "mem/mshr.h"
 
+namespace csp::stats {
+class Registry;
+}
+
 namespace csp::mem {
 
 /** Where a demand access was served from. */
@@ -102,6 +106,14 @@ class Hierarchy
 
     const HierarchyStats &stats() const { return stats_; }
     const MemoryConfig &config() const { return config_; }
+
+    /**
+     * Register this hierarchy's counters and gauges under "mem.*"
+     * ("mem.l1", "mem.l2", "mem.prefetch", "mem.mshr"). The registry
+     * reads through pointers into this object, so it must not outlive
+     * the hierarchy.
+     */
+    void registerStats(stats::Registry &registry) const;
 
     /** Line-align an address to L1 line granularity. */
     Addr lineAddr(Addr addr) const { return l1_.lineAddr(addr); }

@@ -50,12 +50,23 @@ MshrFile::allocate(Cycle completion)
 {
     auto slot = std::min_element(busy_.begin(), busy_.end());
     *slot = completion;
+    ++allocations_;
+}
+
+void
+MshrFile::allocate(Cycle start, Cycle completion)
+{
+    CSP_ASSERT(completion >= start);
+    allocate(completion);
+    busy_cycles_ += completion - start;
 }
 
 void
 MshrFile::reset()
 {
     std::fill(busy_.begin(), busy_.end(), 0);
+    allocations_ = 0;
+    busy_cycles_ = 0;
 }
 
 } // namespace csp::mem

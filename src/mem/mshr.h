@@ -47,14 +47,31 @@ class MshrFile
      */
     void allocate(Cycle completion);
 
+    /**
+     * Like allocate(@p completion), additionally crediting the
+     * [start, completion) span to the occupancy accounting read by the
+     * stats registry (mem.mshr.*_busy_cycles).
+     */
+    void allocate(Cycle start, Cycle completion);
+
     /** Total slot count. */
     unsigned slots() const { return static_cast<unsigned>(busy_.size()); }
+
+    /** Fills booked so far (allocations). */
+    const std::uint64_t &allocations() const { return allocations_; }
+
+    /** Total slot-busy cycles booked through the timed allocate()
+     *  overload; divided by elapsed cycles this is the file's average
+     *  occupancy in slots. */
+    const std::uint64_t &busyCycles() const { return busy_cycles_; }
 
     /** Forget all outstanding fills. */
     void reset();
 
   private:
     std::vector<Cycle> busy_; ///< completion cycle per slot (0 = idle)
+    std::uint64_t allocations_ = 0;
+    std::uint64_t busy_cycles_ = 0;
 };
 
 } // namespace csp::mem

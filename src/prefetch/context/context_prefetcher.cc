@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/logging.h"
+#include "core/stats_registry.h"
 #include "core/types.h"
 
 namespace csp::prefetch::ctx {
@@ -251,6 +252,87 @@ ContextPrefetcher::finish()
     pq_.flush([this](const PendingPrefetch &entry) {
         expireEntry(entry);
     });
+}
+
+void
+ContextPrefetcher::registerStats(stats::Registry &registry) const
+{
+    registry.counter("context.lookups", &stats_.lookups,
+                     "demand accesses observed");
+    registry.counter("context.predictions.real",
+                     &stats_.real_predictions,
+                     "predictions dispatched as real prefetches");
+    registry.counter("context.predictions.shadow",
+                     &stats_.shadow_predictions,
+                     "predictions tracked as shadow operations");
+    registry.counter("context.predictions.delta_overflows",
+                     &stats_.delta_overflows,
+                     "associations outside the delta range");
+
+    registry.gauge(
+        "context.bandit.epsilon", [this] { return policy_.epsilon(); },
+        "current exploration rate");
+    registry.gauge(
+        "context.bandit.accuracy",
+        [this] { return policy_.accuracy(); },
+        "smoothed prefetch-queue hit rate");
+    registry.counter("context.bandit.explorations",
+                     &stats_.explorations,
+                     "exploratory shadow prefetches drawn");
+
+    registry.counter("context.cst.associations", &stats_.associations,
+                     "links added by the collection unit");
+    registry.counter("context.cst.link_evictions",
+                     &cst_.linkEvictions(),
+                     "links displaced by score-based replacement");
+    registry.counter("context.cst.entry_evictions",
+                     &cst_.entryEvictions(),
+                     "entries displaced by conflicting contexts");
+    registry.gauge(
+        "context.cst.occupancy",
+        [this] { return static_cast<double>(cst_.liveEntries()); },
+        "valid CST entries");
+    registry.gauge(
+        "context.cst.occupancy_frac",
+        [this] {
+            return static_cast<double>(cst_.liveEntries()) /
+                   static_cast<double>(cst_.entries());
+        },
+        "fraction of CST entries in use");
+    registry.distribution(
+        "context.cst.score", [this] { return cst_.scoreSummary(); },
+        "scores of all valid CST links");
+
+    registry.counter("context.pq.hits", &stats_.pq_hits,
+                     "queued predictions matched by demand");
+    registry.counter("context.pq.hits_in_window",
+                     &stats_.pq_hits_in_window,
+                     "matches inside the reward window");
+    registry.counter("context.pq.expiries", &stats_.pq_expiries,
+                     "queued predictions never matched");
+    registry.gauge(
+        "context.pq.depth",
+        [this] { return static_cast<double>(pq_.size()); },
+        "live prefetch-queue entries");
+    registry.distribution("context.pq.hit_depth", &hit_depths_,
+                          "accesses between prediction and use");
+    registry.formula("context.reward.in_window_rate",
+                     "context.pq.hits_in_window", "context.pq.hits",
+                     1.0, "fraction of rewards inside the bell window");
+    registry.formula("context.reward.expiry_rate",
+                     "context.pq.expiries", "context.lookups", 1.0,
+                     "expiry penalties per demand access");
+
+    registry.counter("context.reducer.overloads",
+                     &stats_.overload_events,
+                     "attribute activations (context splits)");
+    registry.counter("context.reducer.underloads",
+                     &stats_.underload_events,
+                     "attribute deactivations (context merges)");
+    registry.gauge(
+        "context.reducer.active_attrs_mean",
+        [this] { return reducer_.meanActiveAttrs(); },
+        "mean active attributes per reducer entry");
 }
 
 } // namespace csp::prefetch::ctx

@@ -84,6 +84,11 @@ class ContextPrefetcher final : public Prefetcher
 
     void finish() override;
 
+    /** Learning telemetry under "context.*": the bandit's exploration
+     *  state, CST occupancy/evictions/scores, prefetch-queue pressure
+     *  and the reward mix — the dynamics behind paper Figures 5/8/9. */
+    void registerStats(stats::Registry &registry) const override;
+
     const Histogram *hitDepths() const override { return &hit_depths_; }
 
     const ContextStats &stats() const { return stats_; }

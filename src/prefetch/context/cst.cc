@@ -80,6 +80,8 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
                 return result;
             }
         }
+        if (entry.valid)
+            ++entry_evictions_;
         entry.valid = true;
         entry.tag = tag;
         entry.churn = 0;
@@ -113,6 +115,7 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
         }
         slot = weakest;
         result.evicted_link = true;
+        ++link_evictions_;
         if (entry.churn < 255)
             ++entry.churn;
     }
@@ -251,6 +254,34 @@ Cst::liveEntries() const
     return live;
 }
 
+stats::DistSummary
+Cst::scoreSummary() const
+{
+    stats::DistSummary s;
+    double sum = 0.0;
+    for (const Entry &entry : table_) {
+        if (!entry.valid)
+            continue;
+        for (const CstLink &link : entry.links) {
+            if (!link.valid)
+                continue;
+            const double score = link.score.value();
+            if (s.count == 0) {
+                s.min = score;
+                s.max = score;
+            } else {
+                s.min = std::min(s.min, score);
+                s.max = std::max(s.max, score);
+            }
+            sum += score;
+            ++s.count;
+        }
+    }
+    if (s.count > 0)
+        s.mean = sum / static_cast<double>(s.count);
+    return s;
+}
+
 void
 Cst::reset()
 {
@@ -260,6 +291,8 @@ Cst::reset()
         for (CstLink &link : entry.links)
             link = CstLink{};
     }
+    link_evictions_ = 0;
+    entry_evictions_ = 0;
 }
 
 } // namespace csp::prefetch::ctx

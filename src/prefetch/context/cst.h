@@ -21,6 +21,7 @@
 #include "core/config.h"
 #include "core/rng.h"
 #include "core/stats.h"
+#include "core/stats_registry.h"
 
 namespace csp::prefetch::ctx {
 
@@ -107,6 +108,18 @@ class Cst
     /** Number of valid entries (occupancy diagnostics). */
     unsigned liveEntries() const;
 
+    /** Links displaced by score-based replacement so far. */
+    const std::uint64_t &linkEvictions() const { return link_evictions_; }
+
+    /** Live entries displaced by a conflicting context so far. */
+    const std::uint64_t &entryEvictions() const
+    {
+        return entry_evictions_;
+    }
+
+    /** Distribution of the scores of all currently valid links. */
+    stats::DistSummary scoreSummary() const;
+
     /** Drop all learned state. */
     void reset();
 
@@ -119,6 +132,8 @@ class Cst
     unsigned index_bits_;
     unsigned links_per_entry_;
     std::vector<Entry> table_;
+    std::uint64_t link_evictions_ = 0;
+    std::uint64_t entry_evictions_ = 0;
 };
 
 } // namespace csp::prefetch::ctx

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/hashing.h"
+#include "core/stats_registry.h"
 
 namespace csp::prefetch {
 
@@ -109,14 +110,33 @@ GhbPrefetcher::observe(const AccessInfo &info,
                 target += static_cast<Addr>(
                     scratch_deltas_[k] *
                     static_cast<std::int64_t>(line_bytes_));
-                if (target != info.line_addr)
+                if (target != info.line_addr) {
                     out.push_back({target, false});
+                    ++predictions_;
+                }
             }
             return;
         }
         if (j == plen - 1)
             break;
     }
+}
+
+void
+GhbPrefetcher::registerStats(stats::Registry &registry) const
+{
+    const std::string prefix = "prefetch." + name();
+    registry.counter(prefix + ".predictions", &predictions_,
+                     "prefetch candidates emitted");
+    registry.gauge(
+        prefix + ".index_live",
+        [this] {
+            double live = 0.0;
+            for (const IndexEntry &entry : index_)
+                live += entry.valid ? 1.0 : 0.0;
+            return live;
+        },
+        "valid index-table entries");
 }
 
 } // namespace csp::prefetch

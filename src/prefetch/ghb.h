@@ -46,6 +46,8 @@ class GhbPrefetcher final : public Prefetcher
     void observe(const AccessInfo &info,
                  std::vector<PrefetchRequest> &out) override;
 
+    void registerStats(stats::Registry &registry) const override;
+
   private:
     struct GhbEntry
     {
@@ -77,6 +79,7 @@ class GhbPrefetcher final : public Prefetcher
     std::vector<IndexEntry> index_;
     std::vector<Addr> scratch_stream_;
     std::vector<std::int64_t> scratch_deltas_;
+    std::uint64_t predictions_ = 0;
 };
 
 } // namespace csp::prefetch

@@ -4,6 +4,7 @@
 
 #include "core/hashing.h"
 #include "core/logging.h"
+#include "core/stats_registry.h"
 
 namespace csp::prefetch {
 
@@ -73,9 +74,26 @@ MarkovPrefetcher::observe(const AccessInfo &info,
             if (sorted[i].count == 0 || sorted[i].line == kInvalidAddr)
                 break;
             out.push_back({sorted[i].line, false});
+            ++predictions_;
             ++issued;
         }
     }
+}
+
+void
+MarkovPrefetcher::registerStats(stats::Registry &registry) const
+{
+    registry.counter("prefetch.markov.predictions", &predictions_,
+                     "prefetch candidates emitted");
+    registry.gauge(
+        "prefetch.markov.table_live",
+        [this] {
+            double live = 0.0;
+            for (const Entry &entry : table_)
+                live += entry.valid ? 1.0 : 0.0;
+            return live;
+        },
+        "valid Markov-table entries");
 }
 
 } // namespace csp::prefetch

@@ -30,6 +30,8 @@ class MarkovPrefetcher final : public Prefetcher
     void observe(const AccessInfo &info,
                  std::vector<PrefetchRequest> &out) override;
 
+    void registerStats(stats::Registry &registry) const override;
+
   private:
     struct Successor
     {
@@ -49,6 +51,7 @@ class MarkovPrefetcher final : public Prefetcher
     MarkovConfig config_;
     std::vector<Entry> table_;
     Addr prev_line_ = kInvalidAddr;
+    std::uint64_t predictions_ = 0;
 };
 
 } // namespace csp::prefetch

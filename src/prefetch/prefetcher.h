@@ -23,6 +23,10 @@
 #include "mem/hierarchy.h"
 #include "trace/context.h"
 
+namespace csp::stats {
+class Registry;
+}
+
 namespace csp::prefetch {
 
 /** One candidate emitted by a prefetcher. */
@@ -85,6 +89,18 @@ class Prefetcher
      * does (paper Figure 8). Null otherwise.
      */
     virtual const Histogram *hitDepths() const { return nullptr; }
+
+    /**
+     * Register internal counters and gauges with the run's stats
+     * registry — baselines under "prefetch.<name>.*", the context
+     * prefetcher under "context.*". The registry reads through
+     * pointers into this object, so it must not outlive the
+     * prefetcher. Default: no stats.
+     */
+    virtual void registerStats(stats::Registry &registry) const
+    {
+        (void)registry;
+    }
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include "core/hashing.h"
 #include "core/logging.h"
+#include "core/stats_registry.h"
 
 namespace csp::prefetch {
 
@@ -93,6 +94,7 @@ SmsPrefetcher::observe(const AccessInfo &info,
                     {region_base + static_cast<Addr>(line) *
                                        config_.line_bytes,
                      false});
+                ++predictions_;
             }
         }
     }
@@ -122,6 +124,22 @@ SmsPrefetcher::finish()
             trainPht(entry);
         entry.valid = false;
     }
+}
+
+void
+SmsPrefetcher::registerStats(stats::Registry &registry) const
+{
+    registry.counter("prefetch.sms.predictions", &predictions_,
+                     "prefetch candidates emitted");
+    registry.gauge(
+        "prefetch.sms.pht_live",
+        [this] {
+            double live = 0.0;
+            for (const PhtEntry &entry : pht_)
+                live += entry.valid ? 1.0 : 0.0;
+            return live;
+        },
+        "trained pattern-history-table entries");
 }
 
 } // namespace csp::prefetch

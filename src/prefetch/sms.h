@@ -39,6 +39,8 @@ class SmsPrefetcher final : public Prefetcher
 
     void finish() override;
 
+    void registerStats(stats::Registry &registry) const override;
+
   private:
     struct FilterEntry
     {
@@ -74,6 +76,7 @@ class SmsPrefetcher final : public Prefetcher
     std::vector<AgtEntry> agt_;
     std::vector<PhtEntry> pht_;
     std::uint64_t lru_clock_ = 0;
+    std::uint64_t predictions_ = 0;
 };
 
 } // namespace csp::prefetch

@@ -1,6 +1,7 @@
 #include "prefetch/stride.h"
 
 #include "core/hashing.h"
+#include "core/stats_registry.h"
 
 namespace csp::prefetch {
 
@@ -47,9 +48,26 @@ StridePrefetcher::observe(const AccessInfo &info,
                 line != alignDown(info.vaddr, line_bytes_)) {
                 out.push_back({line, false});
                 prev_line = line;
+                ++predictions_;
             }
         }
     }
+}
+
+void
+StridePrefetcher::registerStats(stats::Registry &registry) const
+{
+    registry.counter("prefetch.stride.predictions", &predictions_,
+                     "prefetch candidates emitted");
+    registry.gauge(
+        "prefetch.stride.table_live",
+        [this] {
+            double live = 0.0;
+            for (const Entry &entry : table_)
+                live += entry.valid ? 1.0 : 0.0;
+            return live;
+        },
+        "valid PC-indexed table entries");
 }
 
 } // namespace csp::prefetch

@@ -29,6 +29,8 @@ class StridePrefetcher final : public Prefetcher
     void observe(const AccessInfo &info,
                  std::vector<PrefetchRequest> &out) override;
 
+    void registerStats(stats::Registry &registry) const override;
+
   private:
     struct Entry
     {
@@ -42,6 +44,7 @@ class StridePrefetcher final : public Prefetcher
     StrideConfig config_;
     unsigned line_bytes_;
     std::vector<Entry> table_;
+    std::uint64_t predictions_ = 0;
 };
 
 } // namespace csp::prefetch

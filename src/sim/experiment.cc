@@ -137,6 +137,43 @@ SweepResult::geomeanSpeedup(const std::string &prefetcher) const
     return geomean(speedups);
 }
 
+Heartbeat::Heartbeat(std::string label, std::uint64_t total_insts,
+                     double min_seconds)
+    : label_(std::move(label)),
+      total_(total_insts),
+      min_seconds_(min_seconds),
+      start_(std::chrono::steady_clock::now()),
+      last_(start_)
+{}
+
+Simulator::ProgressFn
+Heartbeat::hook()
+{
+    return [this](std::uint64_t instructions) { beat(instructions); };
+}
+
+void
+Heartbeat::beat(std::uint64_t instructions)
+{
+    const auto now = std::chrono::steady_clock::now();
+    const double since_last =
+        std::chrono::duration<double>(now - last_).count();
+    if (since_last < min_seconds_)
+        return;
+    last_ = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(instructions) / elapsed
+                      : 0.0;
+    const double pct =
+        total_ == 0 ? 0.0
+                    : 100.0 * static_cast<double>(instructions) /
+                          static_cast<double>(total_);
+    inform("%s: %5.1f%% (%.1fM insts, %.2fM insts/s)", label_.c_str(),
+           pct, static_cast<double>(instructions) / 1e6, rate / 1e6);
+}
+
 double
 geomean(const std::vector<double> &values)
 {
@@ -171,6 +208,10 @@ runSweep(const std::vector<std::string> &workload_names,
         for (const std::string &pf_name : prefetcher_names) {
             auto prefetcher = makePrefetcher(pf_name, config);
             Simulator simulator(config);
+            Heartbeat heartbeat(workload_name + "/" + pf_name,
+                                trace.instructions());
+            if (verbose)
+                simulator.setProgress(heartbeat.hook());
             CellResult cell;
             cell.workload = workload_name;
             cell.prefetcher = pf_name;

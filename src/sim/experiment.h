@@ -9,6 +9,8 @@
 #ifndef CSP_SIM_EXPERIMENT_H
 #define CSP_SIM_EXPERIMENT_H
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -71,9 +73,37 @@ struct SweepResult
 };
 
 /**
+ * Wall-clock rate-limited progress reporter for long simulations.
+ * Install hook() as a Simulator progress callback; it prints via
+ * inform() at most once every @p min_seconds, showing percent complete
+ * and simulated instructions per second. Any bench/ or tools/ binary
+ * can reuse it for a uniform heartbeat.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(std::string label, std::uint64_t total_insts,
+              double min_seconds = 2.0);
+
+    /** The callback to pass to Simulator::setProgress(). */
+    Simulator::ProgressFn hook();
+
+    /** Report progress at @p instructions (rate-limited). */
+    void beat(std::uint64_t instructions);
+
+  private:
+    std::string label_;
+    std::uint64_t total_;
+    double min_seconds_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point last_;
+};
+
+/**
  * Run every workload against every prefetcher. Each workload's trace is
  * generated once and replayed for all prefetchers. Progress is logged
- * to stderr when @p verbose.
+ * to stderr when @p verbose (a per-workload summary line, plus a
+ * Heartbeat during each cell's simulation).
  */
 SweepResult runSweep(const std::vector<std::string> &workload_names,
                      const std::vector<std::string> &prefetcher_names,

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
@@ -95,6 +97,27 @@ class PredictedRing
 
 Simulator::Simulator(const SystemConfig &config) : config_(config) {}
 
+void
+Simulator::setSampling(std::uint64_t interval_insts,
+                       const std::string &filter)
+{
+    stats_interval_ = interval_insts;
+    stats_filter_ = filter;
+}
+
+void
+Simulator::setReportFilter(const std::string &filter)
+{
+    report_filter_ = filter;
+}
+
+void
+Simulator::setProgress(ProgressFn fn, std::uint64_t every_insts)
+{
+    progress_ = std::move(fn);
+    progress_every_ = every_insts;
+}
+
 RunStats
 Simulator::run(const trace::TraceBuffer &trace,
                prefetch::Prefetcher &prefetcher)
@@ -107,6 +130,65 @@ Simulator::run(const trace::TraceBuffer &trace,
     RunStats stats;
     AccessSeq seq = 0;
     std::vector<prefetch::PrefetchRequest> requests;
+
+    // Run-local counters that exist only as registry stats.
+    std::uint64_t requests_real = 0;
+    std::uint64_t requests_shadow = 0;
+    std::uint64_t useful_hits = 0;
+
+    // The run's stats registry: every layer contributes named stats,
+    // the registry reads them through pointers/callbacks only when a
+    // snapshot is taken (end of run, or each sampling interval).
+    stats::Registry registry;
+    registry.counter(
+        "sim.instructions", [&core] { return core.instructions(); },
+        "instructions dispatched");
+    registry.counter(
+        "sim.cycles", [&core] { return core.elapsed(); },
+        "cycles elapsed (last retirement)");
+    registry.formula("sim.ipc", "sim.instructions", "sim.cycles", 1.0,
+                     "instructions per cycle");
+    registry.formula("sim.l1_mpki", "mem.l1.misses",
+                     "sim.instructions", 1000.0,
+                     "L1D misses per kilo-instruction");
+    registry.formula("sim.l2_mpki", "mem.l2.demand_misses",
+                     "sim.instructions", 1000.0,
+                     "demand L2 misses per kilo-instruction");
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(AccessClass::Count); ++c) {
+        registry.counter(
+            std::string("sim.class.") +
+                accessClassName(static_cast<AccessClass>(c)),
+            &stats.classes[c],
+            "demand accesses in this Figure-9 benefit class");
+    }
+    registry.counter("sim.prefetch.requests_real", &requests_real,
+                     "real prefetch candidates emitted");
+    registry.counter("sim.prefetch.requests_shadow", &requests_shadow,
+                     "shadow (training-only) candidates emitted");
+    registry.counter("sim.prefetch.useful_hits", &useful_hits,
+                     "demand accesses sped up by a prefetch");
+    hierarchy.registerStats(registry);
+    prefetcher.registerStats(registry);
+    registry.formula("mem.mshr.occupancy_avg",
+                     "mem.mshr.l1_busy_cycles", "sim.cycles", 1.0,
+                     "average L1 MSHR slots in use");
+    registry.formula("mem.mshr.l2_occupancy_avg",
+                     "mem.mshr.l2_busy_cycles", "sim.cycles", 1.0,
+                     "average L2 MSHR slots in use");
+
+    stats::IntervalSampler sampler(registry, stats_interval_,
+                                   stats_filter_);
+    const std::uint64_t progress_every =
+        progress_ ? progress_every_ : 0;
+    std::uint64_t next_progress =
+        progress_every == 0 ? UINT64_MAX : progress_every;
+
+    // The hot loop pays for instrumentation with ONE compare against
+    // this fused boundary (UINT64_MAX when sampling and progress are
+    // both off); the cold path below recomputes it.
+    std::uint64_t next_event =
+        std::min(sampler.nextSampleAt(), next_progress);
 
     for (const TraceRecord &rec : trace.records()) {
         switch (rec.kind) {
@@ -155,6 +237,10 @@ Simulator::run(const trace::TraceBuffer &trace,
             else
                 cls = AccessClass::MissNotPrefetched;
             ++stats.classes[static_cast<std::size_t>(cls)];
+            if (cls == AccessClass::HitPrefetchedLine ||
+                cls == AccessClass::ShorterWait) {
+                ++useful_hits;
+            }
 
             // Hand the access to the prefetcher and dispatch its
             // requests.
@@ -174,6 +260,10 @@ Simulator::run(const trace::TraceBuffer &trace,
             requests.clear();
             prefetcher.observe(info, requests);
             for (const prefetch::PrefetchRequest &req : requests) {
+                if (req.shadow)
+                    ++requests_shadow;
+                else
+                    ++requests_real;
                 if (req.shadow) {
                     predicted_unissued.record(
                         hierarchy.lineAddr(req.addr));
@@ -192,6 +282,24 @@ Simulator::run(const trace::TraceBuffer &trace,
 
             hw.update(rec);
             ++seq;
+
+            // Instrumentation boundary check, on the memory-access
+            // path only (every boundary is crossed within a few
+            // hundred instructions on any workload; the compute/branch
+            // paths stay call-free and register-resident). One compare
+            // against the fused bound when nothing is enabled.
+            if (core.instructions() >= next_event) [[unlikely]] {
+                const std::uint64_t insts = core.instructions();
+                if (sampler.due(insts))
+                    sampler.sample(insts);
+                if (insts >= next_progress) {
+                    progress_(insts);
+                    while (next_progress <= insts)
+                        next_progress += progress_every;
+                }
+                next_event =
+                    std::min(sampler.nextSampleAt(), next_progress);
+            }
             break;
           }
         }
@@ -199,14 +307,25 @@ Simulator::run(const trace::TraceBuffer &trace,
 
     prefetcher.finish();
     hierarchy.finish();
+    sampler.finish(core.instructions());
 
-    stats.instructions = core.instructions();
-    stats.cycles = core.elapsed();
+    // RunStats keeps its public shape but is populated from the
+    // registry — the registry is the single source of truth.
+    stats.instructions =
+        static_cast<std::uint64_t>(registry.value("sim.instructions"));
+    stats.cycles = static_cast<Cycle>(registry.value("sim.cycles"));
     stats.hierarchy = hierarchy.stats();
-    stats.demand_accesses = stats.hierarchy.demand_accesses;
-    stats.l1_misses = stats.hierarchy.l1_misses;
-    stats.l2_demand_misses = stats.hierarchy.l2_demand_misses;
-    stats.prefetch_never_hit = stats.hierarchy.prefetchesNeverHit();
+    stats.demand_accesses = static_cast<std::uint64_t>(
+        registry.value("mem.l1.demand_accesses"));
+    stats.l1_misses =
+        static_cast<std::uint64_t>(registry.value("mem.l1.misses"));
+    stats.l2_demand_misses = static_cast<std::uint64_t>(
+        registry.value("mem.l2.demand_misses"));
+    stats.prefetch_never_hit = static_cast<std::uint64_t>(
+        registry.value("mem.prefetch.never_hit"));
+
+    last_report_ = registry.report(report_filter_);
+    last_series_ = sampler.takeSeries();
     return stats;
 }
 

@@ -13,10 +13,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/config.h"
 #include "core/stats.h"
+#include "core/stats_registry.h"
 #include "mem/hierarchy.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace.h"
@@ -128,14 +130,50 @@ struct RunStats
 class Simulator
 {
   public:
+    /** Periodic progress hook: called with instructions retired so far. */
+    using ProgressFn = std::function<void(std::uint64_t)>;
+
     explicit Simulator(const SystemConfig &config);
+
+    /**
+     * Enable interval stats sampling for subsequent run() calls: one
+     * time-series row every @p interval_insts instructions (0 disables,
+     * the default), keeping only columns under the dotted prefix
+     * @p filter (empty keeps all). Read the result via lastSeries().
+     */
+    void setSampling(std::uint64_t interval_insts,
+                     const std::string &filter = "");
+
+    /** Dotted-prefix filter applied to lastReport() (dump export). */
+    void setReportFilter(const std::string &filter);
+
+    /**
+     * Install a progress hook called roughly every @p every_insts
+     * instructions during run() (0 disables, the default).
+     */
+    void setProgress(ProgressFn fn, std::uint64_t every_insts = 100000);
 
     /** Replay @p trace through @p prefetcher; returns the run's stats. */
     RunStats run(const trace::TraceBuffer &trace,
                  prefetch::Prefetcher &prefetcher);
 
+    /** Full hierarchical stats of the most recent run() (all registered
+     *  counters/gauges/distributions/formulas, filter applied). */
+    const stats::Report &lastReport() const { return last_report_; }
+
+    /** Interval time-series of the most recent run() — empty unless
+     *  setSampling() enabled sampling. */
+    const stats::TimeSeries &lastSeries() const { return last_series_; }
+
   private:
     SystemConfig config_;
+    std::uint64_t stats_interval_ = 0;
+    std::string stats_filter_;
+    std::string report_filter_;
+    ProgressFn progress_;
+    std::uint64_t progress_every_ = 0;
+    stats::Report last_report_;
+    stats::TimeSeries last_series_;
 };
 
 } // namespace csp::sim

@@ -16,8 +16,10 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,10 @@ struct Options
     bool list = false;
     bool describe = false;
     bool verbose = false;
+    std::string stats_out;
+    std::string stats_csv;
+    std::string stats_filter;
+    std::uint64_t stats_interval = 0;
     SystemConfig config;
 };
 
@@ -73,7 +79,14 @@ usage()
         "generating\n"
         "  --csv                    CSV instead of aligned table\n"
         "  --json                   one JSON object per prefetcher\n"
-        "  --verbose                progress on stderr\n"
+        "  --stats-out FILE         full hierarchical stats as JSON\n"
+        "  --stats-interval N       sample interval stats every N\n"
+        "                           instructions into a CSV time-series\n"
+        "  --stats-csv FILE         interval CSV path (default: derived\n"
+        "                           from --stats-out)\n"
+        "  --stats-filter PREFIX    keep only stats under the dotted\n"
+        "                           prefix (e.g. context.bandit)\n"
+        "  --verbose                rate-limited progress heartbeat\n"
         "  --cst-entries N          context prefetcher CST size\n"
         "  --max-degree N           context prefetcher degree cap\n"
         "  --softmax                softmax exploration (extension)\n"
@@ -124,6 +137,15 @@ parse(int argc, char **argv)
             options.json = true;
         } else if (arg == "--verbose") {
             options.verbose = true;
+        } else if (arg == "--stats-out") {
+            options.stats_out = need_value(i);
+        } else if (arg == "--stats-csv") {
+            options.stats_csv = need_value(i);
+        } else if (arg == "--stats-filter") {
+            options.stats_filter = need_value(i);
+        } else if (arg == "--stats-interval") {
+            options.stats_interval =
+                std::strtoull(need_value(i), nullptr, 10);
         } else if (arg == "--cst-entries") {
             options.config.context.cst_entries = static_cast<unsigned>(
                 std::strtoul(need_value(i), nullptr, 10));
@@ -176,6 +198,45 @@ obtainTrace(const Options &options)
     return workload->generate(params);
 }
 
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write %s", path.c_str());
+    out << content;
+}
+
+/** Interval-CSV path for one prefetcher: --stats-csv when given, else
+ *  derived from --stats-out (stats.json -> stats.intervals.csv); with
+ *  several prefetchers the name is tagged per prefetcher. */
+std::string
+intervalCsvPath(const Options &options, const std::string &pf_name,
+                bool multi)
+{
+    std::string base = options.stats_csv;
+    if (base.empty()) {
+        base = options.stats_out;
+        if (base.empty()) {
+            fatal("--stats-interval needs --stats-out or "
+                  "--stats-csv for the CSV path");
+        }
+        if (base.size() > 5 &&
+            base.compare(base.size() - 5, 5, ".json") == 0) {
+            base.erase(base.size() - 5);
+        }
+        base += multi ? "." + pf_name + ".intervals.csv"
+                      : ".intervals.csv";
+        return base;
+    }
+    if (!multi)
+        return base;
+    const std::size_t dot = base.rfind('.');
+    if (dot == std::string::npos)
+        return base + "." + pf_name;
+    return base.substr(0, dot) + "." + pf_name + base.substr(dot);
+}
+
 } // namespace
 
 int
@@ -216,25 +277,61 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const std::vector<std::string> pf_names =
+        prefetcherList(options.prefetcher);
+    const bool multi = pf_names.size() > 1;
+
+    // Full Figure-9 benefit breakdown plus wrong prefetches, all
+    // sourced from the stats registry via RunStats.
     sim::Table table({"prefetcher", "IPC", "speedup", "L1-MPKI",
                       "L2-MPKI", "pf-issued", "pf-never-hit",
-                      "hit-pf%", "shorter%"});
+                      "hit-pf%", "shorter%", "non-timely%",
+                      "miss-unpf%", "hit-dem%"});
     double baseline_ipc = 0.0;
-    for (const std::string &pf_name :
-         prefetcherList(options.prefetcher)) {
+    std::ostringstream stats_json;
+    for (const std::string &pf_name : pf_names) {
         auto prefetcher =
             sim::makePrefetcher(pf_name, options.config);
         sim::Simulator simulator(options.config);
+        simulator.setReportFilter(options.stats_filter);
+        if (options.stats_interval != 0) {
+            simulator.setSampling(options.stats_interval,
+                                  options.stats_filter);
+        }
+        sim::Heartbeat heartbeat(pf_name, trace.instructions());
+        if (options.verbose)
+            simulator.setProgress(heartbeat.hook());
         const sim::RunStats stats =
             simulator.run(trace, *prefetcher);
         if (options.json) {
             std::cout << "{\"prefetcher\":\"" << pf_name
                       << "\",\"stats\":" << stats.toJson() << "}\n";
         }
+        if (!options.stats_out.empty()) {
+            if (multi) {
+                stats_json << (stats_json.tellp() == 0 ? "{" : ",")
+                           << '"' << pf_name << "\":";
+            }
+            stats_json << simulator.lastReport().toJson();
+        }
+        if (options.stats_interval != 0) {
+            const std::string path =
+                intervalCsvPath(options, pf_name, multi);
+            std::ofstream csv(path);
+            if (!csv)
+                fatal("cannot write %s", path.c_str());
+            simulator.lastSeries().writeCsv(csv);
+            if (options.verbose)
+                inform("wrote interval stats to %s", path.c_str());
+        }
         if (baseline_ipc == 0.0) {
             // First row is the reference (it is "none" for "all").
             baseline_ipc = stats.ipc();
         }
+        const auto pct = [&stats](sim::AccessClass cls) {
+            return sim::Table::num(
+                100.0 * stats.classFraction(cls), 1);
+        };
         table.addRow(
             {pf_name, sim::Table::num(stats.ipc(), 3),
              sim::Table::num(stats.ipc() / baseline_ipc, 3),
@@ -242,14 +339,19 @@ main(int argc, char **argv)
              sim::Table::num(stats.l2Mpki(), 2),
              std::to_string(stats.hierarchy.prefetches_issued),
              std::to_string(stats.prefetch_never_hit),
-             sim::Table::num(
-                 100.0 * stats.classFraction(
-                             sim::AccessClass::HitPrefetchedLine),
-                 1),
-             sim::Table::num(
-                 100.0 * stats.classFraction(
-                             sim::AccessClass::ShorterWait),
-                 1)});
+             pct(sim::AccessClass::HitPrefetchedLine),
+             pct(sim::AccessClass::ShorterWait),
+             pct(sim::AccessClass::NonTimely),
+             pct(sim::AccessClass::MissNotPrefetched),
+             pct(sim::AccessClass::HitOlderDemand)});
+    }
+    if (!options.stats_out.empty()) {
+        if (multi)
+            stats_json << '}';
+        stats_json << '\n';
+        writeFile(options.stats_out, stats_json.str());
+        if (options.verbose)
+            inform("wrote stats to %s", options.stats_out.c_str());
     }
     if (options.csv)
         table.printCsv(std::cout);
