@@ -12,6 +12,7 @@
 #define CSP_BENCH_BENCH_COMMON_H
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +21,34 @@
 #include "sim/table.h"
 
 namespace csp::bench {
+
+/**
+ * Jobs knob shared by every bench binary: `--jobs N` (or `-j N`) on
+ * the command line wins; 0 means "auto", which runSweep resolves as
+ * CSP_JOBS when set, else every hardware thread. Results are
+ * bit-identical for any value — parallelism only changes wall time.
+ */
+inline unsigned
+jobsArg(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        }
+    }
+    return 0;
+}
+
+/** Sweep options for a bench binary's runSweep call. */
+inline sim::SweepOptions
+sweepOptions(int argc, char **argv)
+{
+    sim::SweepOptions options;
+    options.jobs = jobsArg(argc, argv);
+    return options;
+}
 
 /** Default per-workload memory-access budget for full-suite sweeps. */
 inline std::uint64_t

@@ -8,7 +8,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace csp;
     bench::banner("Accuracy and timeliness classification (%)",
@@ -21,7 +21,8 @@ main()
     SystemConfig config;
     const sim::SweepResult sweep = sim::runSweep(
         workload_names, sim::paperPrefetchers(),
-        bench::benchParams(bench::sweepScale()), config);
+        bench::benchParams(bench::sweepScale()), config,
+        bench::sweepOptions(argc, argv));
 
     sim::Table table({"benchmark", "prefetcher", "hit-pf", "shorter",
                       "non-timely", "miss-unpred", "hit-older",

@@ -8,7 +8,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace csp;
     bench::banner("L2 MPKI per prefetcher",
@@ -17,7 +17,8 @@ main()
     const auto all = sim::allWorkloads();
     const sim::SweepResult sweep =
         sim::runSweep(all, sim::paperPrefetchers(),
-                      bench::benchParams(bench::sweepScale()), config);
+                      bench::benchParams(bench::sweepScale()), config,
+                      bench::sweepOptions(argc, argv));
 
     std::vector<std::string> headers = {"benchmark"};
     for (const auto &pf : sweep.prefetcher_names)

@@ -8,7 +8,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace csp;
     bench::banner("Naive (linked) vs spatially optimised layouts: CPI",
@@ -25,7 +25,8 @@ main()
     }
     const sim::SweepResult sweep = sim::runSweep(
         all_names, sim::paperPrefetchers(),
-        bench::benchParams(bench::focusedScale()), config);
+        bench::benchParams(bench::focusedScale()), config,
+        bench::sweepOptions(argc, argv));
 
     sim::Table table({"prefetcher", "ssca2 CSR CPI", "ssca2 list CPI",
                       "graph500 CSR CPI", "graph500 list CPI"});

@@ -1,13 +1,16 @@
 /** @file Google-benchmark microbenchmarks of per-access prefetcher
  *  overhead: how much host time each prefetcher's observe() costs on a
- *  mixed synthetic stream. Not a paper figure — engineering data for
- *  simulator users sizing long sweeps. */
+ *  mixed synthetic stream, plus trace-generation throughput per
+ *  workload (insts/sec, accesses/sec) — the other half of a sweep
+ *  cell's cost. Not a paper figure — engineering data for simulator
+ *  users sizing long sweeps. */
 
 #include <benchmark/benchmark.h>
 
 #include "core/rng.h"
 #include "sim/experiment.h"
 #include "trace/hw_state.h"
+#include "workloads/registry.h"
 
 namespace {
 
@@ -81,6 +84,52 @@ BENCHMARK(BM_GhbPcdc);
 BENCHMARK(BM_Sms);
 BENCHMARK(BM_Markov);
 BENCHMARK(BM_Context);
+
+/** Trace-generation throughput for one workload: how many simulated
+ *  instructions (and memory accesses) per host second the generator
+ *  produces. Surfaces trace-gen hotspots next to the prefetcher op
+ *  costs above — runSweep's phase 1 is bound by exactly this rate. */
+void
+runTraceGen(benchmark::State &state, const std::string &name)
+{
+    const auto &registry = workloads::Registry::builtin();
+    workloads::WorkloadParams params;
+    params.scale = 50000;
+    params.seed = 1;
+    std::uint64_t insts = 0;
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        const auto workload = registry.create(name);
+        const trace::TraceBuffer trace = workload->generate(params);
+        benchmark::DoNotOptimize(trace.size());
+        insts += trace.instructions();
+        accesses += trace.memAccesses();
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["accesses/s"] = benchmark::Counter(
+        static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+
+void BM_TraceGen_Array(benchmark::State &s) { runTraceGen(s, "array"); }
+void BM_TraceGen_List(benchmark::State &s) { runTraceGen(s, "list"); }
+void BM_TraceGen_Mcf(benchmark::State &s) { runTraceGen(s, "mcf"); }
+void
+BM_TraceGen_Graph500List(benchmark::State &s)
+{
+    runTraceGen(s, "graph500-list");
+}
+void
+BM_TraceGen_SuffixArray(benchmark::State &s)
+{
+    runTraceGen(s, "suffixArray");
+}
+
+BENCHMARK(BM_TraceGen_Array);
+BENCHMARK(BM_TraceGen_List);
+BENCHMARK(BM_TraceGen_Mcf);
+BENCHMARK(BM_TraceGen_Graph500List);
+BENCHMARK(BM_TraceGen_SuffixArray);
 
 } // namespace
 

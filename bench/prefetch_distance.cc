@@ -10,7 +10,7 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace csp;
     bench::banner("Target prefetch distance per workload",
@@ -19,7 +19,8 @@ main()
     const auto workload_names = sim::allWorkloads();
     const sim::SweepResult sweep =
         sim::runSweep(workload_names, {"none"},
-                      bench::benchParams(bench::sweepScale()), config);
+                      bench::benchParams(bench::sweepScale()), config,
+                      bench::sweepOptions(argc, argv));
 
     sim::Table table({"benchmark", "IPC", "P(mem)", "L2-missrate",
                       "L1-penalty", "distance"});

@@ -3,17 +3,34 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace csp {
 
 namespace {
 
+// Each line is formatted into one buffer and handed to stderr with a
+// single fwrite (stderr is unbuffered, so that is one write), so
+// concurrent sweep workers never interleave mid-line.
 void
 vreport(const char *tag, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    std::va_list measure;
+    va_copy(measure, args);
+    const int body = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+
+    std::string line(tag);
+    line += ": ";
+    if (body > 0) {
+        const std::size_t offset = line.size();
+        line.resize(offset + static_cast<std::size_t>(body) + 1);
+        std::vsnprintf(line.data() + offset,
+                       static_cast<std::size_t>(body) + 1, fmt, args);
+        line.resize(offset + static_cast<std::size_t>(body));
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace

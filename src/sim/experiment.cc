@@ -1,9 +1,14 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <numeric>
 
 #include "core/logging.h"
+#include "core/thread_pool.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "prefetch/ghb.h"
 #include "prefetch/jump_pointer.h"
@@ -180,9 +185,181 @@ geomean(const std::vector<double> &values)
     if (values.empty())
         return 1.0;
     double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(v <= 0.0 ? 1e-9 : v);
+    for (double v : values) {
+        if (v <= 0.0) {
+            warn("geomean: non-positive value %g clamped to 1e-9 "
+                 "(zero-IPC cell — broken run?)",
+                 v);
+            v = 1e-9;
+        }
+        log_sum += std::log(v);
+    }
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+SweepProgress::SweepProgress(std::string label,
+                             std::vector<std::uint64_t> cell_totals,
+                             unsigned jobs, double min_seconds)
+    : label_(std::move(label)),
+      totals_(std::move(cell_totals)),
+      current_(totals_.size(), 0),
+      jobs_(jobs),
+      min_seconds_(min_seconds),
+      start_(std::chrono::steady_clock::now()),
+      last_(start_)
+{
+    total_sum_ = std::accumulate(totals_.begin(), totals_.end(),
+                                 std::uint64_t{0});
+}
+
+Simulator::ProgressFn
+SweepProgress::hook(std::size_t cell)
+{
+    return [this, cell](std::uint64_t instructions) {
+        update(cell, instructions);
+    };
+}
+
+void
+SweepProgress::update(std::size_t cell, std::uint64_t instructions)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    instructions = std::min(instructions, totals_[cell]);
+    if (instructions <= current_[cell])
+        return;
+    done_sum_ += instructions - current_[cell];
+    current_[cell] = instructions;
+
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - last_).count() <
+        min_seconds_) {
+        return;
+    }
+    last_ = now;
+    report();
+}
+
+void
+SweepProgress::cellDone(std::size_t cell)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_sum_ += totals_[cell] - current_[cell];
+    current_[cell] = totals_[cell];
+    ++cells_done_;
+    if (cells_done_ == totals_.size()) {
+        last_ = std::chrono::steady_clock::now();
+        report();
+    }
+}
+
+void
+SweepProgress::report()
+{
+    const double elapsed =
+        std::chrono::duration<double>(last_ - start_).count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done_sum_) / elapsed : 0.0;
+    const double pct =
+        total_sum_ == 0 ? 100.0
+                        : 100.0 * static_cast<double>(done_sum_) /
+                              static_cast<double>(total_sum_);
+    inform("%s: %5.1f%% (%.1fM/%.1fM insts, %.2fM insts/s, "
+           "%zu/%zu cells, jobs=%u)",
+           label_.c_str(), pct,
+           static_cast<double>(done_sum_) / 1e6,
+           static_cast<double>(total_sum_) / 1e6, rate / 1e6,
+           cells_done_, totals_.size(), jobs_);
+}
+
+SweepResult
+runSweep(const std::vector<std::string> &workload_names,
+         const std::vector<std::string> &prefetcher_names,
+         const workloads::WorkloadParams &params,
+         const SystemConfig &config, const SweepOptions &options)
+{
+    SweepResult result;
+    result.workload_names = workload_names;
+    result.prefetcher_names = prefetcher_names;
+    const std::size_t n_workloads = workload_names.size();
+    const std::size_t n_prefetchers = prefetcher_names.size();
+    const std::size_t n_cells = n_workloads * n_prefetchers;
+    if (n_cells == 0)
+        return result;
+
+    const workloads::Registry &registry =
+        workloads::Registry::builtin();
+    const unsigned jobs = options.jobs != 0
+                              ? options.jobs
+                              : ThreadPool::defaultJobs();
+    ThreadPool pool(jobs);
+
+    // Phase 1: generate every workload's trace once, workloads in
+    // parallel. Each trace is then shared read-only by all of that
+    // workload's cells. Summary lines print afterwards in workload
+    // order, so verbose output is deterministic.
+    std::vector<trace::TraceBuffer> traces(n_workloads);
+    pool.parallelFor(n_workloads, [&](std::size_t wi) {
+        traces[wi] =
+            registry.create(workload_names[wi])->generate(params);
+    });
+    if (options.verbose) {
+        for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+            inform("%-14s %8.2fM insts, %6.2fM accesses",
+                   workload_names[wi].c_str(),
+                   static_cast<double>(traces[wi].instructions()) / 1e6,
+                   static_cast<double>(traces[wi].memAccesses()) / 1e6);
+        }
+    }
+
+    // Phase 2: simulate the independent cells, scheduled longest
+    // trace first so a big workload never straggles at the end.
+    // Results land in pre-sized row-major slots, so assembly order is
+    // identical to the serial path no matter how cells interleave.
+    std::vector<std::uint64_t> cell_totals(n_cells);
+    for (std::size_t k = 0; k < n_cells; ++k)
+        cell_totals[k] = traces[k / n_prefetchers].instructions();
+
+    std::vector<std::size_t> order(n_cells);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&cell_totals](std::size_t a, std::size_t b) {
+                         return cell_totals[a] > cell_totals[b];
+                     });
+
+    result.cells.resize(n_cells);
+    SweepProgress progress("sweep", cell_totals, jobs);
+    // Per-workload countdown so the last finishing cell releases its
+    // trace — peak memory tapers during the sweep instead of holding
+    // every trace until the end.
+    std::unique_ptr<std::atomic<std::size_t>[]> cells_left(
+        new std::atomic<std::size_t>[n_workloads]);
+    for (std::size_t wi = 0; wi < n_workloads; ++wi)
+        cells_left[wi].store(n_prefetchers,
+                             std::memory_order_relaxed);
+
+    for (const std::size_t k : order) {
+        pool.submit([&, k] {
+            const std::size_t wi = k / n_prefetchers;
+            auto prefetcher = makePrefetcher(
+                prefetcher_names[k % n_prefetchers], config);
+            Simulator simulator(config);
+            if (options.verbose)
+                simulator.setProgress(progress.hook(k));
+            CellResult cell;
+            cell.workload = workload_names[wi];
+            cell.prefetcher = prefetcher_names[k % n_prefetchers];
+            cell.stats = simulator.run(traces[wi], *prefetcher);
+            result.cells[k] = std::move(cell);
+            if (options.verbose)
+                progress.cellDone(k);
+            if (cells_left[wi].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                traces[wi] = trace::TraceBuffer();
+            }
+        });
+    }
+    pool.wait();
+    return result;
 }
 
 SweepResult
@@ -191,35 +368,10 @@ runSweep(const std::vector<std::string> &workload_names,
          const workloads::WorkloadParams &params,
          const SystemConfig &config, bool verbose)
 {
-    SweepResult result;
-    result.workload_names = workload_names;
-    result.prefetcher_names = prefetcher_names;
-    const workloads::Registry &registry = workloads::Registry::builtin();
-
-    for (const std::string &workload_name : workload_names) {
-        const auto workload = registry.create(workload_name);
-        const trace::TraceBuffer trace = workload->generate(params);
-        if (verbose) {
-            inform("%-14s %8.2fM insts, %6.2fM accesses",
-                   workload_name.c_str(),
-                   static_cast<double>(trace.instructions()) / 1e6,
-                   static_cast<double>(trace.memAccesses()) / 1e6);
-        }
-        for (const std::string &pf_name : prefetcher_names) {
-            auto prefetcher = makePrefetcher(pf_name, config);
-            Simulator simulator(config);
-            Heartbeat heartbeat(workload_name + "/" + pf_name,
-                                trace.instructions());
-            if (verbose)
-                simulator.setProgress(heartbeat.hook());
-            CellResult cell;
-            cell.workload = workload_name;
-            cell.prefetcher = pf_name;
-            cell.stats = simulator.run(trace, *prefetcher);
-            result.cells.push_back(std::move(cell));
-        }
-    }
-    return result;
+    SweepOptions options;
+    options.verbose = verbose;
+    return runSweep(workload_names, prefetcher_names, params, config,
+                    options);
 }
 
 } // namespace csp::sim

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -100,15 +101,80 @@ class Heartbeat
 };
 
 /**
- * Run every workload against every prefetcher. Each workload's trace is
- * generated once and replayed for all prefetchers. Progress is logged
- * to stderr when @p verbose (a per-workload summary line, plus a
- * Heartbeat during each cell's simulation).
+ * Mutex-guarded, wall-clock rate-limited progress reporter for a
+ * multi-cell sweep running on several worker threads at once. Each
+ * cell installs hook(cell) as its Simulator progress callback;
+ * updates from all workers fold into one aggregate line (percent of
+ * total instructions, simulated instructions per second, cells done)
+ * printed via inform() at most once every @p min_seconds, plus a
+ * final line when the last cell completes.
+ */
+class SweepProgress
+{
+  public:
+    /** @param cell_totals expected instruction count per cell. */
+    SweepProgress(std::string label,
+                  std::vector<std::uint64_t> cell_totals, unsigned jobs,
+                  double min_seconds = 2.0);
+
+    /** The callback to pass to Simulator::setProgress() for @p cell. */
+    Simulator::ProgressFn hook(std::size_t cell);
+
+    /** Fold in cell progress; prints when the rate limit allows. */
+    void update(std::size_t cell, std::uint64_t instructions);
+
+    /** Mark @p cell finished; the last cell always prints. */
+    void cellDone(std::size_t cell);
+
+  private:
+    void report();
+
+    std::string label_;
+    std::vector<std::uint64_t> totals_;
+    std::vector<std::uint64_t> current_;
+    std::uint64_t total_sum_ = 0;
+    std::uint64_t done_sum_ = 0;
+    std::size_t cells_done_ = 0;
+    unsigned jobs_;
+    double min_seconds_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point last_;
+    std::mutex mutex_;
+};
+
+/** Knobs for runSweep. */
+struct SweepOptions
+{
+    /** Per-workload summary lines plus a SweepProgress heartbeat. */
+    bool verbose = true;
+    /**
+     * Worker threads simulating cells; 0 resolves through
+     * ThreadPool::defaultJobs() (CSP_JOBS, else all hardware
+     * threads). Results are bit-identical for every value.
+     */
+    unsigned jobs = 0;
+};
+
+/**
+ * Run every workload against every prefetcher. Each workload's trace
+ * is generated once (workloads in parallel) and shared read-only by
+ * all of that workload's cells; the independent (workload, prefetcher)
+ * cells are then simulated on @p options.jobs worker threads,
+ * scheduled longest-trace-first. Cells are assembled in row-major
+ * (workload-major) order and every cell's RunStats is bit-identical
+ * to a jobs=1 run — parallelism never changes results.
  */
 SweepResult runSweep(const std::vector<std::string> &workload_names,
                      const std::vector<std::string> &prefetcher_names,
                      const workloads::WorkloadParams &params,
-                     const SystemConfig &config, bool verbose = true);
+                     const SystemConfig &config,
+                     const SweepOptions &options = {});
+
+/** Convenience overload keeping the historical verbose flag. */
+SweepResult runSweep(const std::vector<std::string> &workload_names,
+                     const std::vector<std::string> &prefetcher_names,
+                     const workloads::WorkloadParams &params,
+                     const SystemConfig &config, bool verbose);
 
 /** Geometric mean of a value vector (empty -> 1.0). */
 double geomean(const std::vector<double> &values);

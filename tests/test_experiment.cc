@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
 #include "sim/experiment.h"
@@ -43,6 +44,21 @@ TEST(Experiment, GeomeanBasics)
     EXPECT_DOUBLE_EQ(geomean({}), 1.0);
     EXPECT_DOUBLE_EQ(geomean({2.0, 2.0}), 2.0);
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+}
+
+TEST(Experiment, GeomeanWarnsInsteadOfHidingNonPositiveValues)
+{
+    testing::internal::CaptureStderr();
+    const double clamped = geomean({0.0, 4.0});
+    const std::string output =
+        testing::internal::GetCapturedStderr();
+    EXPECT_NE(output.find("warn"), std::string::npos);
+    EXPECT_NE(output.find("non-positive"), std::string::npos);
+    EXPECT_NEAR(clamped, std::sqrt(1e-9 * 4.0), 1e-12);
+
+    testing::internal::CaptureStderr();
+    (void)geomean({1.0, 2.0});
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
 }
 
 TEST(Experiment, EffectiveScaleHonoursEnvironment)

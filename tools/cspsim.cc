@@ -25,6 +25,7 @@
 
 #include "core/config.h"
 #include "core/logging.h"
+#include "core/thread_pool.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
@@ -50,6 +51,7 @@ struct Options
     bool list = false;
     bool describe = false;
     bool verbose = false;
+    unsigned jobs = 0; ///< 0 = auto (CSP_JOBS, else all cores)
     std::string stats_out;
     std::string stats_csv;
     std::string stats_filter;
@@ -79,6 +81,10 @@ usage()
         "generating\n"
         "  --csv                    CSV instead of aligned table\n"
         "  --json                   one JSON object per prefetcher\n"
+        "  --jobs N                 worker threads for multi-prefetcher\n"
+        "                           runs (default: CSP_JOBS, else all\n"
+        "                           cores); results are bit-identical\n"
+        "                           for any N\n"
         "  --stats-out FILE         full hierarchical stats as JSON\n"
         "  --stats-interval N       sample interval stats every N\n"
         "                           instructions into a CSV time-series\n"
@@ -137,6 +143,9 @@ parse(int argc, char **argv)
             options.json = true;
         } else if (arg == "--verbose") {
             options.verbose = true;
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(need_value(i), nullptr, 10));
         } else if (arg == "--stats-out") {
             options.stats_out = need_value(i);
         } else if (arg == "--stats-csv") {
@@ -281,6 +290,46 @@ main(int argc, char **argv)
         prefetcherList(options.prefetcher);
     const bool multi = pf_names.size() > 1;
 
+    // Simulate every requested prefetcher first — independent runs
+    // over the shared read-only trace, spread across --jobs worker
+    // threads — then emit all output serially in lineup order, so the
+    // table, JSON and CSV files are byte-identical for any job count.
+    struct PfOutcome
+    {
+        sim::RunStats stats;
+        stats::Report report;
+        stats::TimeSeries series;
+    };
+    std::vector<PfOutcome> outcomes(pf_names.size());
+    {
+        ThreadPool pool(options.jobs);
+        sim::SweepProgress progress(
+            options.workload.empty() ? "cspsim" : options.workload,
+            std::vector<std::uint64_t>(pf_names.size(),
+                                       trace.instructions()),
+            pool.threads());
+        for (std::size_t i = 0; i < pf_names.size(); ++i) {
+            pool.submit([&, i] {
+                auto prefetcher =
+                    sim::makePrefetcher(pf_names[i], options.config);
+                sim::Simulator simulator(options.config);
+                simulator.setReportFilter(options.stats_filter);
+                if (options.stats_interval != 0) {
+                    simulator.setSampling(options.stats_interval,
+                                          options.stats_filter);
+                }
+                if (options.verbose)
+                    simulator.setProgress(progress.hook(i));
+                outcomes[i].stats = simulator.run(trace, *prefetcher);
+                outcomes[i].report = simulator.lastReport();
+                outcomes[i].series = simulator.lastSeries();
+                if (options.verbose)
+                    progress.cellDone(i);
+            });
+        }
+        pool.wait();
+    }
+
     // Full Figure-9 benefit breakdown plus wrong prefetches, all
     // sourced from the stats registry via RunStats.
     sim::Table table({"prefetcher", "IPC", "speedup", "L1-MPKI",
@@ -289,20 +338,9 @@ main(int argc, char **argv)
                       "miss-unpf%", "hit-dem%"});
     double baseline_ipc = 0.0;
     std::ostringstream stats_json;
-    for (const std::string &pf_name : pf_names) {
-        auto prefetcher =
-            sim::makePrefetcher(pf_name, options.config);
-        sim::Simulator simulator(options.config);
-        simulator.setReportFilter(options.stats_filter);
-        if (options.stats_interval != 0) {
-            simulator.setSampling(options.stats_interval,
-                                  options.stats_filter);
-        }
-        sim::Heartbeat heartbeat(pf_name, trace.instructions());
-        if (options.verbose)
-            simulator.setProgress(heartbeat.hook());
-        const sim::RunStats stats =
-            simulator.run(trace, *prefetcher);
+    for (std::size_t i = 0; i < pf_names.size(); ++i) {
+        const std::string &pf_name = pf_names[i];
+        const sim::RunStats &stats = outcomes[i].stats;
         if (options.json) {
             std::cout << "{\"prefetcher\":\"" << pf_name
                       << "\",\"stats\":" << stats.toJson() << "}\n";
@@ -312,7 +350,7 @@ main(int argc, char **argv)
                 stats_json << (stats_json.tellp() == 0 ? "{" : ",")
                            << '"' << pf_name << "\":";
             }
-            stats_json << simulator.lastReport().toJson();
+            stats_json << outcomes[i].report.toJson();
         }
         if (options.stats_interval != 0) {
             const std::string path =
@@ -320,7 +358,7 @@ main(int argc, char **argv)
             std::ofstream csv(path);
             if (!csv)
                 fatal("cannot write %s", path.c_str());
-            simulator.lastSeries().writeCsv(csv);
+            outcomes[i].series.writeCsv(csv);
             if (options.verbose)
                 inform("wrote interval stats to %s", path.c_str());
         }
