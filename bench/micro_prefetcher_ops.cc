@@ -131,6 +131,78 @@ BENCHMARK(BM_TraceGen_Mcf);
 BENCHMARK(BM_TraceGen_Graph500List);
 BENCHMARK(BM_TraceGen_SuffixArray);
 
+/** Full-trace replay throughput through the simulator (runSweep's
+ *  phase 2), plus the packed encoding's bytes/record and total
+ *  resident size for the replayed trace. `bytes_per_record` is the
+ *  gauge behind the >= 2x compression acceptance bar (the old AoS
+ *  record was 56 bytes). */
+void
+runReplay(benchmark::State &state, const std::string &workload_name,
+          const std::string &prefetcher_name)
+{
+    workloads::WorkloadParams params;
+    params.scale = 100000;
+    params.seed = 1;
+    const trace::TraceBuffer trace = workloads::Registry::builtin()
+                                         .create(workload_name)
+                                         ->generate(params);
+    SystemConfig config;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto prefetcher =
+            sim::makePrefetcher(prefetcher_name, config);
+        sim::Simulator simulator(config);
+        const sim::RunStats stats =
+            simulator.run(trace, *prefetcher);
+        benchmark::DoNotOptimize(stats.cycles);
+        insts += stats.instructions;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["bytes_per_record"] =
+        benchmark::Counter(trace.bytesPerRecord());
+    state.counters["trace_bytes"] = benchmark::Counter(
+        static_cast<double>(trace.sizeBytes()));
+}
+
+void
+BM_Replay_Mcf_None(benchmark::State &s)
+{
+    runReplay(s, "mcf", "none");
+}
+void
+BM_Replay_Mcf_Context(benchmark::State &s)
+{
+    runReplay(s, "mcf", "context");
+}
+void
+BM_Replay_List_None(benchmark::State &s)
+{
+    runReplay(s, "list", "none");
+}
+void
+BM_Replay_List_Context(benchmark::State &s)
+{
+    runReplay(s, "list", "context");
+}
+void
+BM_Replay_Libquantum_None(benchmark::State &s)
+{
+    runReplay(s, "libquantum", "none");
+}
+void
+BM_Replay_Libquantum_Stride(benchmark::State &s)
+{
+    runReplay(s, "libquantum", "stride");
+}
+
+BENCHMARK(BM_Replay_Mcf_None);
+BENCHMARK(BM_Replay_Mcf_Context);
+BENCHMARK(BM_Replay_List_None);
+BENCHMARK(BM_Replay_List_Context);
+BENCHMARK(BM_Replay_Libquantum_None);
+BENCHMARK(BM_Replay_Libquantum_Stride);
+
 } // namespace
 
 BENCHMARK_MAIN();

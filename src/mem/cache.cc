@@ -12,23 +12,30 @@ Cache::Cache(const CacheConfig &config, std::string name)
       line_bytes_(config.line_bytes),
       sets_(config.sets()),
       ways_(config.ways),
+      line_shift_(floorLog2(config.line_bytes)),
+      set_shift_(floorLog2(config.sets())),
+      set_mask_(config.sets() - 1),
       lines_(sets_ * ways_)
 {
     CSP_ASSERT(isPowerOfTwo(line_bytes_));
     CSP_ASSERT(isPowerOfTwo(sets_));
     CSP_ASSERT(ways_ > 0);
+    // The shift/mask fast paths must agree with the config exactly.
+    CSP_ASSERT((std::uint64_t{1} << line_shift_) == line_bytes_);
+    CSP_ASSERT((std::uint64_t{1} << set_shift_) == sets_);
+    CSP_ASSERT(set_mask_ == sets_ - 1);
 }
 
 std::uint64_t
 Cache::setIndex(Addr addr) const
 {
-    return (addr / line_bytes_) & (sets_ - 1);
+    return (addr >> line_shift_) & set_mask_;
 }
 
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return (addr / line_bytes_) / sets_;
+    return addr >> (line_shift_ + set_shift_);
 }
 
 LineState *
@@ -89,7 +96,7 @@ Cache::insert(Addr addr, Cycle ready, bool prefetched,
         evicted->dirty = victim->valid && victim->dirty;
         if (victim->valid) {
             evicted->line_addr =
-                (victim->tag * sets_ + set) * line_bytes_;
+                ((victim->tag << set_shift_) | set) << line_shift_;
         }
     }
     victim->tag = tag;

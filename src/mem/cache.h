@@ -81,7 +81,11 @@ class Cache
     const std::string &name() const { return name_; }
 
     /** Line-aligned address. */
-    Addr lineAddr(Addr addr) const { return alignDown(addr, line_bytes_); }
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return (addr >> line_shift_) << line_shift_;
+    }
 
   private:
     std::uint64_t setIndex(Addr addr) const;
@@ -92,6 +96,11 @@ class Cache
     std::uint64_t line_bytes_;
     std::uint64_t sets_;
     unsigned ways_;
+    // Precomputed from the (power-of-two asserted) config so the
+    // per-access index/tag math is shift/mask, never integer division.
+    unsigned line_shift_;
+    unsigned set_shift_;
+    std::uint64_t set_mask_;
     std::vector<LineState> lines_; ///< sets_ * ways_, set-major
     std::uint64_t lru_clock_ = 0;
 };

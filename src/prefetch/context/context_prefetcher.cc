@@ -146,7 +146,7 @@ ContextPrefetcher::observe(const AccessInfo &info,
         if (const Cst::Entry *entry = cst_.lookup(hist->reduced_key)) {
             if (entry->churn >= config_.overload_threshold) {
                 int best = -128;
-                for (const CstLink &link : entry->links) {
+                for (const CstLink &link : cst_.links(entry)) {
                     if (link.valid) {
                         best = std::max(
                             best,

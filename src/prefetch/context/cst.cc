@@ -11,12 +11,12 @@ namespace csp::prefetch::ctx {
 Cst::Cst(const ContextPrefetcherConfig &config)
     : index_bits_(floorLog2(config.cst_entries)),
       links_per_entry_(config.cst_links),
-      table_(config.cst_entries)
+      table_(config.cst_entries),
+      link_arena_(static_cast<std::size_t>(config.cst_entries) *
+                  config.cst_links)
 {
     CSP_ASSERT(isPowerOfTwo(config.cst_entries));
     CSP_ASSERT(config.cst_links >= 1);
-    for (Entry &entry : table_)
-        entry.links.resize(links_per_entry_);
 }
 
 std::uint32_t
@@ -60,6 +60,7 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
 {
     CstAddResult result;
     Entry &entry = table_[indexOf(reduced_key)];
+    CstLink *const entry_links = linksOf(entry);
     const std::uint32_t tag = tagOf(reduced_key);
 
     if (!entry.valid || entry.tag != tag) {
@@ -68,7 +69,8 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
             // positively scored links, but age it so stale contexts
             // eventually yield the slot.
             int best = -128;
-            for (CstLink &link : entry.links) {
+            for (unsigned i = 0; i < links_per_entry_; ++i) {
+                CstLink &link = entry_links[i];
                 if (link.valid) {
                     best = std::max(best,
                                     static_cast<int>(link.score.value()));
@@ -85,13 +87,14 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
         entry.valid = true;
         entry.tag = tag;
         entry.churn = 0;
-        for (CstLink &link : entry.links)
-            link = CstLink{};
+        for (unsigned i = 0; i < links_per_entry_; ++i)
+            entry_links[i] = CstLink{};
     }
 
     CstLink *free_slot = nullptr;
     CstLink *weakest = nullptr;
-    for (CstLink &link : entry.links) {
+    for (unsigned i = 0; i < links_per_entry_; ++i) {
+        CstLink &link = entry_links[i];
         if (!link.valid) {
             if (free_slot == nullptr)
                 free_slot = &link;
@@ -132,7 +135,9 @@ Cst::reward(std::uint32_t reduced_key, std::int32_t delta, int amount)
     Entry *entry = entryIfMatch(reduced_key);
     if (entry == nullptr)
         return;
-    for (CstLink &link : entry->links) {
+    CstLink *const entry_links = linksOf(*entry);
+    for (unsigned i = 0; i < links_per_entry_; ++i) {
+        CstLink &link = entry_links[i];
         if (link.valid && link.delta == delta) {
             link.score.add(amount);
             // A rewarded entry is healthy: candidate pressure on it is
@@ -161,7 +166,7 @@ Cst::bestLinks(std::uint32_t reduced_key, std::int32_t *out,
     };
     Candidate candidates[16];
     unsigned count = 0;
-    for (const CstLink &link : entry->links) {
+    for (const CstLink &link : links(entry)) {
         if (link.valid && link.score.value() > min_score &&
             count < 16) {
             candidates[count++] = {link.delta,
@@ -190,7 +195,7 @@ Cst::randomLink(std::uint32_t reduced_key, Rng &rng,
         return false;
     std::int32_t valid_deltas[16];
     unsigned count = 0;
-    for (const CstLink &link : entry->links) {
+    for (const CstLink &link : links(entry)) {
         if (link.valid && count < 16)
             valid_deltas[count++] = link.delta;
     }
@@ -212,7 +217,7 @@ Cst::softmaxLink(std::uint32_t reduced_key, Rng &rng,
     std::int32_t deltas[16];
     unsigned count = 0;
     double total = 0.0;
-    for (const CstLink &link : entry->links) {
+    for (const CstLink &link : links(entry)) {
         if (link.valid && count < 16) {
             const double w = std::exp(
                 static_cast<double>(link.score.value()) / temperature);
@@ -262,7 +267,7 @@ Cst::scoreSummary() const
     for (const Entry &entry : table_) {
         if (!entry.valid)
             continue;
-        for (const CstLink &link : entry.links) {
+        for (const CstLink &link : links(&entry)) {
             if (!link.valid)
                 continue;
             const double score = link.score.value();
@@ -288,9 +293,9 @@ Cst::reset()
     for (Entry &entry : table_) {
         entry.valid = false;
         entry.churn = 0;
-        for (CstLink &link : entry.links)
-            link = CstLink{};
     }
+    for (CstLink &link : link_arena_)
+        link = CstLink{};
     link_evictions_ = 0;
     entry_evictions_ = 0;
 }

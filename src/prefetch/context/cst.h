@@ -53,11 +53,32 @@ class Cst
         std::uint32_t tag = 0;
         bool valid = false;
         std::uint8_t churn = 0; ///< recent link evictions (overload cue)
-        std::vector<CstLink> links;
+    };
+
+    /**
+     * View of one entry's link slots. Links live in a single
+     * contiguous arena (entry index * links-per-entry), not per-entry
+     * vectors, so steady-state operation never allocates and a lookup
+     * touches one cache line of links.
+     */
+    struct LinkSpan
+    {
+        const CstLink *first;
+        unsigned count;
+
+        const CstLink *begin() const { return first; }
+        const CstLink *end() const { return first + count; }
     };
 
     /** Entry for @p reduced_key iff present with a matching tag. */
     const Entry *lookup(std::uint32_t reduced_key) const;
+
+    /** The link slots of @p entry (as returned by lookup()). */
+    LinkSpan
+    links(const Entry *entry) const
+    {
+        return LinkSpan{linksOf(*entry), links_per_entry_};
+    }
 
     /**
      * Data collection: associate @p delta with @p reduced_key. New links
@@ -129,9 +150,26 @@ class Cst
     std::uint32_t indexOf(std::uint32_t reduced_key) const;
     std::uint32_t tagOf(std::uint32_t reduced_key) const;
 
+    CstLink *
+    linksOf(const Entry &entry)
+    {
+        return link_arena_.data() +
+               static_cast<std::size_t>(&entry - table_.data()) *
+                   links_per_entry_;
+    }
+
+    const CstLink *
+    linksOf(const Entry &entry) const
+    {
+        return link_arena_.data() +
+               static_cast<std::size_t>(&entry - table_.data()) *
+                   links_per_entry_;
+    }
+
     unsigned index_bits_;
     unsigned links_per_entry_;
     std::vector<Entry> table_;
+    std::vector<CstLink> link_arena_; ///< entries() * links_per_entry_
     std::uint64_t link_evictions_ = 0;
     std::uint64_t entry_evictions_ = 0;
 };

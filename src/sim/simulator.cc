@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cpu/core_model.h"
+#include "sim/predicted_set.h"
 #include "trace/hw_state.h"
 
 namespace csp::sim {
@@ -65,32 +66,24 @@ RunStats::toJson() const
 
 namespace {
 
-/** Small ring of recently predicted-but-not-issued block addresses,
- *  backing the Non-Timely category of Figure 9. */
-class PredictedRing
+/** Record source over a materialised vector, matching TraceCursor's
+ *  `const TraceRecord *next()` shape for runFrom(). */
+class VectorSource
 {
   public:
-    void
-    record(Addr line)
-    {
-        ring_[pos_ % ring_.size()] = line;
-        ++pos_;
-    }
+    explicit VectorSource(const std::vector<TraceRecord> &records)
+        : cur_(records.data()), end_(records.data() + records.size())
+    {}
 
-    bool
-    contains(Addr line) const
+    const TraceRecord *
+    next()
     {
-        const std::size_t n = std::min<std::size_t>(pos_, ring_.size());
-        for (std::size_t i = 0; i < n; ++i) {
-            if (ring_[i] == line)
-                return true;
-        }
-        return false;
+        return cur_ == end_ ? nullptr : cur_++;
     }
 
   private:
-    std::array<Addr, 256> ring_{};
-    std::size_t pos_ = 0;
+    const TraceRecord *cur_;
+    const TraceRecord *end_;
 };
 
 } // namespace
@@ -122,10 +115,26 @@ RunStats
 Simulator::run(const trace::TraceBuffer &trace,
                prefetch::Prefetcher &prefetcher)
 {
+    trace::TraceCursor cursor = trace.cursor();
+    return runFrom(cursor, prefetcher);
+}
+
+RunStats
+Simulator::run(const std::vector<trace::TraceRecord> &records,
+               prefetch::Prefetcher &prefetcher)
+{
+    VectorSource source(records);
+    return runFrom(source, prefetcher);
+}
+
+template <typename Source>
+RunStats
+Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
+{
     cpu::CoreModel core(config_.core);
     mem::Hierarchy hierarchy(config_.memory);
     trace::HwContextTracker hw(config_.memory.l1d.line_bytes);
-    PredictedRing predicted_unissued;
+    PredictedSet predicted_unissued;
 
     RunStats stats;
     AccessSeq seq = 0;
@@ -190,7 +199,12 @@ Simulator::run(const trace::TraceBuffer &trace,
     std::uint64_t next_event =
         std::min(sampler.nextSampleAt(), next_progress);
 
-    for (const TraceRecord &rec : trace.records()) {
+    // One context snapshot for the whole run; captureInto() writes
+    // every attribute per access.
+    trace::ContextSnapshot ctx;
+
+    while (const TraceRecord *rec_ptr = source.next()) {
+        const TraceRecord &rec = *rec_ptr;
         switch (rec.kind) {
           case InstKind::Compute:
             core.computeBurst(rec.repeat);
@@ -244,7 +258,7 @@ Simulator::run(const trace::TraceBuffer &trace,
 
             // Hand the access to the prefetcher and dispatch its
             // requests.
-            const trace::ContextSnapshot ctx = hw.capture(rec);
+            hw.captureInto(rec, ctx);
             prefetch::AccessInfo info;
             info.seq = seq;
             info.cycle = issue;

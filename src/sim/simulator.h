@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/stats.h"
@@ -157,6 +158,15 @@ class Simulator
     RunStats run(const trace::TraceBuffer &trace,
                  prefetch::Prefetcher &prefetcher);
 
+    /**
+     * Replay an already-materialised record vector. Same replay loop as
+     * the TraceBuffer overload (both instantiate runFrom), so the
+     * golden representation tests can compare packed-trace replay
+     * against a reference std::vector<TraceRecord> trace bit for bit.
+     */
+    RunStats run(const std::vector<trace::TraceRecord> &records,
+                 prefetch::Prefetcher &prefetcher);
+
     /** Full hierarchical stats of the most recent run() (all registered
      *  counters/gauges/distributions/formulas, filter applied). */
     const stats::Report &lastReport() const { return last_report_; }
@@ -166,6 +176,11 @@ class Simulator
     const stats::TimeSeries &lastSeries() const { return last_series_; }
 
   private:
+    /** The replay loop, generic over a `const TraceRecord *next()`
+     *  record source (TraceCursor or a plain vector walker). */
+    template <typename Source>
+    RunStats runFrom(Source &source, prefetch::Prefetcher &prefetcher);
+
     SystemConfig config_;
     std::uint64_t stats_interval_ = 0;
     std::string stats_filter_;

@@ -8,6 +8,14 @@ ContextSnapshot
 HwContextTracker::capture(const TraceRecord &rec) const
 {
     ContextSnapshot ctx;
+    captureInto(rec, ctx);
+    return ctx;
+}
+
+void
+HwContextTracker::captureInto(const TraceRecord &rec,
+                              ContextSnapshot &ctx) const
+{
     ctx.set(Attr::IP, rec.pc);
     ctx.set(Attr::BranchHistory, bhr_);
     ctx.set(Attr::RegData, rec.reg_value);
@@ -27,7 +35,6 @@ HwContextTracker::capture(const TraceRecord &rec) const
         ctx.set(Attr::LinkOffset, hints::kNoLinkOffset);
         ctx.set(Attr::RefForm, 0);
     }
-    return ctx;
 }
 
 void

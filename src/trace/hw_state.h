@@ -33,6 +33,13 @@ class HwContextTracker
      */
     ContextSnapshot capture(const TraceRecord &rec) const;
 
+    /**
+     * capture() into a caller-owned snapshot. Writes every attribute,
+     * so the simulator's replay loop can reuse one ContextSnapshot for
+     * the whole run instead of constructing one per access.
+     */
+    void captureInto(const TraceRecord &rec, ContextSnapshot &ctx) const;
+
     /** Advance hardware state past @p rec (any record kind). */
     void update(const TraceRecord &rec);
 

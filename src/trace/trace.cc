@@ -1,24 +1,198 @@
 #include "trace/trace.h"
 
+#include <cstring>
+
 namespace csp::trace {
+
+namespace {
+
+// Header-byte layout. Bits [1:0] hold the InstKind; the rest are
+// presence/flag bits that let the encoder omit default-valued fields.
+constexpr std::uint8_t kKindMask = 0x03;
+constexpr std::uint8_t kFlagA = 0x04; ///< taken (Branch) / dep_on_prev_load
+constexpr std::uint8_t kHasHint = 0x08;
+constexpr std::uint8_t kHasReg = 0x10;
+constexpr std::uint8_t kHasLoaded = 0x20;
+constexpr std::uint8_t kHasRepeat = 0x40; ///< repeat != 1
+constexpr std::uint8_t kHasSize = 0x80;   ///< size != 8
+
+void
+appendVarint(std::vector<std::uint8_t> &bytes, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        bytes.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    bytes.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+readVarint(const std::uint8_t *&pos)
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const std::uint8_t byte = *pos++;
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+    }
+}
+
+std::uint64_t
+hintKey(const hints::Hint &hint)
+{
+    return static_cast<std::uint64_t>(hint.type_id) |
+           (static_cast<std::uint64_t>(hint.link_offset) << 16) |
+           (static_cast<std::uint64_t>(hint.ref_form) << 32);
+}
+
+thread_local TraceBuffer::PushTap t_default_tap = nullptr;
+thread_local void *t_default_tap_user = nullptr;
+
+} // namespace
+
+TraceBuffer::TraceBuffer()
+    : tap_(t_default_tap), tap_user_(t_default_tap_user)
+{}
+
+void
+TraceBuffer::setThreadPushTap(PushTap tap, void *user)
+{
+    t_default_tap = tap;
+    t_default_tap_user = user;
+}
+
+std::uint32_t
+TraceBuffer::pcIndex(Addr pc)
+{
+    const auto [it, inserted] =
+        pc_index_.try_emplace(pc, static_cast<std::uint32_t>(
+                                      pc_dict_.size()));
+    if (inserted)
+        pc_dict_.push_back(pc);
+    return it->second;
+}
+
+std::uint32_t
+TraceBuffer::hintIndex(const hints::Hint &hint)
+{
+    const auto [it, inserted] =
+        hint_index_.try_emplace(hintKey(hint),
+                                static_cast<std::uint32_t>(
+                                    hint_dict_.size()));
+    if (inserted)
+        hint_dict_.push_back(hint);
+    return it->second;
+}
+
+void
+TraceBuffer::encode(const TraceRecord &rec)
+{
+    std::uint8_t header = static_cast<std::uint8_t>(rec.kind);
+    if (rec.kind == InstKind::Branch ? rec.taken : rec.dep_on_prev_load)
+        header |= kFlagA;
+    if (rec.hint.valid())
+        header |= kHasHint;
+    if (rec.reg_value != 0)
+        header |= kHasReg;
+    if (rec.loaded_value != 0)
+        header |= kHasLoaded;
+    if (rec.repeat != 1)
+        header |= kHasRepeat;
+    if (rec.size != 8)
+        header |= kHasSize;
+    bytes_.push_back(header);
+    appendVarint(bytes_, pcIndex(rec.pc));
+    if (header & kHasSize)
+        bytes_.push_back(rec.size);
+    if (rec.isMem()) {
+        const std::size_t at = bytes_.size();
+        bytes_.resize(at + sizeof rec.vaddr);
+        std::memcpy(bytes_.data() + at, &rec.vaddr, sizeof rec.vaddr);
+    }
+    if (header & kHasHint)
+        appendVarint(bytes_, hintIndex(rec.hint));
+    if (header & kHasReg)
+        appendVarint(bytes_, rec.reg_value);
+    if (header & kHasLoaded)
+        appendVarint(bytes_, rec.loaded_value);
+    if (header & kHasRepeat)
+        appendVarint(bytes_, rec.repeat);
+}
 
 void
 TraceBuffer::push(const TraceRecord &rec)
 {
+    if (tap_)
+        tap_(tap_user_, rec);
     // Fold a compute burst into a preceding compute record from the same
-    // site so long traces stay compact.
-    if (rec.kind == InstKind::Compute && !records_.empty()) {
-        TraceRecord &back = records_.back();
-        if (back.kind == InstKind::Compute && back.pc == rec.pc) {
-            back.repeat += rec.repeat;
-            instructions_ += rec.repeat;
-            return;
-        }
+    // site so long traces stay compact. The trailing record is the only
+    // mutable one, so folding truncates it and re-encodes with the
+    // summed burst length; every other field of the original survives.
+    if (rec.kind == InstKind::Compute && last_is_compute_ &&
+        last_rec_.pc == rec.pc) {
+        bytes_.resize(last_offset_);
+        last_rec_.repeat += rec.repeat;
+        encode(last_rec_);
+        instructions_ += rec.repeat;
+        return;
     }
-    records_.push_back(rec);
+    last_offset_ = bytes_.size();
+    last_rec_ = rec;
+    last_is_compute_ = rec.kind == InstKind::Compute;
+    encode(rec);
+    ++count_;
     instructions_ += rec.kind == InstKind::Compute ? rec.repeat : 1;
     if (rec.isMem())
         ++mem_accesses_;
+}
+
+std::vector<TraceRecord>
+TraceBuffer::decode() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(count_);
+    TraceCursor cur = cursor();
+    while (const TraceRecord *rec = cur.next())
+        out.push_back(*rec);
+    return out;
+}
+
+const TraceRecord *
+TraceCursor::next()
+{
+    if (pos_ == end_)
+        return nullptr;
+    const std::uint8_t header = *pos_++;
+    const InstKind kind = static_cast<InstKind>(header & kKindMask);
+    rec_.kind = kind;
+    rec_.pc = buffer_->pc_dict_[readVarint(pos_)];
+    rec_.size =
+        (header & kHasSize) ? *pos_++ : static_cast<std::uint8_t>(8);
+    if (kind == InstKind::Load || kind == InstKind::Store) {
+        std::memcpy(&rec_.vaddr, pos_, sizeof rec_.vaddr);
+        pos_ += sizeof rec_.vaddr;
+    } else {
+        rec_.vaddr = 0;
+    }
+    rec_.hint = (header & kHasHint)
+                    ? buffer_->hint_dict_[readVarint(pos_)]
+                    : hints::Hint{};
+    rec_.reg_value = (header & kHasReg) ? readVarint(pos_) : 0;
+    rec_.loaded_value = (header & kHasLoaded) ? readVarint(pos_) : 0;
+    rec_.repeat = (header & kHasRepeat)
+                      ? static_cast<std::uint32_t>(readVarint(pos_))
+                      : 1;
+    if (kind == InstKind::Branch) {
+        rec_.taken = (header & kFlagA) != 0;
+        rec_.dep_on_prev_load = false;
+    } else {
+        rec_.dep_on_prev_load = (header & kFlagA) != 0;
+        rec_.taken = false;
+    }
+    return &rec_;
 }
 
 void

@@ -10,6 +10,18 @@
  * compiler hint payload, the value a load returns, a representative
  * register value, branch outcomes, and a load-depends-on-previous-load
  * flag used by the core model to serialise pointer chases.
+ *
+ * Storage is a compact append-only byte stream, not an array of structs:
+ * each record is a 1-byte kind+flag word, a varint index into a
+ * per-buffer PC dictionary (workloads use a handful of synthetic code
+ * sites), the full 64-bit vaddr for memory operations, and then only the
+ * fields the flag word says are present (hint, register value, loaded
+ * value, burst length, non-default size). Paper-scale traces shrink from
+ * 56 bytes/record (the old AoS layout) to a handful of bytes/record,
+ * which is what keeps many-workload parallel sweeps RAM-resident.
+ * Decoding is sequential via TraceCursor, which rehydrates records into
+ * one reusable TraceRecord slot — the replay hot loop never allocates
+ * and only streams the packed bytes.
  */
 
 #ifndef CSP_TRACE_TRACE_H
@@ -17,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/types.h"
@@ -54,9 +67,16 @@ struct TraceRecord
     }
 };
 
+class TraceCursor;
+
 /**
  * A recorded, replayable trace. Produced by workloads through Recorder,
- * consumed record-by-record by the simulator.
+ * consumed sequentially through TraceCursor by the simulator.
+ *
+ * Records are stored packed (see file comment); random access is
+ * deliberately not offered. Use cursor() for streaming replay and
+ * decode() when a materialised std::vector<TraceRecord> is genuinely
+ * needed (tests, tools).
  */
 class TraceBuffer
 {
@@ -65,7 +85,7 @@ class TraceBuffer
     void push(const TraceRecord &rec);
 
     /** Number of records (compute bursts count once). */
-    std::size_t size() const { return records_.size(); }
+    std::size_t size() const { return count_; }
 
     /** Total instructions represented (bursts expanded). */
     std::uint64_t instructions() const { return instructions_; }
@@ -73,21 +93,128 @@ class TraceBuffer
     /** Number of memory-access records. */
     std::uint64_t memAccesses() const { return mem_accesses_; }
 
-    /** Record access. */
-    const TraceRecord &operator[](std::size_t i) const
+    bool empty() const { return count_ == 0; }
+
+    /** Streaming decoder positioned at the first record. */
+    TraceCursor cursor() const;
+
+    /** Materialise every record (tests and tools; O(size()) memory). */
+    std::vector<TraceRecord> decode() const;
+
+    /** Packed payload bytes plus dictionary bytes. */
+    std::size_t
+    sizeBytes() const
     {
-        return records_[i];
+        return bytes_.size() + pc_dict_.size() * sizeof(Addr) +
+               hint_dict_.size() * sizeof(hints::Hint);
     }
 
-    const std::vector<TraceRecord> &records() const { return records_; }
+    /** Average encoded bytes per record. */
+    double
+    bytesPerRecord() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sizeBytes()) /
+                                 static_cast<double>(count_);
+    }
 
-    bool empty() const { return records_.empty(); }
+    /** Distinct PCs recorded so far (dictionary size). */
+    std::size_t pcDictSize() const { return pc_dict_.size(); }
+
+    /**
+     * Test hook: observe every record exactly as handed to push(),
+     * before burst folding. Used by the golden encode/decode tests to
+     * build a reference AoS trace alongside the packed one. One
+     * well-predicted null check per push; no cost when unset.
+     */
+    using PushTap = void (*)(void *user, const TraceRecord &rec);
+    void
+    setPushTap(PushTap tap, void *user)
+    {
+        tap_ = tap;
+        tap_user_ = user;
+    }
+
+    /**
+     * Install a tap inherited by every TraceBuffer subsequently
+     * constructed on the calling thread (cleared with nullptr).
+     * Workloads build their buffers internally, so this is how the
+     * golden tests observe a workload's record stream as generated.
+     */
+    static void setThreadPushTap(PushTap tap, void *user);
+
+    TraceBuffer();
 
   private:
-    std::vector<TraceRecord> records_;
+    friend class TraceCursor;
+
+    std::uint32_t pcIndex(Addr pc);
+    std::uint32_t hintIndex(const hints::Hint &hint);
+    void encode(const TraceRecord &rec);
+
+    std::vector<std::uint8_t> bytes_; ///< packed records
+    std::vector<Addr> pc_dict_;       ///< PC-dictionary index -> PC
+    std::unordered_map<Addr, std::uint32_t> pc_index_; ///< PC -> index
+    // Hints are dictionary-encoded too (workloads use a handful of
+    // distinct hints), stored unpacked so the round trip is lossless —
+    // Hint::pack() truncates link_offset to the NOP immediate's 13 bits
+    // and would corrupt the kNoLinkOffset sentinel on valid hints.
+    std::vector<hints::Hint> hint_dict_;
+    std::unordered_map<std::uint64_t, std::uint32_t> hint_index_;
+    std::size_t count_ = 0;
     std::uint64_t instructions_ = 0;
     std::uint64_t mem_accesses_ = 0;
+
+    // Trailing-record state so compute bursts from the same site fold
+    // into one record (the encoder truncates and re-emits the tail,
+    // which must preserve every field of the folded-into record).
+    std::size_t last_offset_ = 0;
+    bool last_is_compute_ = false;
+    TraceRecord last_rec_;
+
+    PushTap tap_ = nullptr;
+    void *tap_user_ = nullptr;
 };
+
+/**
+ * Zero-copy sequential decoder over a TraceBuffer. next() rehydrates
+ * the next record into an internal reusable TraceRecord and returns a
+ * pointer to it (valid until the following next() call), or nullptr at
+ * end of trace. The cursor never allocates.
+ */
+class TraceCursor
+{
+  public:
+    explicit TraceCursor(const TraceBuffer &buffer)
+        : buffer_(&buffer),
+          pos_(buffer.bytes_.data()),
+          end_(buffer.bytes_.data() + buffer.bytes_.size())
+    {}
+
+    /** Decode the next record; nullptr once the trace is exhausted. */
+    const TraceRecord *next();
+
+    /** Rewind to the first record. */
+    void
+    reset()
+    {
+        pos_ = buffer_->bytes_.data();
+    }
+
+    bool done() const { return pos_ == end_; }
+
+  private:
+    const TraceBuffer *buffer_;
+    const std::uint8_t *pos_;
+    const std::uint8_t *end_;
+    TraceRecord rec_;
+};
+
+inline TraceCursor
+TraceBuffer::cursor() const
+{
+    return TraceCursor(*this);
+}
 
 /**
  * Convenience API the workload kernels call while executing natively.

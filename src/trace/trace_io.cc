@@ -93,8 +93,9 @@ saveTrace(const TraceBuffer &buffer, std::ostream &stream)
     header.record_count = buffer.size();
     stream.write(reinterpret_cast<const char *>(&header),
                  sizeof header);
-    for (const TraceRecord &rec : buffer.records()) {
-        const DiskRecord disk = pack(rec);
+    TraceCursor cursor = buffer.cursor();
+    while (const TraceRecord *rec = cursor.next()) {
+        const DiskRecord disk = pack(*rec);
         stream.write(reinterpret_cast<const char *>(&disk),
                      sizeof disk);
     }

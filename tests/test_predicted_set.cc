@@ -1,0 +1,105 @@
+/** @file Equivalence of the O(1) PredictedSet against the reference
+ *  256-entry linear-scan ring it replaced. The two must agree on every
+ *  contains() answer for any record/query interleaving, which is what
+ *  keeps the Figure-9 class counts identical. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "core/rng.h"
+#include "sim/predicted_set.h"
+
+namespace csp::sim {
+namespace {
+
+/** The original implementation, kept verbatim as the oracle. */
+class ReferenceRing
+{
+  public:
+    void
+    record(Addr line)
+    {
+        ring_[pos_ % ring_.size()] = line;
+        ++pos_;
+    }
+
+    bool
+    contains(Addr line) const
+    {
+        const std::size_t n = std::min<std::size_t>(pos_, ring_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ring_[i] == line)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::array<Addr, 256> ring_{};
+    std::size_t pos_ = 0;
+};
+
+TEST(PredictedSet, EmptyContainsNothing)
+{
+    PredictedSet set;
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_FALSE(set.contains(0x1000));
+}
+
+TEST(PredictedSet, RecentLineIsPresent)
+{
+    PredictedSet set;
+    set.record(0x40);
+    EXPECT_TRUE(set.contains(0x40));
+    EXPECT_FALSE(set.contains(0x80));
+}
+
+TEST(PredictedSet, LineAgesOutAfterWindow)
+{
+    PredictedSet set;
+    set.record(0xabc0);
+    for (int i = 0; i < 255; ++i)
+        set.record(0x100000 + i * 0x40);
+    EXPECT_TRUE(set.contains(0xabc0)); // exactly 256 records ago
+    set.record(0x900000);
+    EXPECT_FALSE(set.contains(0xabc0)); // now outside the window
+}
+
+TEST(PredictedSet, ReRecordingRefreshesTheWindow)
+{
+    PredictedSet set;
+    set.record(0xabc0);
+    for (int i = 0; i < 200; ++i)
+        set.record(0x100000 + i * 0x40);
+    set.record(0xabc0); // refresh
+    for (int i = 0; i < 200; ++i)
+        set.record(0x200000 + i * 0x40);
+    EXPECT_TRUE(set.contains(0xabc0));
+}
+
+/** Randomized differential test across address-pool sizes, covering
+ *  heavy duplication (small pools) and high turnover (large pools). */
+TEST(PredictedSet, MatchesReferenceRingOnRandomTraffic)
+{
+    for (const std::size_t pool :
+         {8ull, 64ull, 256ull, 300ull, 4096ull}) {
+        Rng rng(pool * 7919 + 1);
+        PredictedSet set;
+        ReferenceRing ring;
+        for (int step = 0; step < 20000; ++step) {
+            const Addr line = (rng.below(pool) + 1) * 0x40;
+            if (rng.chance(0.6)) {
+                set.record(line);
+                ring.record(line);
+            }
+            const Addr probe = (rng.below(pool) + 1) * 0x40;
+            ASSERT_EQ(set.contains(probe), ring.contains(probe))
+                << "pool " << pool << " step " << step;
+        }
+    }
+}
+
+} // namespace
+} // namespace csp::sim

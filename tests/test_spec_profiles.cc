@@ -44,8 +44,9 @@ TEST_P(SpecProfileTest, BranchFractionMatchesProfile)
     const SpecProfile &profile = specProfile(GetParam());
     const trace::TraceBuffer buffer = generate();
     std::uint64_t branches = 0;
-    for (const auto &rec : buffer.records()) {
-        if (rec.kind == trace::InstKind::Branch)
+    trace::TraceCursor cursor = buffer.cursor();
+    while (const trace::TraceRecord *rec = cursor.next()) {
+        if (rec->kind == trace::InstKind::Branch)
             ++branches;
     }
     const double measured =
@@ -62,10 +63,11 @@ TEST_P(SpecProfileTest, EveryStreamContributesAccesses)
     const trace::TraceBuffer buffer = generate(60000);
     // Streams live in disjoint 256MB slices starting at 0x20000000.
     std::set<std::size_t> slices_touched;
-    for (const auto &rec : buffer.records()) {
-        if (rec.isMem()) {
+    trace::TraceCursor cursor = buffer.cursor();
+    while (const trace::TraceRecord *rec = cursor.next()) {
+        if (rec->isMem()) {
             slices_touched.insert(static_cast<std::size_t>(
-                (rec.vaddr - 0x20000000ull) >> 28));
+                (rec->vaddr - 0x20000000ull) >> 28));
         }
     }
     EXPECT_EQ(slices_touched.size(), profile.streams.size())
@@ -76,10 +78,11 @@ TEST_P(SpecProfileTest, StreamsStayInsideTheirRegions)
 {
     const SpecProfile &profile = specProfile(GetParam());
     const trace::TraceBuffer buffer = generate();
-    for (const auto &rec : buffer.records()) {
-        if (!rec.isMem())
+    trace::TraceCursor cursor = buffer.cursor();
+    while (const trace::TraceRecord *rec = cursor.next()) {
+        if (!rec->isMem())
             continue;
-        const std::uint64_t offset = rec.vaddr - 0x20000000ull;
+        const std::uint64_t offset = rec->vaddr - 0x20000000ull;
         const std::size_t slice = offset >> 28;
         ASSERT_LT(slice, profile.streams.size()) << GetParam();
         EXPECT_LT(offset - (static_cast<std::uint64_t>(slice) << 28),

@@ -35,9 +35,11 @@ TEST(TraceIo, RoundTripPreservesEverything)
     ASSERT_EQ(loaded.size(), original.size());
     EXPECT_EQ(loaded.instructions(), original.instructions());
     EXPECT_EQ(loaded.memAccesses(), original.memAccesses());
-    for (std::size_t i = 0; i < original.size(); ++i) {
-        const TraceRecord &a = original[i];
-        const TraceRecord &b = loaded[i];
+    const std::vector<TraceRecord> original_recs = original.decode();
+    const std::vector<TraceRecord> loaded_recs = loaded.decode();
+    for (std::size_t i = 0; i < original_recs.size(); ++i) {
+        const TraceRecord &a = original_recs[i];
+        const TraceRecord &b = loaded_recs[i];
         EXPECT_EQ(a.kind, b.kind) << i;
         EXPECT_EQ(a.pc, b.pc) << i;
         EXPECT_EQ(a.vaddr, b.vaddr) << i;
@@ -62,8 +64,10 @@ TEST(TraceIo, RoundTripOfGeneratedWorkload)
     TraceBuffer loaded;
     ASSERT_EQ(loadTrace(stream, loaded), TraceIoStatus::Ok);
     ASSERT_EQ(loaded.size(), original.size());
-    for (std::size_t i = 0; i < original.size(); i += 37)
-        EXPECT_EQ(loaded[i].vaddr, original[i].vaddr);
+    const std::vector<TraceRecord> original_recs = original.decode();
+    const std::vector<TraceRecord> loaded_recs = loaded.decode();
+    for (std::size_t i = 0; i < original_recs.size(); i += 37)
+        EXPECT_EQ(loaded_recs[i].vaddr, original_recs[i].vaddr);
 }
 
 TEST(TraceIo, BadMagicRejected)

@@ -42,9 +42,11 @@ TEST_P(WorkloadTraceTest, DeterministicPerSeed)
     const trace::TraceBuffer a = workload->generate(smallParams());
     const trace::TraceBuffer b = workload->generate(smallParams());
     ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); i += 97) {
-        EXPECT_EQ(a[i].vaddr, b[i].vaddr) << "record " << i;
-        EXPECT_EQ(a[i].pc, b[i].pc) << "record " << i;
+    const auto a_recs = a.decode();
+    const auto b_recs = b.decode();
+    for (std::size_t i = 0; i < a_recs.size(); i += 97) {
+        EXPECT_EQ(a_recs[i].vaddr, b_recs[i].vaddr) << "record " << i;
+        EXPECT_EQ(a_recs[i].pc, b_recs[i].pc) << "record " << i;
     }
 }
 
@@ -56,9 +58,15 @@ TEST_P(WorkloadTraceTest, SeedChangesTheTrace)
     const trace::TraceBuffer a = workload->generate(smallParams());
     const trace::TraceBuffer b = workload->generate(other);
     bool differs = a.size() != b.size();
-    for (std::size_t i = 0; !differs && i < a.size(); ++i) {
-        differs = a[i].vaddr != b[i].vaddr ||
-                  a[i].loaded_value != b[i].loaded_value;
+    trace::TraceCursor ca = a.cursor();
+    trace::TraceCursor cb = b.cursor();
+    while (!differs) {
+        const trace::TraceRecord *ra = ca.next();
+        const trace::TraceRecord *rb = cb.next();
+        if (ra == nullptr || rb == nullptr)
+            break;
+        differs = ra->vaddr != rb->vaddr ||
+                  ra->loaded_value != rb->loaded_value;
     }
     EXPECT_TRUE(differs);
 }
@@ -69,8 +77,9 @@ TEST_P(WorkloadTraceTest, UsesMultipleCodeSites)
     const trace::TraceBuffer buffer =
         workload->generate(smallParams());
     std::set<Addr> pcs;
-    for (const auto &rec : buffer.records())
-        pcs.insert(rec.pc);
+    trace::TraceCursor cursor = buffer.cursor();
+    while (const trace::TraceRecord *rec = cursor.next())
+        pcs.insert(rec->pc);
     EXPECT_GE(pcs.size(), 2u);
 }
 
@@ -119,9 +128,10 @@ TEST(WorkloadHints, PointerWorkloadsCarryArrowHints)
         const trace::TraceBuffer buffer =
             workload->generate(smallParams());
         std::uint64_t hinted = 0;
-        for (const auto &rec : buffer.records()) {
-            if (rec.isMem() &&
-                rec.hint.ref_form == hints::RefForm::Arrow)
+        trace::TraceCursor cursor = buffer.cursor();
+        while (const trace::TraceRecord *rec = cursor.next()) {
+            if (rec->isMem() &&
+                rec->hint.ref_form == hints::RefForm::Arrow)
                 ++hinted;
         }
         EXPECT_GT(hinted, buffer.memAccesses() / 10) << name;
@@ -135,8 +145,9 @@ TEST(WorkloadHints, PointerChasesCarryDependenceFlags)
         const trace::TraceBuffer buffer =
             workload->generate(smallParams());
         std::uint64_t dependent = 0;
-        for (const auto &rec : buffer.records()) {
-            if (rec.isMem() && rec.dep_on_prev_load)
+        trace::TraceCursor cursor = buffer.cursor();
+        while (const trace::TraceRecord *rec = cursor.next()) {
+            if (rec->isMem() && rec->dep_on_prev_load)
                 ++dependent;
         }
         EXPECT_GT(dependent, 0u) << name;
@@ -148,8 +159,9 @@ TEST(WorkloadHints, ArrayWorkloadUsesIndexForm)
     const auto workload = Registry::builtin().create("array");
     const trace::TraceBuffer buffer = workload->generate(smallParams());
     std::uint64_t indexed = 0;
-    for (const auto &rec : buffer.records()) {
-        if (rec.isMem() && rec.hint.ref_form == hints::RefForm::Index)
+    trace::TraceCursor cursor = buffer.cursor();
+    while (const trace::TraceRecord *rec = cursor.next()) {
+        if (rec->isMem() && rec->hint.ref_form == hints::RefForm::Index)
             ++indexed;
     }
     EXPECT_GT(indexed, buffer.memAccesses() / 2);

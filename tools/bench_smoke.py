@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Bench smoke: perf gauges for the packed-trace + flattened-layout work.
+
+Runs two quick probes against an existing build tree and writes a single
+JSON scorecard (BENCH_PR3.json) so CI tracks the perf trajectory:
+
+  1. A reduced fig12 sweep (CSP_SCALE-scaled) timed end to end, with the
+     peak resident set of the child process captured via getrusage --
+     this machine image has no /usr/bin/time.
+  2. `micro_prefetcher_ops` filtered to the replay-throughput and
+     per-access observe() benchmarks, exported as google-benchmark JSON
+     and distilled to insts/s, bytes/record, and ns/op.
+
+The script fails (exit 1) if any replayed workload's packed encoding
+compresses worse than MIN_COMPRESSION_X against the retired 56-byte
+array-of-structs record, so a regression in the trace encoding turns
+the bench-smoke job red rather than silently fattening sweeps.
+
+Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR3.json]
+"""
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+
+# The retired array-of-structs trace record was 56 bytes; the packed
+# encoding must stay at least this many times smaller per record.
+AOS_RECORD_BYTES = 56.0
+MIN_COMPRESSION_X = 2.0
+
+
+def peak_child_rss_mb():
+    """Peak RSS over all reaped children so far, in MiB (Linux: KiB)."""
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+
+
+def run_fig12(build_dir, scale, jobs):
+    """Reduced fig12 sweep: wall seconds + child peak RSS.
+
+    Must run before any other child process so RUSAGE_CHILDREN's
+    high-water mark belongs to the sweep alone.
+    """
+    binary = os.path.join(build_dir, "bench", "fig12_speedup")
+    env = dict(os.environ, CSP_SCALE=str(scale))
+    start = time.monotonic()
+    subprocess.run([binary, "--jobs", str(jobs)], check=True, env=env,
+                   stdout=subprocess.DEVNULL)
+    return {
+        "scale_factor": scale,
+        "jobs": jobs,
+        "seconds": round(time.monotonic() - start, 3),
+        "peak_rss_mb": round(peak_child_rss_mb(), 1),
+    }
+
+
+def run_micro(build_dir, min_time, raw_out):
+    """Replay + observe microbenchmarks as parsed google-benchmark JSON."""
+    binary = os.path.join(build_dir, "bench", "micro_prefetcher_ops")
+    subprocess.run(
+        [
+            binary,
+            "--benchmark_filter=BM_Replay_|BM_Stride$|BM_Context$",
+            f"--benchmark_min_time={min_time}",
+            f"--benchmark_out={raw_out}",
+            "--benchmark_out_format=json",
+        ],
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+    with open(raw_out) as f:
+        return json.load(f)["benchmarks"]
+
+
+def distill(benchmarks):
+    """Split raw benchmark entries into replay gauges and observe costs."""
+    replay = {}
+    observe_ns = {}
+    for bench in benchmarks:
+        name = bench["name"]
+        if name.startswith("BM_Replay_"):
+            # BM_Replay_<Workload>_<Prefetcher>
+            _, _, workload, prefetcher = name.split("_")
+            bpr = bench["bytes_per_record"]
+            replay[f"{workload.lower()}/{prefetcher.lower()}"] = {
+                "insts_per_sec": round(bench["insts/s"]),
+                "bytes_per_record": round(bpr, 2),
+                "compression_x": round(AOS_RECORD_BYTES / bpr, 2),
+                "trace_bytes": int(bench["trace_bytes"]),
+            }
+        else:
+            observe_ns[name.removeprefix("BM_").lower()] = round(
+                bench["real_time"], 1)
+    return replay, observe_ns
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--fig12-scale", type=float, default=0.05,
+                        help="CSP_SCALE for the reduced fig12 sweep")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--min-time", type=float, default=0.1,
+                        help="--benchmark_min_time per microbenchmark")
+    args = parser.parse_args()
+
+    fig12 = run_fig12(args.build_dir, args.fig12_scale, args.jobs)
+    print(f"fig12 (scale x{args.fig12_scale}, jobs {args.jobs}): "
+          f"{fig12['seconds']} s, peak RSS {fig12['peak_rss_mb']} MiB")
+
+    raw_out = args.out + ".raw"
+    replay, observe_ns = distill(
+        run_micro(args.build_dir, args.min_time, raw_out))
+    os.remove(raw_out)
+
+    worst = min(replay.values(), key=lambda r: r["compression_x"])
+    report = {
+        "schema": "csp-bench-smoke-v1",
+        "generated_by": "tools/bench_smoke.py",
+        "aos_record_bytes": AOS_RECORD_BYTES,
+        "min_compression_x": worst["compression_x"],
+        "replay": replay,
+        "observe_ns_per_access": observe_ns,
+        "fig12_reduced_sweep": fig12,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for key, gauges in sorted(replay.items()):
+        print(f"replay {key}: {gauges['insts_per_sec'] / 1e6:.2f} M insts/s, "
+              f"{gauges['bytes_per_record']} B/record "
+              f"({gauges['compression_x']}x vs AoS)")
+    print(f"wrote {args.out}")
+
+    if worst["compression_x"] < MIN_COMPRESSION_X:
+        print(f"FAIL: worst compression {worst['compression_x']}x "
+              f"< required {MIN_COMPRESSION_X}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
