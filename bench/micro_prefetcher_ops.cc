@@ -7,7 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <sstream>
+
 #include "core/rng.h"
+#include "obs/run_observer.h"
+#include "obs/trace_events.h"
 #include "sim/experiment.h"
 #include "trace/hw_state.h"
 #include "workloads/registry.h"
@@ -202,6 +207,81 @@ BENCHMARK(BM_Replay_List_None);
 BENCHMARK(BM_Replay_List_Context);
 BENCHMARK(BM_Replay_Libquantum_None);
 BENCHMARK(BM_Replay_Libquantum_Stride);
+
+/** Lifecycle-tracing overhead on replay, three configurations over the
+ *  same trace and prefetcher:
+ *   - Control:  no observer — the replay loop's unobserved
+ *               instantiation, codegen identical to pre-tracing.
+ *   - NullSink: an observer with every sink null — the observed
+ *               instantiation with all runtime guards false. This is
+ *               the "compiled in but disabled" cost the <= 2% bench
+ *               gate compares against Control.
+ *   - Enabled:  full tracker + Perfetto writer into a string sink,
+ *               1-in-64 sampling — the real cost of tracing a run.
+ */
+enum class TraceObsMode
+{
+    Control,
+    NullSink,
+    Enabled,
+};
+
+void
+runTracedReplay(benchmark::State &state, TraceObsMode mode)
+{
+    workloads::WorkloadParams params;
+    params.scale = 100000;
+    params.seed = 1;
+    const trace::TraceBuffer trace =
+        workloads::Registry::builtin().create("mcf")->generate(params);
+    SystemConfig config;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto prefetcher = sim::makePrefetcher("context", config);
+        sim::Simulator simulator(config);
+        std::ostringstream sink;
+        std::unique_ptr<obs::TraceEventWriter> events;
+        std::unique_ptr<obs::PrefetchTracker> tracker;
+        std::unique_ptr<obs::RlEventTap> rl_tap;
+        obs::RunObserver observer;
+        if (mode == TraceObsMode::Enabled) {
+            events = std::make_unique<obs::TraceEventWriter>(sink);
+            tracker = std::make_unique<obs::PrefetchTracker>(
+                events.get(), /*sample_every=*/64);
+            rl_tap = std::make_unique<obs::RlEventTap>(
+                events.get(), /*sample_every=*/64);
+            observer.tracker = tracker.get();
+            observer.rl = rl_tap.get();
+        }
+        if (mode != TraceObsMode::Control)
+            simulator.setObserver(&observer);
+        const sim::RunStats stats = simulator.run(trace, *prefetcher);
+        benchmark::DoNotOptimize(stats.cycles);
+        insts += stats.instructions;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TraceObs_Control(benchmark::State &s)
+{
+    runTracedReplay(s, TraceObsMode::Control);
+}
+void
+BM_TraceObs_NullSink(benchmark::State &s)
+{
+    runTracedReplay(s, TraceObsMode::NullSink);
+}
+void
+BM_TraceObs_Enabled(benchmark::State &s)
+{
+    runTracedReplay(s, TraceObsMode::Enabled);
+}
+
+BENCHMARK(BM_TraceObs_Control);
+BENCHMARK(BM_TraceObs_NullSink);
+BENCHMARK(BM_TraceObs_Enabled);
 
 } // namespace
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/types.h"
 
 namespace csp {
 
@@ -109,6 +110,69 @@ class Histogram
     std::uint64_t width_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * Fixed log2-bucket histogram: bucket 0 holds the value 0, bucket i
+ * (i >= 1) holds values in [2^(i-1), 2^i). The bucket count is fixed at
+ * construction; values at or beyond the last bucket's range land in the
+ * last bucket. Because the bucket layout never depends on the data, two
+ * runs that sample the same values produce bit-identical tables — the
+ * property the observability layer's determinism contract relies on.
+ * Percentiles are bucket-resolved (the inclusive upper edge of the
+ * bucket containing the requested rank), which is exact enough for the
+ * latency/depth telemetry it backs (reward-by-depth, fill latency).
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(std::size_t buckets = 32);
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t idx = value == 0 ? 0 : floorLog2(value) + 1;
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+        ++total_;
+        sum_ += value;
+    }
+
+    /** Total number of samples. */
+    std::uint64_t count() const { return total_; }
+
+    /** Raw bucket counts. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Inclusive lower bound of bucket @p i (0, 1, 2, 4, 8, ...). */
+    std::uint64_t bucketLo(std::size_t i) const;
+
+    /** Inclusive upper bound of bucket @p i (0, 1, 3, 7, 15, ...). */
+    std::uint64_t bucketHi(std::size_t i) const;
+
+    /** Mean of all recorded samples. */
+    double mean() const;
+
+    /**
+     * Upper edge of the bucket holding the sample of rank
+     * ceil(@p p * count) for @p p in (0, 1] — e.g. percentile(0.5) is
+     * a p50 estimate. Returns 0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Smallest and largest non-empty bucket edges (0 when empty). */
+    std::uint64_t minEdge() const;
+    std::uint64_t maxEdge() const;
+
+    /** Reset all counts. */
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
     std::uint64_t sum_ = 0;
 };

@@ -75,6 +75,22 @@ summarise(const Histogram &hist)
     return s;
 }
 
+DistSummary
+summarise(const Log2Histogram &hist)
+{
+    DistSummary s;
+    s.count = hist.count();
+    s.mean = hist.mean();
+    s.min = static_cast<double>(hist.minEdge());
+    s.max = static_cast<double>(hist.maxEdge());
+    s.has_percentiles = true;
+    s.p50 = static_cast<double>(hist.percentile(0.50));
+    s.p90 = static_cast<double>(hist.percentile(0.90));
+    s.p99 = static_cast<double>(hist.percentile(0.99));
+    s.buckets = hist.buckets();
+    return s;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -144,6 +160,21 @@ Registry::distribution(const std::string &name, const Histogram *hist,
 {
     CSP_ASSERT(hist != nullptr);
     distribution(name, [hist] { return summarise(*hist); }, desc);
+}
+
+void
+Registry::distribution(const std::string &name,
+                       const Log2Histogram *hist,
+                       const std::string &desc)
+{
+    CSP_ASSERT(hist != nullptr);
+    Entry entry;
+    entry.name = name;
+    entry.desc = desc;
+    entry.kind = Kind::Distribution;
+    entry.percentiles = true;
+    entry.dist = [hist] { return summarise(*hist); };
+    add(std::move(entry));
 }
 
 void
@@ -347,6 +378,21 @@ writeGroup(std::ostream &out,
                 writeNumber(out, entry.dist.min);
                 out << ",\"max\":";
                 writeNumber(out, entry.dist.max);
+                if (entry.dist.has_percentiles) {
+                    out << ",\"p50\":";
+                    writeNumber(out, entry.dist.p50);
+                    out << ",\"p90\":";
+                    writeNumber(out, entry.dist.p90);
+                    out << ",\"p99\":";
+                    writeNumber(out, entry.dist.p99);
+                    out << ",\"buckets\":[";
+                    for (std::size_t b = 0;
+                         b < entry.dist.buckets.size(); ++b) {
+                        out << (b == 0 ? "" : ",")
+                            << entry.dist.buckets[b];
+                    }
+                    out << ']';
+                }
                 out << '}';
             } else {
                 writeNumber(out, entry.value);
@@ -427,6 +473,11 @@ IntervalSampler::IntervalSampler(const Registry &registry,
         if (entry.kind == Kind::Distribution) {
             series_.columns.push_back(entry.name + ".count");
             series_.columns.push_back(entry.name + ".mean");
+            if (entry.percentiles) {
+                series_.columns.push_back(entry.name + ".p50");
+                series_.columns.push_back(entry.name + ".p90");
+                series_.columns.push_back(entry.name + ".p99");
+            }
         } else {
             series_.columns.push_back(entry.name);
         }
@@ -461,6 +512,16 @@ IntervalSampler::sample(std::uint64_t instructions)
             const double count = static_cast<double>(s.count);
             row.values.push_back(count - last_cumulative_[k]);
             row.values.push_back(s.mean);
+            if (entry.percentiles) {
+                // Cumulative snapshots, not interval deltas: the
+                // percentile of an interval's samples alone is not
+                // recoverable from bucket counts without a second
+                // baseline copy; the running percentile is what the
+                // saturation dashboards want anyway.
+                row.values.push_back(s.p50);
+                row.values.push_back(s.p90);
+                row.values.push_back(s.p99);
+            }
             last_cumulative_[k] = count;
             break;
           }

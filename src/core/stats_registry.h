@@ -49,6 +49,15 @@ struct DistSummary
     double mean = 0.0;
     double min = 0.0;
     double max = 0.0;
+    /// Bucket-resolved percentiles, valid when has_percentiles is set
+    /// (log2-bucket distributions only).
+    bool has_percentiles = false;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    /// Per-bucket counts of a log2 histogram (empty otherwise); bucket
+    /// i covers [2^(i-1), 2^i), bucket 0 holds the value 0.
+    std::vector<std::uint64_t> buckets;
 };
 
 /** One flattened stat value (owned, component-independent). */
@@ -123,6 +132,15 @@ class Registry
     void distribution(const std::string &name, const Histogram *hist,
                       const std::string &desc = "");
 
+    /**
+     * Distribution backed by a fixed log2-bucket histogram. Reports
+     * per-bucket counts plus p50/p90/p99 in Report::toJson(), and adds
+     * .p50/.p90/.p99 columns to the IntervalSampler CSV.
+     */
+    void distribution(const std::string &name,
+                      const Log2Histogram *hist,
+                      const std::string &desc = "");
+
     /** Distribution summarised on demand by a callback. */
     void distribution(const std::string &name,
                       std::function<DistSummary()> fn,
@@ -171,6 +189,7 @@ class Registry
         std::function<std::uint64_t()> counter;
         std::function<double()> gauge;
         std::function<DistSummary()> dist;
+        bool percentiles = false; ///< log2 distribution: sample p50/90/99
         std::string num, den; ///< formula operand names
         double scale = 1.0;
     };

@@ -132,6 +132,18 @@ Cache::countUnusedPrefetches() const
     return count;
 }
 
+std::uint64_t
+Cache::countInflightPrefetches(Cycle now) const
+{
+    std::uint64_t count = 0;
+    for (const LineState &line : lines_) {
+        if (line.valid && line.prefetched && !line.used &&
+            line.ready > now)
+            ++count;
+    }
+    return count;
+}
+
 void
 Cache::reset()
 {

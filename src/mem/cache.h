@@ -74,6 +74,12 @@ class Cache
      */
     std::uint64_t countUnusedPrefetches() const;
 
+    /**
+     * Count prefetched lines whose fill has not completed by @p now —
+     * the in-flight component of the prefetch.inflight gauge.
+     */
+    std::uint64_t countInflightPrefetches(Cycle now) const;
+
     /** Drop all lines and stats. */
     void reset();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/stats_registry.h"
+#include "obs/lifecycle.h"
 
 namespace csp::mem {
 
@@ -16,7 +17,7 @@ Hierarchy::Hierarchy(const MemoryConfig &config)
 
 Cycle
 Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
-                         bool *went_to_memory,
+                         Addr pc, bool *went_to_memory,
                          bool *served_by_l2_prefetch)
 {
     *went_to_memory = false;
@@ -27,6 +28,14 @@ Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
         if (served_by_l2_prefetch != nullptr) {
             *served_by_l2_prefetch =
                 !is_prefetch && line->prefetched && !line->used;
+        }
+        // A demand touching an unused prefetched L2 line is that
+        // lifecycle's terminal event: Timely when the fill completed,
+        // Late when the demand merged with it in flight.
+        if (tracker_ != nullptr && !is_prefetch && line->prefetched &&
+            !line->used) {
+            tracker_->onDemandUse(addr, pc, start,
+                                  /*ready=*/line->ready <= start);
         }
         line->used = line->used || !is_prefetch;
         if (line->ready <= start)
@@ -42,23 +51,33 @@ Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
     dram_next_free_ = dram_start + config_.dram_issue_interval;
     const Cycle fill = dram_start + config_.dram_latency;
     l2_mshrs_.allocate(slot, fill);
+    fill_latency_.sample(fill - start);
     EvictInfo evicted;
     l2_.insert(addr, fill, is_prefetch, &evicted,
                /*lru_insert=*/is_prefetch);
-    if (evicted.prefetched_unused)
+    if (evicted.prefetched_unused) {
         ++stats_.prefetch_evicted_unused;
+        if (tracker_ != nullptr)
+            tracker_->onEvictedUnused(evicted.line_addr, start);
+    }
     handleL2Eviction(evicted);
     *went_to_memory = true;
     return fill;
 }
 
 AccessResult
-Hierarchy::access(Addr addr, Cycle now, bool is_store)
+Hierarchy::access(Addr addr, Cycle now, bool is_store, Addr pc)
 {
     AccessResult result;
     const Addr line_addr = l1_.lineAddr(addr);
     const Cycle l1_lat = config_.l1d.access_latency;
     ++stats_.demand_accesses;
+    now_ = now;
+    if (tracker_ != nullptr && tracker_->counterDue(now)) {
+        tracker_->counterSample(now,
+                                l1_mshrs_.slots() - l1_mshrs_.freeAt(now),
+                                l2_mshrs_.slots() - l2_mshrs_.freeAt(now));
+    }
 
     if (LineState *line = l1_.lookup(line_addr)) {
         if (line->ready <= now) {
@@ -66,6 +85,8 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store)
             result.complete = now + l1_lat;
             result.level = ServiceLevel::L1;
             result.hit_prefetched_line = line->prefetched && !line->used;
+            if (tracker_ != nullptr && result.hit_prefetched_line)
+                tracker_->onDemandUse(line_addr, pc, now, /*ready=*/true);
             line->used = true;
             line->dirty = line->dirty || is_store;
             return result;
@@ -76,6 +97,13 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store)
         result.l1_miss = true;
         ++stats_.l1_misses;
         result.shorter_wait = line->prefetched && !line->used;
+        if (tracker_ != nullptr) {
+            tracker_->onDemandMiss(line_addr, pc, now,
+                                   /*to_memory=*/false);
+            if (result.shorter_wait)
+                tracker_->onDemandUse(line_addr, pc, now,
+                                      /*ready=*/false);
+        }
         line->used = true;
         line->dirty = line->dirty || is_store;
         return result;
@@ -88,7 +116,7 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store)
     const Cycle start = slot + l1_lat;
     bool went_to_memory = false;
     bool served_by_l2_prefetch = false;
-    const Cycle fill = fillFromBelow(line_addr, start, false,
+    const Cycle fill = fillFromBelow(line_addr, start, false, pc,
                                      &went_to_memory,
                                      &served_by_l2_prefetch);
     if (went_to_memory) {
@@ -99,11 +127,16 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store)
         result.level = ServiceLevel::L2;
         result.shorter_wait = served_by_l2_prefetch;
     }
+    if (tracker_ != nullptr)
+        tracker_->onDemandMiss(line_addr, pc, now, went_to_memory);
     l1_mshrs_.allocate(slot, fill);
     EvictInfo evicted;
     LineState &line = l1_.insert(line_addr, fill, false, &evicted);
-    if (evicted.prefetched_unused)
+    if (evicted.prefetched_unused) {
         ++stats_.prefetch_evicted_unused;
+        if (tracker_ != nullptr)
+            tracker_->onEvictedUnused(evicted.line_addr, now);
+    }
     handleL1Eviction(evicted);
     line.used = true;
     line.dirty = is_store;
@@ -142,11 +175,15 @@ Hierarchy::handleL2Eviction(const EvictInfo &evicted)
 }
 
 PrefetchOutcome
-Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs)
+Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs,
+                   Addr pc)
 {
     const Addr line_addr = l1_.lineAddr(addr);
+    now_ = now;
     if (l1_.lookup(line_addr, false) != nullptr) {
         ++stats_.prefetches_duplicate;
+        if (tracker_ != nullptr)
+            tracker_->onRedundant(line_addr, pc, now);
         return PrefetchOutcome::AlreadyHere;
     }
 
@@ -160,30 +197,47 @@ Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs)
         l2_mshrs_.freeWithin(now, config_.prefetch_mshr_wait_limit) <=
             config_.l2_mshr_reserve) {
         ++stats_.prefetches_dropped;
+        if (tracker_ != nullptr)
+            tracker_->onDropped(line_addr, pc, now);
         return PrefetchOutcome::NoMshr;
     }
     const Cycle start = now + config_.l1d.access_latency;
     bool went_to_memory = false;
     const Cycle fill =
-        fillFromBelow(line_addr, start, true, &went_to_memory,
+        fillFromBelow(line_addr, start, true, pc, &went_to_memory,
                       nullptr);
     ++stats_.prefetches_issued;
 
     const unsigned free =
         l1_mshrs_.freeWithin(now, config_.dram_latency);
-    if (free > min_free_mshrs) {
+    const bool fill_l1 = free > min_free_mshrs;
+    if (fill_l1) {
         l1_mshrs_.allocate(now, fill);
         EvictInfo evicted;
         // LIP for L1 prefetch fills too: a wrong prefetch must not
         // displace a hot line in an at-capacity working set.
         l1_.insert(line_addr, fill, true, &evicted,
                    /*lru_insert=*/true);
-        if (evicted.prefetched_unused)
+        if (evicted.prefetched_unused) {
             ++stats_.prefetch_evicted_unused;
+            if (tracker_ != nullptr)
+                tracker_->onEvictedUnused(evicted.line_addr, now);
+        }
         handleL1Eviction(evicted);
         // The L1 copy carries the usefulness tracking from here on.
         if (LineState *l2line = l2_.lookup(line_addr, false))
             l2line->used = true;
+    }
+    if (tracker_ != nullptr) {
+        // An L2-resident target that could not take an L1 fill moved no
+        // data at all — the lifecycle is redundant even though the
+        // aggregate counter still reports an issue.
+        if (fill_l1 || !l2_has) {
+            tracker_->onIssued(line_addr, pc, now, fill, fill_l1,
+                               went_to_memory);
+        } else {
+            tracker_->onRedundant(line_addr, pc, now);
+        }
     }
     return PrefetchOutcome::Issued;
 }
@@ -247,6 +301,30 @@ Hierarchy::registerStats(stats::Registry &registry) const
                      "fills booked into L2 MSHRs");
     registry.counter("mem.mshr.l2_busy_cycles", &l2_mshrs_.busyCycles(),
                      "summed L2 MSHR slot-busy cycles");
+    registry.gauge(
+        "mem.l1.mshr_occupancy",
+        [this] {
+            return static_cast<double>(l1_mshrs_.slots() -
+                                       l1_mshrs_.freeAt(now_));
+        },
+        "L1 MSHR slots busy at the last access cycle");
+    registry.gauge(
+        "mem.l2.mshr_occupancy",
+        [this] {
+            return static_cast<double>(l2_mshrs_.slots() -
+                                       l2_mshrs_.freeAt(now_));
+        },
+        "L2 MSHR slots busy at the last access cycle");
+    registry.gauge(
+        "prefetch.inflight",
+        [this] {
+            return static_cast<double>(
+                l1_.countInflightPrefetches(now_) +
+                l2_.countInflightPrefetches(now_));
+        },
+        "prefetched lines whose fill has not yet completed");
+    registry.distribution("mem.fill_latency", &fill_latency_,
+                          "request-to-data cycles per DRAM fill");
 }
 
 void
@@ -258,6 +336,8 @@ Hierarchy::reset()
     l2_mshrs_.reset();
     dram_next_free_ = 0;
     stats_ = HierarchyStats{};
+    fill_latency_.clear();
+    now_ = 0;
 }
 
 } // namespace csp::mem

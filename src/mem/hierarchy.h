@@ -11,12 +11,17 @@
 #include <cstdint>
 
 #include "core/config.h"
+#include "core/stats.h"
 #include "core/types.h"
 #include "mem/cache.h"
 #include "mem/mshr.h"
 
 namespace csp::stats {
 class Registry;
+}
+
+namespace csp::obs {
+class PrefetchTracker;
 }
 
 namespace csp::mem {
@@ -85,18 +90,32 @@ class Hierarchy
     /**
      * Perform a demand access at cycle @p now. Stores mark the line
      * dirty (write-allocate, write-back); the caller is expected not
-     * to stall on them.
+     * to stall on them. @p pc attributes the access in the lifecycle
+     * tracker (coverage tables); it never affects timing.
      */
-    AccessResult access(Addr addr, Cycle now, bool is_store = false);
+    AccessResult access(Addr addr, Cycle now, bool is_store = false,
+                        Addr pc = 0);
 
     /**
      * Attempt a prefetch of the line holding @p addr into L1.
      * @p min_free_mshrs is the back-off threshold of paper section 4.2:
      * if fewer L1 MSHRs are free the prefetch is dropped (the caller may
-     * convert it to a shadow operation).
+     * convert it to a shadow operation). @p pc is the demand PC the
+     * prefetcher issued this request from (accuracy attribution only).
      */
     PrefetchOutcome prefetch(Addr addr, Cycle now,
-                             unsigned min_free_mshrs);
+                             unsigned min_free_mshrs, Addr pc = 0);
+
+    /**
+     * Attach (or detach, with nullptr) a per-prefetch lifecycle
+     * tracker. The hooks are compiled in but cost one null check per
+     * access when no tracker is attached; attaching one never changes
+     * timing, HierarchyStats or any other simulation result.
+     */
+    void setTracker(obs::PrefetchTracker *tracker)
+    {
+        tracker_ = tracker;
+    }
 
     /** Free L1 MSHR slots at @p now (throttling input). */
     unsigned freeL1Mshrs(Cycle now) const;
@@ -131,9 +150,10 @@ class Hierarchy
     /** L2 lookup + fill scheduling shared by demand and prefetch paths.
      *  Returns the cycle at which the line's data reaches the L1 fill
      *  port, whether DRAM was involved, and whether an unused
-     *  prefetched L2 line served the request. */
+     *  prefetched L2 line served the request. @p pc is the requesting
+     *  PC, tracker attribution only. */
     Cycle fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
-                        bool *went_to_memory,
+                        Addr pc, bool *went_to_memory,
                         bool *served_by_l2_prefetch);
 
     MemoryConfig config_;
@@ -143,6 +163,11 @@ class Hierarchy
     MshrFile l2_mshrs_;
     Cycle dram_next_free_ = 0; ///< DRAM bandwidth bookkeeping
     HierarchyStats stats_;
+    /// DRAM fill latency (request to data) per L2 miss, log2 buckets —
+    /// feeds the mem.fill_latency percentile stat.
+    Log2Histogram fill_latency_;
+    obs::PrefetchTracker *tracker_ = nullptr; ///< borrowed, may be null
+    Cycle now_ = 0; ///< last access cycle (occupancy gauge reads)
 };
 
 } // namespace csp::mem

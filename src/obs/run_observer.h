@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The bundle a caller hands to Simulator::setObserver(): the optional
+ * lifecycle tracker (autopsy + Perfetto spans) and the optional RL tap
+ * (reward / bandit events). Installing an observer — even one with
+ * every sink null — selects the simulator's observed replay
+ * instantiation; leaving it unset keeps the control path, whose
+ * codegen carries no observer plumbing at all. The micro benchmark's
+ * disabled-overhead gate compares exactly those two.
+ */
+
+#ifndef CSP_OBS_RUN_OBSERVER_H
+#define CSP_OBS_RUN_OBSERVER_H
+
+#include "obs/lifecycle.h"
+#include "obs/taps.h"
+
+namespace csp::obs {
+
+/** See file comment. All pointers are borrowed, never owned. */
+struct RunObserver
+{
+    PrefetchTracker *tracker = nullptr; ///< lifecycle + autopsy sink
+    RlTap *rl = nullptr;                ///< learning-event sink
+};
+
+} // namespace csp::obs
+
+#endif // CSP_OBS_RUN_OBSERVER_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * RL introspection tap: the interface through which the context
+ * prefetcher's learning loop publishes reward applications and bandit
+ * state without knowing anything about sinks. Header-only on purpose —
+ * csp_prefetch sees only this pure interface and needs no link
+ * dependency on csp_obs; concrete sinks (the Perfetto event tap) live
+ * in the obs library and are injected by the simulator.
+ */
+
+#ifndef CSP_OBS_TAPS_H
+#define CSP_OBS_TAPS_H
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace csp::obs {
+
+/** One reward application: the feedback unit credited (or penalised)
+ *  a CST link for a prediction of @p block. */
+struct RewardEvent
+{
+    Addr block = 0;           ///< predicted block address
+    std::int64_t delta = 0;   ///< CST link delta (blocks)
+    unsigned depth = 0;       ///< accesses between prediction and use
+    int amount = 0;           ///< signed reward applied to the link
+    bool in_window = false;   ///< inside the bell reward window
+    bool expiry = false;      ///< prediction aged out unmatched
+};
+
+/** Periodic snapshot of the epsilon-greedy policy. */
+struct BanditSnapshot
+{
+    double epsilon = 0.0;     ///< current exploration rate
+    double accuracy = 0.0;    ///< smoothed prefetch-queue hit rate
+    std::uint64_t explorations = 0; ///< exploratory draws so far
+};
+
+/** See file comment. */
+class RlTap
+{
+  public:
+    virtual ~RlTap() = default;
+
+    /** A reward (or expiry penalty) was applied at @p cycle. */
+    virtual void onReward(Cycle cycle, const RewardEvent &event) = 0;
+
+    /** Periodic bandit state snapshot. */
+    virtual void onBandit(Cycle cycle, const BanditSnapshot &snap) = 0;
+};
+
+} // namespace csp::obs
+
+#endif // CSP_OBS_TAPS_H

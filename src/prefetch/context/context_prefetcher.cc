@@ -6,6 +6,7 @@
 #include "core/logging.h"
 #include "core/stats_registry.h"
 #include "core/types.h"
+#include "obs/taps.h"
 
 namespace csp::prefetch::ctx {
 
@@ -65,6 +66,11 @@ ContextPrefetcher::expireEntry(const PendingPrefetch &entry)
     cst_.reward(entry.reduced_key, entry.delta, penalty);
     policy_.recordOutcome(false);
     ++stats_.pq_expiries;
+    if (rl_tap_ != nullptr) {
+        rl_tap_->onReward(last_cycle_,
+                          {entry.line, entry.delta, /*depth=*/0, penalty,
+                           /*in_window=*/false, /*expiry=*/true});
+    }
 }
 
 void
@@ -74,7 +80,13 @@ ContextPrefetcher::observe(const AccessInfo &info,
     CSP_ASSERT(info.context != nullptr);
     const Addr block = alignDown(info.vaddr, config_.block_bytes);
     const AccessSeq seq = info.seq;
+    last_cycle_ = info.cycle;
     ++stats_.lookups;
+    if (rl_tap_ != nullptr && (stats_.lookups & 4095) == 0) {
+        rl_tap_->onBandit(info.cycle,
+                          {policy_.epsilon(), policy_.accuracy(),
+                           stats_.explorations});
+    }
 
     // ------------------------------------------------------------------
     // Feedback unit: reward the predictions this access confirms.
@@ -89,10 +101,17 @@ ContextPrefetcher::observe(const AccessInfo &info,
                          amount = 0;
                      cst_.reward(entry.reduced_key, entry.delta, amount);
                      hit_depths_.sample(depth);
+                     reward_by_depth_.sample(depth);
                      policy_.recordOutcome(in_window);
                      ++stats_.pq_hits;
                      if (in_window)
                          ++stats_.pq_hits_in_window;
+                     if (rl_tap_ != nullptr) {
+                         rl_tap_->onReward(info.cycle,
+                                           {entry.line, entry.delta,
+                                            depth, amount, in_window,
+                                            /*expiry=*/false});
+                     }
                  });
 
     // ------------------------------------------------------------------
@@ -194,7 +213,7 @@ ContextPrefetcher::observe(const AccessInfo &info,
         pq_.push(target, reduced_key, deltas[i], seq, shadow, expiry);
         // Shadow candidates are reported too (flagged) so the simulator
         // can account "predicted but not issued" demand misses.
-        out.push_back({target, shadow});
+        out.push_back({target, shadow, info.pc});
         if (shadow)
             ++stats_.shadow_predictions;
         else
@@ -216,7 +235,7 @@ ContextPrefetcher::observe(const AccessInfo &info,
                             config_.block_bytes);
             if (!pq_.pending(target)) {
                 pq_.push(target, reduced_key, delta, seq, true, expiry);
-                out.push_back({target, true});
+                out.push_back({target, true, info.pc});
                 ++stats_.explorations;
                 ++stats_.shadow_predictions;
             }
@@ -316,6 +335,9 @@ ContextPrefetcher::registerStats(stats::Registry &registry) const
         "live prefetch-queue entries");
     registry.distribution("context.pq.hit_depth", &hit_depths_,
                           "accesses between prediction and use");
+    registry.distribution("context.reward.by_depth", &reward_by_depth_,
+                          "reward applications by prediction depth "
+                          "(log2 buckets)");
     registry.formula("context.reward.in_window_rate",
                      "context.pq.hits_in_window", "context.pq.hits",
                      1.0, "fraction of rewards inside the bell window");

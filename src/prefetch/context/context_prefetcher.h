@@ -89,6 +89,10 @@ class ContextPrefetcher final : public Prefetcher
      *  and the reward mix — the dynamics behind paper Figures 5/8/9. */
     void registerStats(stats::Registry &registry) const override;
 
+    /** Stream reward applications and periodic bandit snapshots to an
+     *  observability tap (Perfetto instants / counter tracks). */
+    void setRlTap(obs::RlTap *tap) override { rl_tap_ = tap; }
+
     const Histogram *hitDepths() const override { return &hit_depths_; }
 
     const ContextStats &stats() const { return stats_; }
@@ -110,8 +114,13 @@ class ContextPrefetcher final : public Prefetcher
     PrefetchQueue pq_;
     BanditPolicy policy_;
     Histogram hit_depths_;
+    /// Reward applications bucketed by prediction depth (log2) — the
+    /// §4.3 reward-window shape as a percentile-capable distribution.
+    Log2Histogram reward_by_depth_;
     ContextStats stats_;
     std::vector<const HistoryEntry *> scratch_samples_;
+    obs::RlTap *rl_tap_ = nullptr; ///< borrowed, may be null
+    Cycle last_cycle_ = 0; ///< cycle of the access being observed
 };
 
 } // namespace csp::prefetch::ctx

@@ -111,7 +111,7 @@ GhbPrefetcher::observe(const AccessInfo &info,
                     scratch_deltas_[k] *
                     static_cast<std::int64_t>(line_bytes_));
                 if (target != info.line_addr) {
-                    out.push_back({target, false});
+                    out.push_back({target, false, info.pc});
                     ++predictions_;
                 }
             }

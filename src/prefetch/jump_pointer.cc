@@ -66,7 +66,7 @@ JumpPointerPrefetcher::observe(const AccessInfo &info,
              ++depth) {
             if (cursor == 0 || cursor == line)
                 break;
-            out.push_back({cursor, false});
+            out.push_back({cursor, false, info.pc});
             const PointerEntry &entry = pointerSlot(cursor);
             if (!entry.valid || entry.line_tag != cursor)
                 break;

@@ -73,7 +73,7 @@ MarkovPrefetcher::observe(const AccessInfo &info,
              ++i) {
             if (sorted[i].count == 0 || sorted[i].line == kInvalidAddr)
                 break;
-            out.push_back({sorted[i].line, false});
+            out.push_back({sorted[i].line, false, info.pc});
             ++predictions_;
             ++issued;
         }

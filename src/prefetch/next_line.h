@@ -41,7 +41,7 @@ class NextLinePrefetcher final : public Prefetcher
         for (unsigned i = 1; i <= config_.degree; ++i) {
             out.push_back(
                 {info.line_addr + static_cast<Addr>(i) * line_bytes_,
-                 false});
+                 false, info.pc});
         }
     }
 

@@ -27,6 +27,10 @@ namespace csp::stats {
 class Registry;
 }
 
+namespace csp::obs {
+class RlTap;
+}
+
 namespace csp::prefetch {
 
 /** One candidate emitted by a prefetcher. */
@@ -38,6 +42,9 @@ struct PrefetchRequest
      * never dispatched to the memory system.
      */
     bool shadow = false;
+    /// Demand PC the candidate was predicted from — lifecycle-tracker
+    /// attribution only, never consulted by the memory system.
+    Addr pc = 0;
 };
 
 /** Everything a prefetcher may inspect about the current demand access. */
@@ -101,6 +108,13 @@ class Prefetcher
     {
         (void)registry;
     }
+
+    /**
+     * Attach a learning-event tap (reward applications, bandit
+     * snapshots). Only prefetchers that learn online emit anything;
+     * the default ignores the tap. Pass nullptr to detach.
+     */
+    virtual void setRlTap(obs::RlTap *tap) { (void)tap; }
 };
 
 /**

@@ -93,7 +93,7 @@ SmsPrefetcher::observe(const AccessInfo &info,
                 out.push_back(
                     {region_base + static_cast<Addr>(line) *
                                        config_.line_bytes,
-                     false});
+                     false, info.pc});
                 ++predictions_;
             }
         }

@@ -46,7 +46,7 @@ StridePrefetcher::observe(const AccessInfo &info,
             const Addr line = alignDown(target, line_bytes_);
             if (line != prev_line &&
                 line != alignDown(info.vaddr, line_bytes_)) {
-                out.push_back({line, false});
+                out.push_back({line, false, info.pc});
                 prev_line = line;
                 ++predictions_;
             }

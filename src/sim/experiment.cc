@@ -9,6 +9,7 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "obs/run_observer.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "prefetch/ghb.h"
 #include "prefetch/jump_pointer.h"
@@ -343,6 +344,12 @@ runSweep(const std::vector<std::string> &workload_names,
             auto prefetcher = makePrefetcher(
                 prefetcher_names[k % n_prefetchers], config);
             Simulator simulator(config);
+            obs::PrefetchTracker tracker;
+            obs::RunObserver observer;
+            if (options.observe) {
+                observer.tracker = &tracker;
+                simulator.setObserver(&observer);
+            }
             if (options.verbose)
                 simulator.setProgress(progress.hook(k));
             CellResult cell;

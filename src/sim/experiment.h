@@ -153,6 +153,13 @@ struct SweepOptions
      * threads). Results are bit-identical for every value.
      */
     unsigned jobs = 0;
+    /**
+     * Attach a per-cell lifecycle tracker (no Perfetto sink) to every
+     * run. The autopsy results are discarded — this knob exists so the
+     * determinism tests can assert that observed and unobserved sweeps
+     * produce bit-identical RunStats.
+     */
+    bool observe = false;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cpu/core_model.h"
+#include "obs/run_observer.h"
 #include "sim/predicted_set.h"
 #include "trace/hw_state.h"
 
@@ -116,7 +117,8 @@ Simulator::run(const trace::TraceBuffer &trace,
                prefetch::Prefetcher &prefetcher)
 {
     trace::TraceCursor cursor = trace.cursor();
-    return runFrom(cursor, prefetcher);
+    return observer_ != nullptr ? runFrom<true>(cursor, prefetcher)
+                                : runFrom<false>(cursor, prefetcher);
 }
 
 RunStats
@@ -124,15 +126,20 @@ Simulator::run(const std::vector<trace::TraceRecord> &records,
                prefetch::Prefetcher &prefetcher)
 {
     VectorSource source(records);
-    return runFrom(source, prefetcher);
+    return observer_ != nullptr ? runFrom<true>(source, prefetcher)
+                                : runFrom<false>(source, prefetcher);
 }
 
-template <typename Source>
+template <bool kObserved, typename Source>
 RunStats
 Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
 {
     cpu::CoreModel core(config_.core);
     mem::Hierarchy hierarchy(config_.memory);
+    if constexpr (kObserved) {
+        hierarchy.setTracker(observer_->tracker);
+        prefetcher.setRlTap(observer_->rl);
+    }
     trace::HwContextTracker hw(config_.memory.l1d.line_bytes);
     PredictedSet predicted_unissued;
 
@@ -227,7 +234,7 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
                                           dispatch,
                                           rec.dep_on_prev_load);
             const mem::AccessResult result =
-                hierarchy.access(rec.vaddr, issue, is_store);
+                hierarchy.access(rec.vaddr, issue, is_store, rec.pc);
             if (is_store) {
                 // The store buffer hides the fill latency; retirement
                 // only needs the L1 write port.
@@ -286,7 +293,7 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
                 const mem::PrefetchOutcome outcome =
                     hierarchy.prefetch(
                         req.addr, issue,
-                        config_.context.min_free_mshrs);
+                        config_.context.min_free_mshrs, req.pc);
                 prefetcher.onPrefetchOutcome(req.addr, outcome);
                 if (outcome == mem::PrefetchOutcome::NoMshr) {
                     predicted_unissued.record(
@@ -322,6 +329,13 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
     prefetcher.finish();
     hierarchy.finish();
     sampler.finish(core.instructions());
+    if constexpr (kObserved) {
+        // Close every still-active lifecycle as Useless and detach the
+        // tap: the prefetcher may outlive this run.
+        if (observer_->tracker != nullptr)
+            observer_->tracker->finish(core.elapsed());
+        prefetcher.setRlTap(nullptr);
+    }
 
     // RunStats keeps its public shape but is populated from the
     // registry — the registry is the single source of truth.

@@ -24,6 +24,10 @@
 #include "prefetch/prefetcher.h"
 #include "trace/trace.h"
 
+namespace csp::obs {
+struct RunObserver;
+}
+
 namespace csp::sim {
 
 /** Per-access benefit categories of paper Figure 9. */
@@ -154,6 +158,19 @@ class Simulator
      */
     void setProgress(ProgressFn fn, std::uint64_t every_insts = 100000);
 
+    /**
+     * Attach an observability bundle (lifecycle tracker, RL tap) for
+     * subsequent run() calls; nullptr (the default) detaches it and
+     * keeps the replay loop's unobserved instantiation. Installing an
+     * observer — even one with every sink null — switches to the
+     * observed instantiation; results are bit-identical either way.
+     * The observer must outlive the run() call.
+     */
+    void setObserver(obs::RunObserver *observer)
+    {
+        observer_ = observer;
+    }
+
     /** Replay @p trace through @p prefetcher; returns the run's stats. */
     RunStats run(const trace::TraceBuffer &trace,
                  prefetch::Prefetcher &prefetcher);
@@ -177,11 +194,15 @@ class Simulator
 
   private:
     /** The replay loop, generic over a `const TraceRecord *next()`
-     *  record source (TraceCursor or a plain vector walker). */
-    template <typename Source>
+     *  record source (TraceCursor or a plain vector walker).
+     *  @tparam kObserved selects the instantiation that wires the
+     *  RunObserver through the hierarchy and prefetcher; the false
+     *  instantiation carries no observer plumbing at all. */
+    template <bool kObserved, typename Source>
     RunStats runFrom(Source &source, prefetch::Prefetcher &prefetcher);
 
     SystemConfig config_;
+    obs::RunObserver *observer_ = nullptr;
     std::uint64_t stats_interval_ = 0;
     std::string stats_filter_;
     std::string report_filter_;

@@ -16,6 +16,12 @@ compresses worse than MIN_COMPRESSION_X against the retired 56-byte
 array-of-structs record, so a regression in the trace encoding turns
 the bench-smoke job red rather than silently fattening sweeps.
 
+It also gates the observability layer's disabled-path cost: the
+BM_TraceObs_NullSink replay (observer attached, every sink null) must
+retain at least MIN_DISABLED_RATE of BM_TraceObs_Control's insts/s
+(control = no observer at all), so lifecycle tracing stays ~free when
+nobody asks for it.
+
 Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR3.json]
 """
 
@@ -31,6 +37,10 @@ import time
 # encoding must stay at least this many times smaller per record.
 AOS_RECORD_BYTES = 56.0
 MIN_COMPRESSION_X = 2.0
+
+# Disabled-path tracing overhead bar: NullSink must keep >= 98% of the
+# Control replay rate (<= 2% overhead).
+MIN_DISABLED_RATE = 0.98
 
 
 def peak_child_rss_mb():
@@ -63,7 +73,8 @@ def run_micro(build_dir, min_time, raw_out):
     subprocess.run(
         [
             binary,
-            "--benchmark_filter=BM_Replay_|BM_Stride$|BM_Context$",
+            "--benchmark_filter="
+            "BM_Replay_|BM_TraceObs_|BM_Stride$|BM_Context$",
             f"--benchmark_min_time={min_time}",
             f"--benchmark_out={raw_out}",
             "--benchmark_out_format=json",
@@ -76,8 +87,9 @@ def run_micro(build_dir, min_time, raw_out):
 
 
 def distill(benchmarks):
-    """Split raw benchmark entries into replay gauges and observe costs."""
+    """Split raw entries into replay gauges, tracing rates, observe costs."""
     replay = {}
+    trace_obs = {}
     observe_ns = {}
     for bench in benchmarks:
         name = bench["name"]
@@ -91,10 +103,14 @@ def distill(benchmarks):
                 "compression_x": round(AOS_RECORD_BYTES / bpr, 2),
                 "trace_bytes": int(bench["trace_bytes"]),
             }
+        elif name.startswith("BM_TraceObs_"):
+            # BM_TraceObs_<Mode>: lifecycle-tracing replay rates
+            mode = name.removeprefix("BM_TraceObs_").lower()
+            trace_obs[mode] = round(bench["insts/s"])
         else:
             observe_ns[name.removeprefix("BM_").lower()] = round(
                 bench["real_time"], 1)
-    return replay, observe_ns
+    return replay, trace_obs, observe_ns
 
 
 def main():
@@ -113,10 +129,12 @@ def main():
           f"{fig12['seconds']} s, peak RSS {fig12['peak_rss_mb']} MiB")
 
     raw_out = args.out + ".raw"
-    replay, observe_ns = distill(
+    replay, trace_obs, observe_ns = distill(
         run_micro(args.build_dir, args.min_time, raw_out))
     os.remove(raw_out)
 
+    disabled_rate = (trace_obs["nullsink"] / trace_obs["control"]
+                     if trace_obs.get("control") else 0.0)
     worst = min(replay.values(), key=lambda r: r["compression_x"])
     report = {
         "schema": "csp-bench-smoke-v1",
@@ -124,6 +142,8 @@ def main():
         "aos_record_bytes": AOS_RECORD_BYTES,
         "min_compression_x": worst["compression_x"],
         "replay": replay,
+        "trace_obs_insts_per_sec": trace_obs,
+        "trace_obs_disabled_rate": round(disabled_rate, 4),
         "observe_ns_per_access": observe_ns,
         "fig12_reduced_sweep": fig12,
     }
@@ -135,13 +155,24 @@ def main():
         print(f"replay {key}: {gauges['insts_per_sec'] / 1e6:.2f} M insts/s, "
               f"{gauges['bytes_per_record']} B/record "
               f"({gauges['compression_x']}x vs AoS)")
+    for mode in ("control", "nullsink", "enabled"):
+        if mode in trace_obs:
+            print(f"trace-obs {mode}: {trace_obs[mode] / 1e6:.2f} M insts/s")
+    print(f"trace-obs disabled-path rate: {disabled_rate:.4f} "
+          f"(>= {MIN_DISABLED_RATE} required)")
     print(f"wrote {args.out}")
 
+    failed = False
     if worst["compression_x"] < MIN_COMPRESSION_X:
         print(f"FAIL: worst compression {worst['compression_x']}x "
               f"< required {MIN_COMPRESSION_X}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if disabled_rate < MIN_DISABLED_RATE:
+        print(f"FAIL: disabled-path tracing keeps only "
+              f"{disabled_rate:.4f} of the control replay rate "
+              f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -26,6 +27,8 @@
 #include "core/config.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "obs/run_observer.h"
+#include "obs/trace_events.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
@@ -56,6 +59,9 @@ struct Options
     std::string stats_csv;
     std::string stats_filter;
     std::uint64_t stats_interval = 0;
+    std::string autopsy_out;
+    std::string trace_events;
+    std::uint64_t trace_sample = 1;
     SystemConfig config;
 };
 
@@ -92,6 +98,19 @@ usage()
         "                           from --stats-out)\n"
         "  --stats-filter PREFIX    keep only stats under the dotted\n"
         "                           prefix (e.g. context.bandit)\n"
+        "  --autopsy-out FILE       per-prefetch lifecycle autopsy\n"
+        "                           tables (timely/late/early/redundant/\n"
+        "                           useless/dropped + per-PC attribution);\n"
+        "                           writes the FILE stem as .csv and\n"
+        "                           .json, tagged per prefetcher for\n"
+        "                           multi-prefetcher runs\n"
+        "  --trace-events FILE      Chrome trace-event JSON timeline\n"
+        "                           (open in Perfetto / chrome://tracing):\n"
+        "                           prefetch lifecycles as async spans,\n"
+        "                           demand misses + RL rewards as instant\n"
+        "                           events, MSHR occupancy counters\n"
+        "  --trace-sample N         emit 1 in N lifecycle spans and\n"
+        "                           instant events (default 1 = all)\n"
         "  --verbose                rate-limited progress heartbeat\n"
         "  --cst-entries N          context prefetcher CST size\n"
         "  --max-degree N           context prefetcher degree cap\n"
@@ -155,6 +174,15 @@ parse(int argc, char **argv)
         } else if (arg == "--stats-interval") {
             options.stats_interval =
                 std::strtoull(need_value(i), nullptr, 10);
+        } else if (arg == "--autopsy-out") {
+            options.autopsy_out = need_value(i);
+        } else if (arg == "--trace-events") {
+            options.trace_events = need_value(i);
+        } else if (arg == "--trace-sample") {
+            options.trace_sample =
+                std::strtoull(need_value(i), nullptr, 10);
+            if (options.trace_sample == 0)
+                options.trace_sample = 1;
         } else if (arg == "--cst-entries") {
             options.config.context.cst_entries = static_cast<unsigned>(
                 std::strtoul(need_value(i), nullptr, 10));
@@ -246,6 +274,42 @@ intervalCsvPath(const Options &options, const std::string &pf_name,
     return base.substr(0, dot) + "." + pf_name + base.substr(dot);
 }
 
+/** FILE stem for --autopsy-out: drop a known extension, tag per
+ *  prefetcher on multi-prefetcher runs; ".csv"/".json" are appended by
+ *  the caller. */
+std::string
+autopsyStem(const std::string &path, const std::string &pf_name,
+            bool multi)
+{
+    std::string stem = path;
+    for (const char *ext : {".csv", ".json"}) {
+        const std::size_t n = std::strlen(ext);
+        if (stem.size() > n &&
+            stem.compare(stem.size() - n, n, ext) == 0) {
+            stem.erase(stem.size() - n);
+            break;
+        }
+    }
+    if (multi)
+        stem += "." + pf_name;
+    return stem;
+}
+
+/** Per-prefetcher path for --trace-events (same tagging idiom as the
+ *  interval CSV). */
+std::string
+traceEventsPath(const Options &options, const std::string &pf_name,
+                bool multi)
+{
+    const std::string &base = options.trace_events;
+    if (!multi)
+        return base;
+    const std::size_t dot = base.rfind('.');
+    if (dot == std::string::npos)
+        return base + "." + pf_name;
+    return base.substr(0, dot) + "." + pf_name + base.substr(dot);
+}
+
 } // namespace
 
 int
@@ -299,7 +363,13 @@ main(int argc, char **argv)
         sim::RunStats stats;
         stats::Report report;
         stats::TimeSeries series;
+        /// Lifecycle results, kept past the worker for serial autopsy
+        /// output; null when neither --autopsy-out nor --trace-events
+        /// was given.
+        std::unique_ptr<obs::PrefetchTracker> tracker;
     };
+    const bool observing = !options.autopsy_out.empty() ||
+                           !options.trace_events.empty();
     std::vector<PfOutcome> outcomes(pf_names.size());
     {
         ThreadPool pool(options.jobs);
@@ -320,9 +390,37 @@ main(int argc, char **argv)
                 }
                 if (options.verbose)
                     simulator.setProgress(progress.hook(i));
+                // The timeline file is written live during the run (one
+                // per prefetcher — workers never share a stream); the
+                // autopsy tracker survives for serial output below.
+                std::ofstream events_file;
+                std::unique_ptr<obs::TraceEventWriter> events;
+                std::unique_ptr<obs::RlEventTap> rl_tap;
+                obs::RunObserver observer;
+                if (!options.trace_events.empty()) {
+                    const std::string path = traceEventsPath(
+                        options, pf_names[i], multi);
+                    events_file.open(path);
+                    if (!events_file)
+                        fatal("cannot write %s", path.c_str());
+                    events = std::make_unique<obs::TraceEventWriter>(
+                        events_file);
+                    rl_tap = std::make_unique<obs::RlEventTap>(
+                        events.get(), options.trace_sample);
+                    observer.rl = rl_tap.get();
+                }
+                if (observing) {
+                    outcomes[i].tracker =
+                        std::make_unique<obs::PrefetchTracker>(
+                            events.get(), options.trace_sample);
+                    observer.tracker = outcomes[i].tracker.get();
+                    simulator.setObserver(&observer);
+                }
                 outcomes[i].stats = simulator.run(trace, *prefetcher);
                 outcomes[i].report = simulator.lastReport();
                 outcomes[i].series = simulator.lastSeries();
+                if (events != nullptr)
+                    events->close();
                 if (options.verbose)
                     progress.cellDone(i);
             });
@@ -361,6 +459,23 @@ main(int argc, char **argv)
             outcomes[i].series.writeCsv(csv);
             if (options.verbose)
                 inform("wrote interval stats to %s", path.c_str());
+        }
+        if (!options.autopsy_out.empty()) {
+            const std::string stem =
+                autopsyStem(options.autopsy_out, pf_name, multi);
+            const obs::PrefetchTracker &tracker = *outcomes[i].tracker;
+            std::ofstream autopsy_csv(stem + ".csv");
+            if (!autopsy_csv)
+                fatal("cannot write %s.csv", stem.c_str());
+            tracker.writeAutopsyCsv(autopsy_csv, pf_name);
+            std::ofstream autopsy_json(stem + ".json");
+            if (!autopsy_json)
+                fatal("cannot write %s.json", stem.c_str());
+            tracker.writeAutopsyJson(autopsy_json, pf_name);
+            if (options.verbose) {
+                inform("wrote autopsy tables to %s.{csv,json}",
+                       stem.c_str());
+            }
         }
         if (baseline_ipc == 0.0) {
             // First row is the reference (it is "none" for "all").
