@@ -1,0 +1,61 @@
+#include "core/profiling.h"
+
+#include <string>
+
+#include "core/stats_registry.h"
+
+namespace csp::prof {
+
+const char *
+phaseStatName(Phase phase)
+{
+    switch (phase) {
+      case Phase::TraceGen: return "trace_gen";
+      case Phase::Replay: return "replay";
+      case Phase::MemAccess: return "mem.access";
+      case Phase::MemPrefetch: return "mem.prefetch";
+      case Phase::PrefetchObserve: return "prefetch.observe";
+      case Phase::PrefetchTrain: return "prefetch.train";
+      case Phase::PrefetchPredict: return "prefetch.predict";
+      case Phase::StatsFlush: return "stats_flush";
+      case Phase::Count: break;
+    }
+    return "?";
+}
+
+void
+Profiler::registerStats(stats::Registry &registry) const
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Phase::Count); ++i) {
+        const auto phase = static_cast<Phase>(i);
+        const std::string base =
+            std::string("prof.") + phaseStatName(phase);
+        const Slot *slot = &slots_[i];
+        registry.counter(base + ".ns", &slot->ns,
+                         "wall-clock nanoseconds in this phase");
+        registry.counter(base + ".calls", &slot->calls,
+                         "timed sections folded into this phase");
+        registry.gauge(
+            base + ".ns_per_call",
+            [slot]() -> double {
+                return slot->calls == 0
+                           ? 0.0
+                           : static_cast<double>(slot->ns) /
+                                 static_cast<double>(slot->calls);
+            },
+            "average nanoseconds per timed section");
+    }
+    // Per-access derivations for the phases that run once per demand
+    // access; resolved lazily against the hierarchy's counters.
+    for (const char *per_access :
+         {"replay", "mem.access", "prefetch.observe"}) {
+        registry.formula(std::string("prof.") + per_access +
+                             ".ns_per_access",
+                         std::string("prof.") + per_access + ".ns",
+                         "mem.l1.demand_accesses", 1.0,
+                         "phase nanoseconds per demand access");
+    }
+}
+
+} // namespace csp::prof

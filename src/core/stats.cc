@@ -96,8 +96,15 @@ Log2Histogram::percentile(double p) const
 {
     if (total_ == 0)
         return 0;
+    if (total_ == 1) {
+        // One sample: every percentile IS that sample (sum_ holds its
+        // exact value), not the power-of-two bucket ceiling.
+        return sum_;
+    }
     if (p > 1.0)
         p = 1.0;
+    if (p < 0.0)
+        p = 0.0;
     // Rank of the requested sample, 1-based; p50 of 10 samples is the
     // 5th from the bottom.
     auto rank = static_cast<std::uint64_t>(

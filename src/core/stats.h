@@ -160,7 +160,9 @@ class Log2Histogram
     /**
      * Upper edge of the bucket holding the sample of rank
      * ceil(@p p * count) for @p p in (0, 1] — e.g. percentile(0.5) is
-     * a p50 estimate. Returns 0 when empty.
+     * a p50 estimate. @p p is clamped into [0, 1]. Returns 0 when
+     * empty; with exactly one sample returns that sample's exact
+     * value (not a bucket edge).
      */
     std::uint64_t percentile(double p) const;
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/logging.h"
+#include "core/profiling.h"
 #include "core/stats_registry.h"
 #include "core/types.h"
 #include "obs/taps.h"
@@ -78,6 +79,14 @@ ContextPrefetcher::observe(const AccessInfo &info,
                            std::vector<PrefetchRequest> &out)
 {
     CSP_ASSERT(info.context != nullptr);
+    // Train/predict phase attribution (explicit clock reads, not
+    // ScopedTimer, to avoid re-scoping the unit sections): everything
+    // through the collection unit is training, the prediction unit
+    // onward is prediction. No clock is touched unless a profiler is
+    // attached.
+    std::chrono::steady_clock::time_point phase_start;
+    if (profiler_ != nullptr)
+        phase_start = std::chrono::steady_clock::now();
     const Addr block = alignDown(info.vaddr, config_.block_bytes);
     const AccessSeq seq = info.seq;
     last_cycle_ = info.cycle;
@@ -184,6 +193,17 @@ ContextPrefetcher::observe(const AccessInfo &info,
         }
     }
 
+    if (profiler_ != nullptr) {
+        const auto now = std::chrono::steady_clock::now();
+        profiler_->add(prof::Phase::PrefetchTrain,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               now - phase_start)
+                               .count()));
+        phase_start = now;
+    }
+
     // ------------------------------------------------------------------
     // Prediction unit: exploit the best links, explore a random one.
     // ------------------------------------------------------------------
@@ -251,6 +271,16 @@ ContextPrefetcher::observe(const AccessInfo &info,
     // Remember this context for future associations.
     // ------------------------------------------------------------------
     history_.push({reduced_key, full_hash, block, seq});
+
+    if (profiler_ != nullptr) {
+        profiler_->add(prof::Phase::PrefetchPredict,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() -
+                               phase_start)
+                               .count()));
+    }
 }
 
 void

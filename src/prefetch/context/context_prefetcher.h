@@ -93,6 +93,14 @@ class ContextPrefetcher final : public Prefetcher
      *  observability tap (Perfetto instants / counter tracks). */
     void setRlTap(obs::RlTap *tap) override { rl_tap_ = tap; }
 
+    /** Split observe() wall-clock into prof.prefetch.train (feedback +
+     *  collection units) and prof.prefetch.predict (prediction unit),
+     *  both nested inside the simulator's prefetch.observe phase. */
+    void setProfiler(prof::Profiler *profiler) override
+    {
+        profiler_ = profiler;
+    }
+
     const Histogram *hitDepths() const override { return &hit_depths_; }
 
     const ContextStats &stats() const { return stats_; }
@@ -120,6 +128,7 @@ class ContextPrefetcher final : public Prefetcher
     ContextStats stats_;
     std::vector<const HistoryEntry *> scratch_samples_;
     obs::RlTap *rl_tap_ = nullptr; ///< borrowed, may be null
+    prof::Profiler *profiler_ = nullptr; ///< borrowed, may be null
     Cycle last_cycle_ = 0; ///< cycle of the access being observed
 };
 

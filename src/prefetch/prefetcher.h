@@ -31,6 +31,10 @@ namespace csp::obs {
 class RlTap;
 }
 
+namespace csp::prof {
+class Profiler;
+}
+
 namespace csp::prefetch {
 
 /** One candidate emitted by a prefetcher. */
@@ -115,6 +119,17 @@ class Prefetcher
      * the default ignores the tap. Pass nullptr to detach.
      */
     virtual void setRlTap(obs::RlTap *tap) { (void)tap; }
+
+    /**
+     * Attach a self-profiler so the prefetcher can attribute its
+     * observe() time to finer train/predict phases. Only prefetchers
+     * with a meaningful split implement this; the default ignores it.
+     * Pass nullptr to detach (the simulator does, at end of run).
+     */
+    virtual void setProfiler(prof::Profiler *profiler)
+    {
+        (void)profiler;
+    }
 };
 
 /**

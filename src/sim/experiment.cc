@@ -7,6 +7,7 @@
 #include <memory>
 #include <numeric>
 
+#include "core/hashing.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "obs/run_observer.h"
@@ -19,6 +20,22 @@
 #include "prefetch/stride.h"
 
 namespace csp::sim {
+
+namespace {
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string joined;
+    for (const std::string &name : names) {
+        if (!joined.empty())
+            joined += ',';
+        joined += name;
+    }
+    return joined;
+}
+
+} // namespace
 
 std::unique_ptr<prefetch::Prefetcher>
 makePrefetcher(const std::string &name, const SystemConfig &config)
@@ -284,6 +301,14 @@ runSweep(const std::vector<std::string> &workload_names,
     const std::size_t n_workloads = workload_names.size();
     const std::size_t n_prefetchers = prefetcher_names.size();
     const std::size_t n_cells = n_workloads * n_prefetchers;
+    result.manifest = makeRunManifest("runSweep", config);
+    result.manifest.seed = params.seed;
+    result.manifest.scale = params.scale;
+    result.manifest.placement =
+        params.placement == runtime::Placement::Sequential ? "seq"
+                                                           : "rand";
+    result.manifest.workloads = joinNames(workload_names);
+    result.manifest.prefetchers = joinNames(prefetcher_names);
     if (n_cells == 0)
         return result;
 
@@ -292,17 +317,36 @@ runSweep(const std::vector<std::string> &workload_names,
     const unsigned jobs = options.jobs != 0
                               ? options.jobs
                               : ThreadPool::defaultJobs();
+    result.manifest.jobs = jobs;
     ThreadPool pool(jobs);
 
     // Phase 1: generate every workload's trace once, workloads in
     // parallel. Each trace is then shared read-only by all of that
     // workload's cells. Summary lines print afterwards in workload
     // order, so verbose output is deterministic.
+    const auto trace_gen_start = std::chrono::steady_clock::now();
     std::vector<trace::TraceBuffer> traces(n_workloads);
     pool.parallelFor(n_workloads, [&](std::size_t wi) {
         traces[wi] =
             registry.create(workload_names[wi])->generate(params);
     });
+    result.manifest.trace_gen_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - trace_gen_start)
+            .count();
+    // Trace provenance must be captured now: traces are released as
+    // their last cell completes in phase 2.
+    {
+        WordHasher combined;
+        for (const trace::TraceBuffer &t : traces) {
+            combined.add(t.contentDigest());
+            result.manifest.trace_records += t.size();
+            result.manifest.trace_instructions += t.instructions();
+            result.manifest.trace_accesses += t.memAccesses();
+        }
+        result.manifest.trace_digest =
+            hexDigest(combined.digest());
+    }
     if (options.verbose) {
         for (std::size_t wi = 0; wi < n_workloads; ++wi) {
             inform("%-14s %8.2fM insts, %6.2fM accesses",
@@ -311,6 +355,8 @@ runSweep(const std::vector<std::string> &workload_names,
                    static_cast<double>(traces[wi].memAccesses()) / 1e6);
         }
     }
+
+    const auto sim_start = std::chrono::steady_clock::now();
 
     // Phase 2: simulate the independent cells, scheduled longest
     // trace first so a big workload never straggles at the end.
@@ -366,6 +412,18 @@ runSweep(const std::vector<std::string> &workload_names,
         });
     }
     pool.wait();
+    result.manifest.sim_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - sim_start)
+            .count();
+    if (result.manifest.sim_seconds > 0.0) {
+        std::uint64_t simulated = 0;
+        for (const CellResult &cell : result.cells)
+            simulated += cell.stats.instructions;
+        result.manifest.insts_per_sec =
+            static_cast<double>(simulated) /
+            result.manifest.sim_seconds;
+    }
     return result;
 }
 

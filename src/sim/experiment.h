@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/run_manifest.h"
 #include "prefetch/prefetcher.h"
 #include "sim/simulator.h"
 #include "workloads/registry.h"
@@ -61,6 +62,14 @@ struct SweepResult
     std::vector<std::string> workload_names;
     std::vector<std::string> prefetcher_names;
     std::vector<CellResult> cells;
+    /**
+     * Provenance of the sweep: build + config digest + seed, the
+     * combined content digest of every workload trace (in workload
+     * order), and the sweep's trace-gen/simulate wall-clock. Consumers
+     * embedding sweep numbers in a file should embed this too; never
+     * part of the deterministic cell data.
+     */
+    RunManifest manifest;
 
     const RunStats &at(const std::string &workload,
                        const std::string &prefetcher) const;

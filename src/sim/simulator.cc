@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "core/profiling.h"
 #include "cpu/core_model.h"
 #include "obs/run_observer.h"
 #include "sim/predicted_set.h"
@@ -117,8 +118,7 @@ Simulator::run(const trace::TraceBuffer &trace,
                prefetch::Prefetcher &prefetcher)
 {
     trace::TraceCursor cursor = trace.cursor();
-    return observer_ != nullptr ? runFrom<true>(cursor, prefetcher)
-                                : runFrom<false>(cursor, prefetcher);
+    return dispatchRun(cursor, prefetcher);
 }
 
 RunStats
@@ -126,20 +126,38 @@ Simulator::run(const std::vector<trace::TraceRecord> &records,
                prefetch::Prefetcher &prefetcher)
 {
     VectorSource source(records);
-    return observer_ != nullptr ? runFrom<true>(source, prefetcher)
-                                : runFrom<false>(source, prefetcher);
+    return dispatchRun(source, prefetcher);
 }
 
-template <bool kObserved, typename Source>
+template <typename Source>
+RunStats
+Simulator::dispatchRun(Source &source, prefetch::Prefetcher &prefetcher)
+{
+    if (observer_ != nullptr) {
+        return profiler_ != nullptr
+                   ? runFrom<true, true>(source, prefetcher)
+                   : runFrom<true, false>(source, prefetcher);
+    }
+    return profiler_ != nullptr
+               ? runFrom<false, true>(source, prefetcher)
+               : runFrom<false, false>(source, prefetcher);
+}
+
+template <bool kObserved, bool kProfiled, typename Source>
 RunStats
 Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
 {
+    // Folds to a compile-time nullptr in the unprofiled instantiation,
+    // so every ScopedTimer below vanishes from its codegen.
+    prof::Profiler *const profiler = kProfiled ? profiler_ : nullptr;
     cpu::CoreModel core(config_.core);
     mem::Hierarchy hierarchy(config_.memory);
     if constexpr (kObserved) {
         hierarchy.setTracker(observer_->tracker);
         prefetcher.setRlTap(observer_->rl);
     }
+    if constexpr (kProfiled)
+        prefetcher.setProfiler(profiler);
     trace::HwContextTracker hw(config_.memory.l1d.line_bytes);
     PredictedSet predicted_unissued;
 
@@ -186,6 +204,8 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
                      "demand accesses sped up by a prefetch");
     hierarchy.registerStats(registry);
     prefetcher.registerStats(registry);
+    if constexpr (kProfiled)
+        profiler->registerStats(registry);
     registry.formula("mem.mshr.occupancy_avg",
                      "mem.mshr.l1_busy_cycles", "sim.cycles", 1.0,
                      "average L1 MSHR slots in use");
@@ -210,6 +230,14 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
     // every attribute per access.
     trace::ContextSnapshot ctx;
 
+    // Replay wall-clock is inclusive of the finer phases timed inside
+    // the loop (mem.access, mem.prefetch, prefetch.observe). Timed
+    // manually rather than via ScopedTimer: the accumulated value must
+    // land in the profiler before the end-of-run registry snapshot.
+    std::chrono::steady_clock::time_point replay_start;
+    if (profiler != nullptr)
+        replay_start = std::chrono::steady_clock::now();
+
     while (const TraceRecord *rec_ptr = source.next()) {
         const TraceRecord &rec = *rec_ptr;
         switch (rec.kind) {
@@ -233,8 +261,13 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
                                     : core.loadIssueAt(
                                           dispatch,
                                           rec.dep_on_prev_load);
-            const mem::AccessResult result =
-                hierarchy.access(rec.vaddr, issue, is_store, rec.pc);
+            mem::AccessResult result;
+            {
+                prof::ScopedTimer timer(profiler,
+                                        prof::Phase::MemAccess);
+                result = hierarchy.access(rec.vaddr, issue, is_store,
+                                          rec.pc);
+            }
             if (is_store) {
                 // The store buffer hides the fill latency; retirement
                 // only needs the L1 write port.
@@ -279,25 +312,33 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
             info.loaded_value = is_store ? 0 : rec.loaded_value;
             info.context = &ctx;
             requests.clear();
-            prefetcher.observe(info, requests);
-            for (const prefetch::PrefetchRequest &req : requests) {
-                if (req.shadow)
-                    ++requests_shadow;
-                else
-                    ++requests_real;
-                if (req.shadow) {
-                    predicted_unissued.record(
-                        hierarchy.lineAddr(req.addr));
-                    continue;
-                }
-                const mem::PrefetchOutcome outcome =
-                    hierarchy.prefetch(
-                        req.addr, issue,
-                        config_.context.min_free_mshrs, req.pc);
-                prefetcher.onPrefetchOutcome(req.addr, outcome);
-                if (outcome == mem::PrefetchOutcome::NoMshr) {
-                    predicted_unissued.record(
-                        hierarchy.lineAddr(req.addr));
+            {
+                prof::ScopedTimer timer(profiler,
+                                        prof::Phase::PrefetchObserve);
+                prefetcher.observe(info, requests);
+            }
+            {
+                prof::ScopedTimer timer(profiler,
+                                        prof::Phase::MemPrefetch);
+                for (const prefetch::PrefetchRequest &req : requests) {
+                    if (req.shadow)
+                        ++requests_shadow;
+                    else
+                        ++requests_real;
+                    if (req.shadow) {
+                        predicted_unissued.record(
+                            hierarchy.lineAddr(req.addr));
+                        continue;
+                    }
+                    const mem::PrefetchOutcome outcome =
+                        hierarchy.prefetch(
+                            req.addr, issue,
+                            config_.context.min_free_mshrs, req.pc);
+                    prefetcher.onPrefetchOutcome(req.addr, outcome);
+                    if (outcome == mem::PrefetchOutcome::NoMshr) {
+                        predicted_unissued.record(
+                            hierarchy.lineAddr(req.addr));
+                    }
                 }
             }
 
@@ -311,8 +352,11 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
             // against the fused bound when nothing is enabled.
             if (core.instructions() >= next_event) [[unlikely]] {
                 const std::uint64_t insts = core.instructions();
-                if (sampler.due(insts))
+                if (sampler.due(insts)) {
+                    prof::ScopedTimer timer(profiler,
+                                            prof::Phase::StatsFlush);
                     sampler.sample(insts);
+                }
                 if (insts >= next_progress) {
                     progress_(insts);
                     while (next_progress <= insts)
@@ -328,7 +372,22 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
 
     prefetcher.finish();
     hierarchy.finish();
-    sampler.finish(core.instructions());
+    if constexpr (kProfiled) {
+        if (profiler != nullptr) {
+            const auto replay_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - replay_start)
+                    .count();
+            profiler->add(prof::Phase::Replay,
+                          static_cast<std::uint64_t>(replay_ns));
+        }
+    }
+    {
+        prof::ScopedTimer timer(profiler, prof::Phase::StatsFlush);
+        sampler.finish(core.instructions());
+    }
+    if constexpr (kProfiled)
+        prefetcher.setProfiler(nullptr);
     if constexpr (kObserved) {
         // Close every still-active lifecycle as Useless and detach the
         // tap: the prefetcher may outlive this run.

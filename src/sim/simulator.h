@@ -28,6 +28,10 @@ namespace csp::obs {
 struct RunObserver;
 }
 
+namespace csp::prof {
+class Profiler;
+}
+
 namespace csp::sim {
 
 /** Per-access benefit categories of paper Figure 9. */
@@ -171,6 +175,20 @@ class Simulator
         observer_ = observer;
     }
 
+    /**
+     * Attach a self-profiler for subsequent run() calls; nullptr (the
+     * default) detaches it and keeps the unprofiled replay-loop
+     * instantiation, which carries no timer plumbing at all (same
+     * idiom as setObserver). The profiler accumulates across runs and
+     * must outlive both the run() call and any report taken from it —
+     * the run's registry publishes `prof.*` stats that read through
+     * pointers into it. Results are bit-identical either way.
+     */
+    void setProfiler(prof::Profiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
     /** Replay @p trace through @p prefetcher; returns the run's stats. */
     RunStats run(const trace::TraceBuffer &trace,
                  prefetch::Prefetcher &prefetcher);
@@ -197,12 +215,21 @@ class Simulator
      *  record source (TraceCursor or a plain vector walker).
      *  @tparam kObserved selects the instantiation that wires the
      *  RunObserver through the hierarchy and prefetcher; the false
-     *  instantiation carries no observer plumbing at all. */
-    template <bool kObserved, typename Source>
+     *  instantiation carries no observer plumbing at all.
+     *  @tparam kProfiled likewise selects the instantiation whose hot
+     *  loop carries phase timers (setProfiler). */
+    template <bool kObserved, bool kProfiled, typename Source>
     RunStats runFrom(Source &source, prefetch::Prefetcher &prefetcher);
+
+    /** Picks the runFrom instantiation for the attached observer and
+     *  profiler. */
+    template <typename Source>
+    RunStats dispatchRun(Source &source,
+                         prefetch::Prefetcher &prefetcher);
 
     SystemConfig config_;
     obs::RunObserver *observer_ = nullptr;
+    prof::Profiler *profiler_ = nullptr;
     std::uint64_t stats_interval_ = 0;
     std::string stats_filter_;
     std::string report_filter_;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/hashing.h"
+
 namespace csp::trace {
 
 namespace {
@@ -158,6 +160,28 @@ TraceBuffer::decode() const
     while (const TraceRecord *rec = cur.next())
         out.push_back(*rec);
     return out;
+}
+
+std::uint64_t
+TraceBuffer::contentDigest() const
+{
+    WordHasher h;
+    h.add(count_);
+    h.add(instructions_);
+    h.add(fnv1a({bytes_.data(), bytes_.size()}));
+    // Dictionary indices appear in the packed bytes, so hashing each
+    // dictionary in index order pins the full record stream. Hints are
+    // hashed field-wise: the struct has padding bytes.
+    h.add(pc_dict_.size());
+    for (const Addr pc : pc_dict_)
+        h.add(pc);
+    h.add(hint_dict_.size());
+    for (const hints::Hint &hint : hint_dict_) {
+        h.add(static_cast<std::uint64_t>(hint.type_id) |
+              (static_cast<std::uint64_t>(hint.link_offset) << 16) |
+              (static_cast<std::uint64_t>(hint.ref_form) << 32));
+    }
+    return h.digest();
 }
 
 const TraceRecord *

@@ -122,6 +122,14 @@ class TraceBuffer
     std::size_t pcDictSize() const { return pc_dict_.size(); }
 
     /**
+     * Order-sensitive digest over the packed payload and both
+     * dictionaries — the trace's content identity for run-provenance
+     * manifests. Two buffers holding the same record stream digest
+     * identically; any record, PC or hint difference changes it.
+     */
+    std::uint64_t contentDigest() const;
+
+    /**
      * Test hook: observe every record exactly as handed to push(),
      * before burst folding. Used by the golden encode/decode tests to
      * build a reference AoS trace alongside the packed one. One

@@ -99,6 +99,32 @@ TEST(Experiment, SpeedupRelativeToBaseline)
                 sweep.speedup("list", "context"), 1e-9);
 }
 
+TEST(Experiment, SweepCarriesProvenanceManifest)
+{
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 20000;
+    params.seed = 3;
+    const auto sweep = [&] {
+        return runSweep({"array", "list"}, {"none", "context"},
+                        params, config, /*verbose=*/false);
+    };
+    const SweepResult a = sweep();
+    EXPECT_EQ(a.manifest.tool, "runSweep");
+    EXPECT_EQ(a.manifest.seed, 3u);
+    EXPECT_EQ(a.manifest.workloads, "array,list");
+    EXPECT_EQ(a.manifest.prefetchers, "none,context");
+    EXPECT_EQ(a.manifest.config_digest,
+              hexDigest(configDigest(config)));
+    EXPECT_FALSE(a.manifest.trace_digest.empty());
+    EXPECT_GT(a.manifest.trace_instructions, 0u);
+    // The input identity is reproducible run to run; only wall-clock
+    // moves.
+    const SweepResult b = sweep();
+    EXPECT_EQ(a.manifest.trace_digest, b.manifest.trace_digest);
+    EXPECT_EQ(a.manifest.config_digest, b.manifest.config_digest);
+}
+
 TEST(ExperimentDeathTest, MissingCellIsFatal)
 {
     SweepResult sweep;

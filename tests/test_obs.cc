@@ -221,6 +221,38 @@ TEST(ObservedSweep, BitIdenticalWithAndWithoutObserver)
     }
 }
 
+TEST(AutopsyTables, ByteIdenticalAcrossIdenticalRuns)
+{
+    // The autopsy writers iterate sorted containers only — two runs
+    // of the same experiment must render byte-identical tables (the
+    // golden contract cspdiff and the CI observatory rely on).
+    const auto run = [] {
+        SystemConfig config;
+        workloads::WorkloadParams params;
+        params.scale = 8000;
+        const auto workload =
+            workloads::Registry::builtin().create("bst");
+        const trace::TraceBuffer trace = workload->generate(params);
+        auto prefetcher = sim::makePrefetcher("context", config);
+        sim::Simulator simulator(config);
+        PrefetchTracker tracker(nullptr, 1);
+        obs::RunObserver observer;
+        observer.tracker = &tracker;
+        simulator.setObserver(&observer);
+        simulator.run(trace, *prefetcher);
+        std::ostringstream csv;
+        std::ostringstream json;
+        tracker.writeAutopsyCsv(csv, "context");
+        tracker.writeAutopsyJson(json, "context");
+        return std::make_pair(csv.str(), json.str());
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_FALSE(a.first.empty());
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
 TEST(Log2Histogram, BucketsAndPercentiles)
 {
     Log2Histogram hist;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/profiling.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
 #include "workloads/registry.h"
@@ -139,6 +140,50 @@ TEST(Simulator, HitDepthHistogramPopulatedForContext)
     const Histogram *depths = prefetcher->hitDepths();
     ASSERT_NE(depths, nullptr);
     EXPECT_GT(depths->count(), 0u);
+}
+
+TEST(Simulator, ProfilerAttributesEveryPhase)
+{
+    SystemConfig config;
+    auto prefetcher = makePrefetcher("context", config);
+    Simulator simulator(config);
+    prof::Profiler profiler;
+    simulator.setProfiler(&profiler);
+    simulator.run(makeTrace("bst"), *prefetcher);
+    for (const prof::Phase phase :
+         {prof::Phase::Replay, prof::Phase::MemAccess,
+          prof::Phase::MemPrefetch, prof::Phase::PrefetchObserve,
+          prof::Phase::PrefetchTrain, prof::Phase::PrefetchPredict}) {
+        EXPECT_GT(profiler.calls(phase), 0u)
+            << prof::phaseStatName(phase);
+        EXPECT_GT(profiler.ns(phase), 0u)
+            << prof::phaseStatName(phase);
+    }
+    // The profile lands in the stats report under prof.*.
+    const stats::Report report = simulator.lastReport();
+    ASSERT_TRUE(report.contains("prof.replay.ns"));
+    EXPECT_GT(report.value("prof.replay.ns"), 0.0);
+    ASSERT_TRUE(report.contains("prof.replay.ns_per_access"));
+}
+
+TEST(Simulator, ProfilingNeverChangesResults)
+{
+    const auto trace = makeTrace("listsort");
+    const RunStats plain = runWith(trace, "context");
+    SystemConfig config;
+    auto prefetcher = makePrefetcher("context", config);
+    Simulator simulator(config);
+    prof::Profiler profiler;
+    simulator.setProfiler(&profiler);
+    const RunStats profiled = simulator.run(trace, *prefetcher);
+    EXPECT_EQ(plain.instructions, profiled.instructions);
+    EXPECT_EQ(plain.cycles, profiled.cycles);
+    EXPECT_EQ(plain.l1_misses, profiled.l1_misses);
+    EXPECT_EQ(plain.l2_demand_misses, profiled.l2_demand_misses);
+    EXPECT_EQ(plain.hierarchy.prefetches_issued,
+              profiled.hierarchy.prefetches_issued);
+    for (std::size_t c = 0; c < plain.classes.size(); ++c)
+        EXPECT_EQ(plain.classes[c], profiled.classes[c]);
 }
 
 TEST(Simulator, AccessClassNamesAreDistinct)

@@ -131,6 +131,44 @@ TEST(Histogram, EmptyCdfIsZero)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Log2Histogram, PercentileOfEmptyIsZero)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Log2Histogram, PercentileOfSingleSampleIsTheSample)
+{
+    // A lone sample must come back exactly, not rounded up to its
+    // power-of-two bucket ceiling (147 lives in the [128, 255]
+    // bucket).
+    Log2Histogram h;
+    h.sample(147);
+    EXPECT_EQ(h.percentile(0.01), 147u);
+    EXPECT_EQ(h.percentile(0.5), 147u);
+    EXPECT_EQ(h.percentile(1.0), 147u);
+}
+
+TEST(Log2Histogram, PercentileClampsP)
+{
+    Log2Histogram h;
+    h.sample(2);
+    h.sample(200);
+    EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Log2Histogram, PercentileBucketEdges)
+{
+    Log2Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    // Rank 50 (p50) is value 50, in the [32, 63] bucket.
+    EXPECT_EQ(h.percentile(0.5), 63u);
+    EXPECT_EQ(h.percentile(1.0), 127u);
+}
+
 TEST(EwmaRate, ConvergesUp)
 {
     EwmaRate rate(0.05, 0.0);

@@ -1,28 +1,35 @@
 #!/usr/bin/env python3
-"""Bench smoke: perf gauges for the packed-trace + flattened-layout work.
+"""Bench smoke: perf gauges for the replay, tracing and profiling paths.
 
 Runs two quick probes against an existing build tree and writes a single
-JSON scorecard (BENCH_PR3.json) so CI tracks the perf trajectory:
+JSON scorecard (BENCH_PR5.json) so CI tracks the perf trajectory:
 
   1. A reduced fig12 sweep (CSP_SCALE-scaled) timed end to end, with the
      peak resident set of the child process captured via getrusage --
      this machine image has no /usr/bin/time.
-  2. `micro_prefetcher_ops` filtered to the replay-throughput and
-     per-access observe() benchmarks, exported as google-benchmark JSON
-     and distilled to insts/s, bytes/record, and ns/op.
+  2. `micro_prefetcher_ops` filtered to the replay-throughput,
+     per-access observe(), lifecycle-tracing and self-profiling
+     benchmarks, exported as google-benchmark JSON and distilled to
+     insts/s, bytes/record, and ns/op.
+
+The scorecard embeds the run-provenance manifest reported by
+`cspsim --manifest` (build, config digest, host), so every archived
+BENCH_*.json records exactly what produced its numbers.
 
 The script fails (exit 1) if any replayed workload's packed encoding
 compresses worse than MIN_COMPRESSION_X against the retired 56-byte
 array-of-structs record, so a regression in the trace encoding turns
 the bench-smoke job red rather than silently fattening sweeps.
 
-It also gates the observability layer's disabled-path cost: the
-BM_TraceObs_NullSink replay (observer attached, every sink null) must
-retain at least MIN_DISABLED_RATE of BM_TraceObs_Control's insts/s
-(control = no observer at all), so lifecycle tracing stays ~free when
-nobody asks for it.
+It also gates the two "disabled observability must stay free" bars:
 
-Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR3.json]
+  - BM_TraceObs_NullSink (observer attached, every sink null) must
+    retain at least MIN_DISABLED_RATE of BM_TraceObs_Control's insts/s.
+  - BM_Profile_Disabled (no profiler attached -- the path every normal
+    run takes) must retain at least MIN_DISABLED_RATE of the same
+    control rate, so compiling in --profile costs nothing when unused.
+
+Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR5.json]
 """
 
 import argparse
@@ -38,8 +45,9 @@ import time
 AOS_RECORD_BYTES = 56.0
 MIN_COMPRESSION_X = 2.0
 
-# Disabled-path tracing overhead bar: NullSink must keep >= 98% of the
-# Control replay rate (<= 2% overhead).
+# Disabled-path overhead bar, shared by lifecycle tracing (NullSink vs
+# Control) and self-profiling (Profile_Disabled vs Control): the
+# disabled path must keep >= 98% of the control replay rate.
 MIN_DISABLED_RATE = 0.98
 
 
@@ -74,7 +82,7 @@ def run_micro(build_dir, min_time, raw_out):
         [
             binary,
             "--benchmark_filter="
-            "BM_Replay_|BM_TraceObs_|BM_Stride$|BM_Context$",
+            "BM_Replay_|BM_TraceObs_|BM_Profile_|BM_Stride$|BM_Context$",
             f"--benchmark_min_time={min_time}",
             f"--benchmark_out={raw_out}",
             "--benchmark_out_format=json",
@@ -86,10 +94,24 @@ def run_micro(build_dir, min_time, raw_out):
         return json.load(f)["benchmarks"]
 
 
+def run_manifest(build_dir):
+    """Provenance block from `cspsim --manifest` (None if unavailable)."""
+    binary = os.path.join(build_dir, "tools", "cspsim")
+    try:
+        out = subprocess.run([binary, "--manifest"], check=True,
+                             stdout=subprocess.PIPE).stdout
+        return json.loads(out)
+    except (OSError, subprocess.CalledProcessError, ValueError) as err:
+        print(f"warning: no manifest from {binary}: {err}",
+              file=sys.stderr)
+        return None
+
+
 def distill(benchmarks):
-    """Split raw entries into replay gauges, tracing rates, observe costs."""
+    """Split raw entries into replay/tracing/profiling rates + observe costs."""
     replay = {}
     trace_obs = {}
+    profile = {}
     observe_ns = {}
     for bench in benchmarks:
         name = bench["name"]
@@ -107,16 +129,20 @@ def distill(benchmarks):
             # BM_TraceObs_<Mode>: lifecycle-tracing replay rates
             mode = name.removeprefix("BM_TraceObs_").lower()
             trace_obs[mode] = round(bench["insts/s"])
+        elif name.startswith("BM_Profile_"):
+            # BM_Profile_<Disabled|Enabled>: self-profiling replay rates
+            mode = name.removeprefix("BM_Profile_").lower()
+            profile[mode] = round(bench["insts/s"])
         else:
             observe_ns[name.removeprefix("BM_").lower()] = round(
                 bench["real_time"], 1)
-    return replay, trace_obs, observe_ns
+    return replay, trace_obs, profile, observe_ns
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR5.json")
     parser.add_argument("--fig12-scale", type=float, default=0.05,
                         help="CSP_SCALE for the reduced fig12 sweep")
     parser.add_argument("--jobs", type=int, default=2)
@@ -129,21 +155,26 @@ def main():
           f"{fig12['seconds']} s, peak RSS {fig12['peak_rss_mb']} MiB")
 
     raw_out = args.out + ".raw"
-    replay, trace_obs, observe_ns = distill(
+    replay, trace_obs, profile, observe_ns = distill(
         run_micro(args.build_dir, args.min_time, raw_out))
     os.remove(raw_out)
 
-    disabled_rate = (trace_obs["nullsink"] / trace_obs["control"]
-                     if trace_obs.get("control") else 0.0)
+    control = trace_obs.get("control", 0)
+    disabled_rate = (trace_obs["nullsink"] / control if control else 0.0)
+    profile_rate = (profile.get("disabled", 0) / control
+                    if control else 0.0)
     worst = min(replay.values(), key=lambda r: r["compression_x"])
     report = {
-        "schema": "csp-bench-smoke-v1",
+        "schema": "csp-bench-smoke-v2",
         "generated_by": "tools/bench_smoke.py",
+        "manifest": run_manifest(args.build_dir),
         "aos_record_bytes": AOS_RECORD_BYTES,
         "min_compression_x": worst["compression_x"],
         "replay": replay,
         "trace_obs_insts_per_sec": trace_obs,
         "trace_obs_disabled_rate": round(disabled_rate, 4),
+        "profile_insts_per_sec": profile,
+        "profile_disabled_rate": round(profile_rate, 4),
         "observe_ns_per_access": observe_ns,
         "fig12_reduced_sweep": fig12,
     }
@@ -158,7 +189,12 @@ def main():
     for mode in ("control", "nullsink", "enabled"):
         if mode in trace_obs:
             print(f"trace-obs {mode}: {trace_obs[mode] / 1e6:.2f} M insts/s")
+    for mode in ("disabled", "enabled"):
+        if mode in profile:
+            print(f"profile {mode}: {profile[mode] / 1e6:.2f} M insts/s")
     print(f"trace-obs disabled-path rate: {disabled_rate:.4f} "
+          f"(>= {MIN_DISABLED_RATE} required)")
+    print(f"profile disabled-path rate: {profile_rate:.4f} "
           f"(>= {MIN_DISABLED_RATE} required)")
     print(f"wrote {args.out}")
 
@@ -170,6 +206,11 @@ def main():
     if disabled_rate < MIN_DISABLED_RATE:
         print(f"FAIL: disabled-path tracing keeps only "
               f"{disabled_rate:.4f} of the control replay rate "
+              f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
+        failed = True
+    if profile_rate < MIN_DISABLED_RATE:
+        print(f"FAIL: disabled-path profiling keeps only "
+              f"{profile_rate:.4f} of the control replay rate "
               f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
         failed = True
     return 1 if failed else 0

@@ -14,8 +14,10 @@
  *   cspsim --load-trace g.trace --prefetcher sms --csv
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -26,6 +28,8 @@
 
 #include "core/config.h"
 #include "core/logging.h"
+#include "core/profiling.h"
+#include "core/run_manifest.h"
 #include "core/thread_pool.h"
 #include "obs/run_observer.h"
 #include "obs/trace_events.h"
@@ -54,6 +58,8 @@ struct Options
     bool list = false;
     bool describe = false;
     bool verbose = false;
+    bool profile = false;
+    bool print_manifest = false;
     unsigned jobs = 0; ///< 0 = auto (CSP_JOBS, else all cores)
     std::string stats_out;
     std::string stats_csv;
@@ -111,6 +117,14 @@ usage()
         "                           events, MSHR occupancy counters\n"
         "  --trace-sample N         emit 1 in N lifecycle spans and\n"
         "                           instant events (default 1 = all)\n"
+        "  --profile                attribute wall-clock to simulator\n"
+        "                           phases (trace-gen, replay, train/\n"
+        "                           predict, memory, stats flush) under\n"
+        "                           prof.* in --stats-out, plus a\n"
+        "                           summary on stderr; off = zero-cost\n"
+        "  --manifest               print the run-provenance manifest\n"
+        "                           (build, config digest, host) as\n"
+        "                           JSON and exit\n"
         "  --verbose                rate-limited progress heartbeat\n"
         "  --cst-entries N          context prefetcher CST size\n"
         "  --max-degree N           context prefetcher degree cap\n"
@@ -178,6 +192,10 @@ parse(int argc, char **argv)
             options.autopsy_out = need_value(i);
         } else if (arg == "--trace-events") {
             options.trace_events = need_value(i);
+        } else if (arg == "--profile") {
+            options.profile = true;
+        } else if (arg == "--manifest") {
+            options.print_manifest = true;
         } else if (arg == "--trace-sample") {
             options.trace_sample =
                 std::strtoull(need_value(i), nullptr, 10);
@@ -235,9 +253,29 @@ obtainTrace(const Options &options)
     return workload->generate(params);
 }
 
+/** Create @p path's parent directories (fatal with a clear message on
+ *  failure) so --stats-out/--autopsy-out/--trace-events/--save-trace
+ *  into a fresh results directory just work. */
+void
+ensureParentDir(const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+        fatal("cannot create directory %s for %s: %s",
+              parent.string().c_str(), path.c_str(),
+              ec.message().c_str());
+    }
+}
+
 void
 writeFile(const std::string &path, const std::string &content)
 {
+    ensureParentDir(path);
     std::ofstream out(path);
     if (!out)
         fatal("cannot write %s", path.c_str());
@@ -336,13 +374,37 @@ main(int argc, char **argv)
         return 0;
     }
 
+    RunManifest manifest = makeRunManifest("cspsim", options.config);
+    manifest.workloads = !options.load_trace.empty()
+                             ? "trace:" + options.load_trace
+                             : options.workload;
+    manifest.prefetchers = options.prefetcher;
+    manifest.scale = options.scale;
+    manifest.placement =
+        options.placement == runtime::Placement::Sequential ? "seq"
+                                                            : "rand";
+    if (options.print_manifest) {
+        std::cout << manifest.toJson() << '\n';
+        return 0;
+    }
+
+    const auto trace_gen_start = std::chrono::steady_clock::now();
     const trace::TraceBuffer trace = obtainTrace(options);
+    manifest.trace_gen_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - trace_gen_start)
+            .count();
+    manifest.trace_digest = hexDigest(trace.contentDigest());
+    manifest.trace_records = trace.size();
+    manifest.trace_instructions = trace.instructions();
+    manifest.trace_accesses = trace.memAccesses();
     if (options.verbose) {
         inform("trace: %llu instructions, %llu memory accesses",
                static_cast<unsigned long long>(trace.instructions()),
                static_cast<unsigned long long>(trace.memAccesses()));
     }
     if (!options.save_trace.empty()) {
+        ensureParentDir(options.save_trace);
         if (!trace::saveTraceFile(trace, options.save_trace))
             fatal("cannot write %s", options.save_trace.c_str());
         inform("saved %zu records to %s", trace.size(),
@@ -367,12 +429,26 @@ main(int argc, char **argv)
         /// output; null when neither --autopsy-out nor --trace-events
         /// was given.
         std::unique_ptr<obs::PrefetchTracker> tracker;
+        /// Phase wall-clock attribution; null unless --profile.
+        std::unique_ptr<prof::Profiler> profiler;
     };
     const bool observing = !options.autopsy_out.empty() ||
                            !options.trace_events.empty();
     std::vector<PfOutcome> outcomes(pf_names.size());
+    if (options.profile) {
+        // Trace generation is shared by every prefetcher's run, so
+        // each profile carries the full trace-gen cost.
+        const auto trace_gen_ns = static_cast<std::uint64_t>(
+            manifest.trace_gen_seconds * 1e9);
+        for (auto &outcome : outcomes) {
+            outcome.profiler = std::make_unique<prof::Profiler>();
+            outcome.profiler->add(prof::Phase::TraceGen, trace_gen_ns);
+        }
+    }
+    const auto sim_start = std::chrono::steady_clock::now();
     {
         ThreadPool pool(options.jobs);
+        manifest.jobs = pool.threads();
         sim::SweepProgress progress(
             options.workload.empty() ? "cspsim" : options.workload,
             std::vector<std::uint64_t>(pf_names.size(),
@@ -390,6 +466,8 @@ main(int argc, char **argv)
                 }
                 if (options.verbose)
                     simulator.setProgress(progress.hook(i));
+                if (outcomes[i].profiler != nullptr)
+                    simulator.setProfiler(outcomes[i].profiler.get());
                 // The timeline file is written live during the run (one
                 // per prefetcher — workers never share a stream); the
                 // autopsy tracker survives for serial output below.
@@ -400,6 +478,7 @@ main(int argc, char **argv)
                 if (!options.trace_events.empty()) {
                     const std::string path = traceEventsPath(
                         options, pf_names[i], multi);
+                    ensureParentDir(path);
                     events_file.open(path);
                     if (!events_file)
                         fatal("cannot write %s", path.c_str());
@@ -427,6 +506,15 @@ main(int argc, char **argv)
         }
         pool.wait();
     }
+    manifest.sim_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sim_start)
+            .count();
+    if (manifest.sim_seconds > 0.0) {
+        manifest.insts_per_sec =
+            static_cast<double>(trace.instructions()) *
+            static_cast<double>(pf_names.size()) / manifest.sim_seconds;
+    }
 
     // Full Figure-9 benefit breakdown plus wrong prefetches, all
     // sourced from the stats registry via RunStats.
@@ -453,9 +541,11 @@ main(int argc, char **argv)
         if (options.stats_interval != 0) {
             const std::string path =
                 intervalCsvPath(options, pf_name, multi);
+            ensureParentDir(path);
             std::ofstream csv(path);
             if (!csv)
                 fatal("cannot write %s", path.c_str());
+            manifest.writeCsvComment(csv);
             outcomes[i].series.writeCsv(csv);
             if (options.verbose)
                 inform("wrote interval stats to %s", path.c_str());
@@ -464,6 +554,7 @@ main(int argc, char **argv)
             const std::string stem =
                 autopsyStem(options.autopsy_out, pf_name, multi);
             const obs::PrefetchTracker &tracker = *outcomes[i].tracker;
+            ensureParentDir(stem + ".csv");
             std::ofstream autopsy_csv(stem + ".csv");
             if (!autopsy_csv)
                 fatal("cannot write %s.csv", stem.c_str());
@@ -501,10 +592,31 @@ main(int argc, char **argv)
     if (!options.stats_out.empty()) {
         if (multi)
             stats_json << '}';
-        stats_json << '\n';
-        writeFile(options.stats_out, stats_json.str());
+        // Every stats file leads with its provenance so any two runs
+        // can be compared (or rejected as incomparable) by cspdiff.
+        std::ostringstream doc;
+        doc << "{\"manifest\":" << manifest.toJson()
+            << ",\"stats\":" << stats_json.str() << "}\n";
+        writeFile(options.stats_out, doc.str());
         if (options.verbose)
             inform("wrote stats to %s", options.stats_out.c_str());
+    }
+    if (options.profile) {
+        for (std::size_t i = 0; i < pf_names.size(); ++i) {
+            const prof::Profiler &profile = *outcomes[i].profiler;
+            for (std::size_t p = 0;
+                 p < static_cast<std::size_t>(prof::Phase::Count);
+                 ++p) {
+                const auto phase = static_cast<prof::Phase>(p);
+                if (profile.calls(phase) == 0)
+                    continue;
+                inform("profile %-10s %-16s %10.2f ms %12llu calls",
+                       pf_names[i].c_str(), prof::phaseStatName(phase),
+                       static_cast<double>(profile.ns(phase)) / 1e6,
+                       static_cast<unsigned long long>(
+                           profile.calls(phase)));
+            }
+        }
     }
     if (options.csv)
         table.printCsv(std::cout);
