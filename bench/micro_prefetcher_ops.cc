@@ -12,6 +12,7 @@
 
 #include "core/profiling.h"
 #include "core/rng.h"
+#include "obs/learning.h"
 #include "obs/run_observer.h"
 #include "obs/trace_events.h"
 #include "sim/experiment.h"
@@ -328,6 +329,59 @@ BM_Profile_Enabled(benchmark::State &s)
 
 BENCHMARK(BM_Profile_Disabled);
 BENCHMARK(BM_Profile_Enabled);
+
+/** Learning-observer overhead on replay, mirroring the TraceObs
+ *  trio over the same mcf/context cell:
+ *   - NullTap:  observer attached but observer.learn == nullptr — the
+ *               observed instantiation with every learning hook's
+ *               null guard false. This is the "hooks compiled in,
+ *               learning observer off" cost the bench gate compares
+ *               against BM_TraceObs_Control.
+ *   - Recorder: full LearningRecorder with periodic snapshots — the
+ *               real cost of recording learning dynamics. */
+void
+runLearnObsReplay(benchmark::State &state, bool recording)
+{
+    workloads::WorkloadParams params;
+    params.scale = 100000;
+    params.seed = 1;
+    const trace::TraceBuffer trace =
+        workloads::Registry::builtin().create("mcf")->generate(params);
+    SystemConfig config;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto prefetcher = sim::makePrefetcher("context", config);
+        sim::Simulator simulator(config);
+        std::unique_ptr<obs::LearningRecorder> learner;
+        obs::RunObserver observer;
+        if (recording) {
+            obs::LearningRecorder::Options opts;
+            opts.snapshot_every = 20000;
+            learner = std::make_unique<obs::LearningRecorder>(opts);
+            observer.learn = learner.get();
+        }
+        simulator.setObserver(&observer);
+        const sim::RunStats stats = simulator.run(trace, *prefetcher);
+        benchmark::DoNotOptimize(stats.cycles);
+        insts += stats.instructions;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_LearnObs_NullTap(benchmark::State &s)
+{
+    runLearnObsReplay(s, false);
+}
+void
+BM_LearnObs_Recorder(benchmark::State &s)
+{
+    runLearnObsReplay(s, true);
+}
+
+BENCHMARK(BM_LearnObs_NullTap);
+BENCHMARK(BM_LearnObs_Recorder);
 
 } // namespace
 

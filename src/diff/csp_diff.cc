@@ -412,6 +412,12 @@ classify(const std::string &name)
         first = false;
         if (segment == "prof")
             return StatClass::Timing;
+        // The learning observatory's stats ("learn.*" in a stats dump,
+        // "snapshots.*" in a learn.json) exist only when the observer
+        // was attached: presence on one side is informational, but any
+        // value drift is a determinism break.
+        if (segment == "learn" || segment == "snapshots")
+            return StatClass::Learning;
         // Wall-clock / throughput leaves. Suffix matching is exact on
         // purpose: "instructions" must never match "ns".
         if (segment == "ns" || segmentEndsWith(segment, "_ns") ||
@@ -462,10 +468,11 @@ classRank(StatClass cls)
 {
     switch (cls) {
       case StatClass::Correctness: return 0;
-      case StatClass::Timing: return 1;
-      case StatClass::Provenance: return 2;
+      case StatClass::Learning: return 1;
+      case StatClass::Timing: return 2;
+      case StatClass::Provenance: return 3;
     }
-    return 3;
+    return 4;
 }
 
 } // namespace
@@ -500,6 +507,7 @@ diffDocs(const FlatDoc &a, const FlatDoc &b, const DiffOptions &options)
             rel = relDelta(va.number, vb->number);
             switch (cls) {
               case StatClass::Correctness:
+              case StatClass::Learning:
                 differs = isIntegral(va) && isIntegral(*vb)
                               ? va.number != vb->number
                               : rel > options.float_tolerance;
@@ -524,6 +532,7 @@ diffDocs(const FlatDoc &a, const FlatDoc &b, const DiffOptions &options)
         f.rel_delta = rel;
         switch (cls) {
           case StatClass::Correctness:
+          case StatClass::Learning:
             f.failing = true;
             result.correctness_drift = true;
             break;
@@ -604,6 +613,7 @@ DiffResult::writeReport(std::ostream &out, std::size_t max_rows) const
             break;
         }
         const char *cls = f.cls == StatClass::Correctness ? "corr"
+                          : f.cls == StatClass::Learning  ? "lern"
                           : f.cls == StatClass::Timing    ? "time"
                                                           : "prov";
         out << (f.failing ? "  FAIL " : "  note ") << cls << ' ';

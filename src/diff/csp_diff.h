@@ -76,6 +76,10 @@ bool parseFlat(const std::string &text, FlatDoc &out,
 enum class StatClass : std::uint8_t
 {
     Correctness, ///< must match bit for bit (default)
+    Learning,    ///< observer-conditional "learn."/"snapshots." subtree:
+                 ///< values must match when present on both sides, but
+                 ///< one-sided presence is a note (the subtree only
+                 ///< exists when a learning observer was attached)
     Timing,      ///< tolerance-banded wall-clock / throughput
     Provenance,  ///< manifest block: reported, never failing
 };

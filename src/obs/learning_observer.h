@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Learning-introspection tap: the interface through which an online-
+ * learning prefetcher publishes its internal learning dynamics — arm
+ * selections, epsilon adaptation, CST probe/insert/evict traffic,
+ * reward applications and periodic full learning-state snapshots —
+ * without knowing anything about sinks. Header-only on purpose, like
+ * obs/taps.h: csp_prefetch sees only this pure interface and needs no
+ * link dependency on csp_obs; the concrete sink (LearningRecorder)
+ * lives in the obs library and is injected by the simulator through
+ * RunObserver::learn.
+ *
+ * The interface is deliberately prefetcher-agnostic: the events speak
+ * of "arms", "probes" and "contexts", not of the context prefetcher's
+ * concrete tables, so a future Pythia-style or NN learner can feed the
+ * same observatory. Hooks are notifications only — an observer can
+ * never perturb the simulation (the bit-identical on/off contract is
+ * tested).
+ */
+
+#ifndef CSP_OBS_LEARNING_OBSERVER_H
+#define CSP_OBS_LEARNING_OBSERVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/taps.h"
+
+namespace csp::stats {
+class Registry;
+}
+
+namespace csp::obs {
+
+/** Max per-arm links surfaced through probe and snapshot events;
+ *  matches the CST's own 16-candidate scan bound. */
+inline constexpr unsigned kMaxLearnLinks = 16;
+
+/** One prediction-unit probe of the learner's action-value store. */
+struct CstProbeEvent
+{
+    bool hit = false;         ///< a live entry matched the context
+    unsigned valid_links = 0; ///< links scanned in the entry
+    int scores[kMaxLearnLinks] = {}; ///< scores of the valid links
+};
+
+/** One collection-unit insertion attempt. */
+struct CstInsertEvent
+{
+    bool inserted = false;       ///< a new link was stored
+    bool already_present = false;///< the association already existed
+    bool new_entry = false;      ///< claimed a previously invalid entry
+    bool entry_evicted = false;  ///< displaced a conflicting live entry
+    bool link_evicted = false;   ///< displaced a link (score churn)
+    bool tag_conflict = false;   ///< blocked by a protected live entry
+};
+
+/** Outcome of one lookup's arm selection (prediction unit). */
+struct ArmSelectionEvent
+{
+    unsigned real = 0;     ///< arms dispatched as real prefetches
+    unsigned shadow = 0;   ///< arms tracked as shadow operations
+    bool explored = false; ///< an exploratory arm was drawn
+    double epsilon = 0.0;  ///< exploration rate at selection time
+};
+
+/** Epsilon adaptation after one prediction outcome fed the policy. */
+struct EpsilonEvent
+{
+    bool hit = false;       ///< the outcome that moved the accuracy EWMA
+    double accuracy = 0.0;  ///< smoothed accuracy after the update
+    double epsilon = 0.0;   ///< exploration rate after the update
+};
+
+/** One context's learned arms, as captured in a snapshot. */
+struct SnapshotContext
+{
+    std::uint32_t key = 0;   ///< reduced context key
+    std::uint8_t churn = 0;  ///< recent link evictions on the entry
+    unsigned n_links = 0;
+    std::int32_t deltas[kMaxLearnLinks] = {};
+    int scores[kMaxLearnLinks] = {};
+};
+
+/** Periodic full learning-state snapshot: policy state plus the top-K
+ *  contexts by best link score (deterministic order). */
+struct LearningSnapshot
+{
+    std::uint64_t lookup = 0;  ///< demand accesses seen at capture
+    double epsilon = 0.0;
+    double accuracy = 0.0;
+    std::uint64_t explorations = 0;
+    std::uint64_t associations = 0;
+    std::uint64_t pq_hits = 0;
+    std::uint64_t pq_expiries = 0;
+    std::uint64_t cst_live_entries = 0;
+    std::uint64_t cst_entries = 0;
+    std::vector<SnapshotContext> top_contexts;
+};
+
+/** See file comment. */
+class LearningObserver
+{
+  public:
+    virtual ~LearningObserver() = default;
+
+    /** The prediction unit probed the action-value store. */
+    virtual void onCstProbe(const CstProbeEvent &event) = 0;
+
+    /** The collection unit tried to insert an association. */
+    virtual void onCstInsert(const CstInsertEvent &event) = 0;
+
+    /** One lookup's arms were selected at @p cycle. */
+    virtual void onArmSelection(Cycle cycle,
+                                const ArmSelectionEvent &event) = 0;
+
+    /** The adaptive policy consumed one prediction outcome. */
+    virtual void onEpsilonAdapt(const EpsilonEvent &event) = 0;
+
+    /** A reward or expiry penalty was applied at @p cycle (the same
+     *  feed RlTap::onReward carries, duplicated here so one observer
+     *  needs no second tap). */
+    virtual void onRewardApplied(Cycle cycle,
+                                 const RewardEvent &event) = 0;
+
+    /** Snapshot cadence in demand accesses; 0 = final snapshot only. */
+    virtual std::uint64_t snapshotEvery() const { return 0; }
+
+    /** Contexts to capture per snapshot. */
+    virtual unsigned snapshotTopK() const { return 32; }
+
+    /** Periodic (and always one final) learning-state snapshot. */
+    virtual void onSnapshot(Cycle cycle,
+                            const LearningSnapshot &snap) = 0;
+
+    /** Publish observer-side telemetry (entropy, churn histograms, ...)
+     *  into the run's registry under "learn.*". Default: nothing. */
+    virtual void registerStats(stats::Registry &registry)
+    {
+        (void)registry;
+    }
+};
+
+} // namespace csp::obs
+
+#endif // CSP_OBS_LEARNING_OBSERVER_H

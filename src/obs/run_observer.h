@@ -12,6 +12,7 @@
 #ifndef CSP_OBS_RUN_OBSERVER_H
 #define CSP_OBS_RUN_OBSERVER_H
 
+#include "obs/learning_observer.h"
 #include "obs/lifecycle.h"
 #include "obs/taps.h"
 
@@ -22,6 +23,7 @@ struct RunObserver
 {
     PrefetchTracker *tracker = nullptr; ///< lifecycle + autopsy sink
     RlTap *rl = nullptr;                ///< learning-event sink
+    LearningObserver *learn = nullptr;  ///< learning-dynamics sink
 };
 
 } // namespace csp::obs

@@ -96,6 +96,13 @@ TraceEventWriter::counter(
 }
 
 void
+TraceEventWriter::policyCounter(Cycle ts, double epsilon,
+                                double entropy)
+{
+    counter("policy", ts, {{"epsilon", epsilon}, {"entropy", entropy}});
+}
+
+void
 TraceEventWriter::close()
 {
     if (!open_)

@@ -70,6 +70,11 @@ class TraceEventWriter
                  std::initializer_list<std::pair<const char *, double>>
                      values);
 
+    /** One sample on the "policy" counter track: the learning
+     *  observatory's exploration-rate and policy-entropy series
+     *  (convergence = both decaying together). */
+    void policyCounter(Cycle ts, double epsilon, double entropy);
+
     /** Terminate the JSON document. Idempotent. */
     void close();
 

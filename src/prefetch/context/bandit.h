@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/rng.h"
 #include "core/stats.h"
+#include "obs/learning_observer.h"
 
 namespace csp::prefetch::ctx {
 
@@ -25,7 +26,15 @@ class BanditPolicy
                           std::uint64_t seed, bool explore_enabled = true);
 
     /** Record the outcome of one queued prediction (hit or expired). */
-    void recordOutcome(bool hit) { accuracy_.record(hit); }
+    void
+    recordOutcome(bool hit)
+    {
+        accuracy_.record(hit);
+        if (learn_ != nullptr) {
+            learn_->onEpsilonAdapt(
+                {hit, accuracy_.value(), epsilon()});
+        }
+    }
 
     /** Smoothed prefetch-queue hit rate. */
     double accuracy() const { return accuracy_.value(); }
@@ -48,11 +57,19 @@ class BanditPolicy
 
     Rng &rng() { return rng_; }
 
+    /** Stream epsilon-adaptation events to a learning observer
+     *  (notification only — never consulted by the policy). */
+    void setLearningObserver(obs::LearningObserver *learn)
+    {
+        learn_ = learn;
+    }
+
   private:
     ContextPrefetcherConfig config_;
     Rng rng_;
     bool explore_enabled_;
     EwmaRate accuracy_;
+    obs::LearningObserver *learn_ = nullptr; ///< borrowed, may be null
 };
 
 } // namespace csp::prefetch::ctx

@@ -59,6 +59,43 @@ ContextPrefetcher::maxDelta() const
 }
 
 void
+ContextPrefetcher::setLearningObserver(obs::LearningObserver *learn)
+{
+    learn_ = learn;
+    cst_.setLearningObserver(learn);
+    policy_.setLearningObserver(learn);
+    if (learn != nullptr) {
+        learn_snapshot_every_ = learn->snapshotEvery();
+        learn_top_k_ = learn->snapshotTopK();
+        next_learn_snapshot_ =
+            learn_snapshot_every_ == 0
+                ? UINT64_MAX
+                : stats_.lookups + learn_snapshot_every_;
+    } else {
+        learn_snapshot_every_ = 0;
+        next_learn_snapshot_ = UINT64_MAX;
+        learn_top_k_ = 0;
+    }
+}
+
+void
+ContextPrefetcher::captureLearnSnapshot(Cycle cycle)
+{
+    obs::LearningSnapshot snap;
+    snap.lookup = stats_.lookups;
+    snap.epsilon = policy_.epsilon();
+    snap.accuracy = policy_.accuracy();
+    snap.explorations = stats_.explorations;
+    snap.associations = stats_.associations;
+    snap.pq_hits = stats_.pq_hits;
+    snap.pq_expiries = stats_.pq_expiries;
+    snap.cst_entries = cst_.entries();
+    snap.cst_live_entries =
+        cst_.snapshotTopK(learn_top_k_, snap.top_contexts);
+    learn_->onSnapshot(cycle, snap);
+}
+
+void
 ContextPrefetcher::expireEntry(const PendingPrefetch &entry)
 {
     int penalty = reward_.expiryPenalty();
@@ -71,6 +108,12 @@ ContextPrefetcher::expireEntry(const PendingPrefetch &entry)
         rl_tap_->onReward(last_cycle_,
                           {entry.line, entry.delta, /*depth=*/0, penalty,
                            /*in_window=*/false, /*expiry=*/true});
+    }
+    if (learn_ != nullptr) {
+        learn_->onRewardApplied(last_cycle_,
+                                {entry.line, entry.delta, /*depth=*/0,
+                                 penalty, /*in_window=*/false,
+                                 /*expiry=*/true});
     }
 }
 
@@ -120,6 +163,12 @@ ContextPrefetcher::observe(const AccessInfo &info,
                                            {entry.line, entry.delta,
                                             depth, amount, in_window,
                                             /*expiry=*/false});
+                     }
+                     if (learn_ != nullptr) {
+                         learn_->onRewardApplied(
+                             info.cycle,
+                             {entry.line, entry.delta, depth, amount,
+                              in_window, /*expiry=*/false});
                      }
                  });
 
@@ -207,6 +256,9 @@ ContextPrefetcher::observe(const AccessInfo &info,
     // ------------------------------------------------------------------
     // Prediction unit: exploit the best links, explore a random one.
     // ------------------------------------------------------------------
+    const std::uint64_t learn_real_before = stats_.real_predictions;
+    const std::uint64_t learn_shadow_before = stats_.shadow_predictions;
+    const std::uint64_t learn_explore_before = stats_.explorations;
     bool useful = false;
     std::int32_t deltas[16];
     int scores[16];
@@ -262,6 +314,21 @@ ContextPrefetcher::observe(const AccessInfo &info,
         }
     }
 
+    if (learn_ != nullptr) {
+        obs::ArmSelectionEvent sel;
+        sel.real = static_cast<unsigned>(stats_.real_predictions -
+                                         learn_real_before);
+        sel.shadow = static_cast<unsigned>(stats_.shadow_predictions -
+                                           learn_shadow_before);
+        sel.explored = stats_.explorations != learn_explore_before;
+        sel.epsilon = policy_.epsilon();
+        learn_->onArmSelection(info.cycle, sel);
+        if (stats_.lookups >= next_learn_snapshot_) {
+            captureLearnSnapshot(info.cycle);
+            next_learn_snapshot_ += learn_snapshot_every_;
+        }
+    }
+
     // Underload adaptation: contexts that never yield a usable
     // prediction are over-specialised — merge them.
     if (reducer_.recordOutcome(full_hash, useful))
@@ -301,6 +368,11 @@ ContextPrefetcher::finish()
     pq_.flush([this](const PendingPrefetch &entry) {
         expireEntry(entry);
     });
+    // Always leave the observer one final snapshot of the converged
+    // learning state (captured after the queue flush so the policy's
+    // accuracy reflects every expiry).
+    if (learn_ != nullptr)
+        captureLearnSnapshot(last_cycle_);
 }
 
 void

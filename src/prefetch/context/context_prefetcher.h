@@ -93,6 +93,13 @@ class ContextPrefetcher final : public Prefetcher
      *  observability tap (Perfetto instants / counter tracks). */
     void setRlTap(obs::RlTap *tap) override { rl_tap_ = tap; }
 
+    /** Stream learning dynamics — arm selections, epsilon adaptation,
+     *  CST probe/insert traffic, reward applications and periodic
+     *  learning-state snapshots — to a learning observer. The observer
+     *  is a pure notification sink: attaching one never changes what
+     *  the prefetcher predicts. */
+    void setLearningObserver(obs::LearningObserver *learn) override;
+
     /** Split observe() wall-clock into prof.prefetch.train (feedback +
      *  collection units) and prof.prefetch.predict (prediction unit),
      *  both nested inside the simulator's prefetch.observe phase. */
@@ -112,6 +119,7 @@ class ContextPrefetcher final : public Prefetcher
   private:
     void expireEntry(const PendingPrefetch &entry);
     std::int64_t maxDelta() const;
+    void captureLearnSnapshot(Cycle cycle);
 
     ContextPrefetcherConfig config_;
     ContextFeatureToggles toggles_;
@@ -128,6 +136,10 @@ class ContextPrefetcher final : public Prefetcher
     ContextStats stats_;
     std::vector<const HistoryEntry *> scratch_samples_;
     obs::RlTap *rl_tap_ = nullptr; ///< borrowed, may be null
+    obs::LearningObserver *learn_ = nullptr; ///< borrowed, may be null
+    std::uint64_t learn_snapshot_every_ = 0;
+    std::uint64_t next_learn_snapshot_ = UINT64_MAX;
+    unsigned learn_top_k_ = 0;
     prof::Profiler *profiler_ = nullptr; ///< borrowed, may be null
     Cycle last_cycle_ = 0; ///< cycle of the access being observed
 };

@@ -59,6 +59,18 @@ CstAddResult
 Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
 {
     CstAddResult result;
+    bool new_entry = false;
+    bool entry_evicted = false;
+    // Notification only: the observer sees every insertion outcome but
+    // can never influence one.
+    const auto notify = [&] {
+        if (learn_ != nullptr) {
+            learn_->onCstInsert({result.inserted,
+                                 result.already_present, new_entry,
+                                 entry_evicted, result.evicted_link,
+                                 result.entry_conflict});
+        }
+    };
     Entry &entry = table_[indexOf(reduced_key)];
     CstLink *const entry_links = linksOf(entry);
     const std::uint32_t tag = tagOf(reduced_key);
@@ -79,11 +91,15 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
             }
             if (best > 0) {
                 result.entry_conflict = true;
+                notify();
                 return result;
             }
         }
-        if (entry.valid)
+        if (entry.valid) {
             ++entry_evictions_;
+            entry_evicted = true;
+        }
+        new_entry = true;
         entry.valid = true;
         entry.tag = tag;
         entry.churn = 0;
@@ -102,6 +118,7 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
         }
         if (link.delta == delta) {
             result.already_present = true;
+            notify();
             return result;
         }
         if (weakest == nullptr || link.score < weakest->score)
@@ -114,6 +131,7 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
         if (weakest->score.value() > 0) {
             if (entry.churn < 255)
                 ++entry.churn;
+            notify();
             return result;
         }
         slot = weakest;
@@ -126,6 +144,7 @@ Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
     slot->delta = delta;
     slot->score = Score8{0};
     result.inserted = true;
+    notify();
     return result;
 }
 
@@ -156,6 +175,20 @@ Cst::bestLinks(std::uint32_t reduced_key, std::int32_t *out,
                int *scores_out) const
 {
     const Entry *entry = entryIfMatch(reduced_key);
+    if (learn_ != nullptr) {
+        obs::CstProbeEvent probe;
+        probe.hit = entry != nullptr;
+        if (entry != nullptr) {
+            for (const CstLink &link : links(entry)) {
+                if (link.valid &&
+                    probe.valid_links < obs::kMaxLearnLinks) {
+                    probe.scores[probe.valid_links++] =
+                        static_cast<int>(link.score.value());
+                }
+            }
+        }
+        learn_->onCstProbe(probe);
+    }
     if (entry == nullptr)
         return 0;
     // Selection sort over at most links_per_entry_ candidates.
@@ -255,6 +288,57 @@ Cst::liveEntries() const
     for (const Entry &entry : table_) {
         if (entry.valid)
             ++live;
+    }
+    return live;
+}
+
+unsigned
+Cst::snapshotTopK(unsigned top_k,
+                  std::vector<obs::SnapshotContext> &out) const
+{
+    struct Ranked
+    {
+        int best;
+        std::uint32_t index;
+    };
+    std::vector<Ranked> ranked;
+    unsigned live = 0;
+    for (std::uint32_t i = 0; i < table_.size(); ++i) {
+        const Entry &entry = table_[i];
+        if (!entry.valid)
+            continue;
+        ++live;
+        int best = -128;
+        for (const CstLink &link : links(&entry)) {
+            if (link.valid)
+                best = std::max(best,
+                                static_cast<int>(link.score.value()));
+        }
+        ranked.push_back({best, i});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  return a.best != b.best ? a.best > b.best
+                                          : a.index < b.index;
+              });
+    const auto emit =
+        std::min<std::size_t>(top_k, ranked.size());
+    out.clear();
+    out.reserve(emit);
+    for (std::size_t k = 0; k < emit; ++k) {
+        const Entry &entry = table_[ranked[k].index];
+        obs::SnapshotContext ctx;
+        ctx.key = (entry.tag << index_bits_) | ranked[k].index;
+        ctx.churn = entry.churn;
+        for (const CstLink &link : links(&entry)) {
+            if (link.valid && ctx.n_links < obs::kMaxLearnLinks) {
+                ctx.deltas[ctx.n_links] = link.delta;
+                ctx.scores[ctx.n_links] =
+                    static_cast<int>(link.score.value());
+                ++ctx.n_links;
+            }
+        }
+        out.push_back(ctx);
     }
     return live;
 }

@@ -22,6 +22,7 @@
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/stats_registry.h"
+#include "obs/learning_observer.h"
 
 namespace csp::prefetch::ctx {
 
@@ -141,6 +142,21 @@ class Cst
     /** Distribution of the scores of all currently valid links. */
     stats::DistSummary scoreSummary() const;
 
+    /**
+     * Capture the @p top_k live entries with the best link scores into
+     * @p out (best score descending, table index ascending on ties —
+     * a deterministic order). Returns the live-entry count.
+     */
+    unsigned snapshotTopK(unsigned top_k,
+                          std::vector<obs::SnapshotContext> &out) const;
+
+    /** Stream probe/insert events to a learning observer (notification
+     *  only — table behaviour never depends on it). */
+    void setLearningObserver(obs::LearningObserver *learn)
+    {
+        learn_ = learn;
+    }
+
     /** Drop all learned state. */
     void reset();
 
@@ -172,6 +188,7 @@ class Cst
     std::vector<CstLink> link_arena_; ///< entries() * links_per_entry_
     std::uint64_t link_evictions_ = 0;
     std::uint64_t entry_evictions_ = 0;
+    obs::LearningObserver *learn_ = nullptr; ///< borrowed, may be null
 };
 
 } // namespace csp::prefetch::ctx

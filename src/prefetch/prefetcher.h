@@ -29,6 +29,7 @@ class Registry;
 
 namespace csp::obs {
 class RlTap;
+class LearningObserver;
 }
 
 namespace csp::prof {
@@ -119,6 +120,17 @@ class Prefetcher
      * the default ignores the tap. Pass nullptr to detach.
      */
     virtual void setRlTap(obs::RlTap *tap) { (void)tap; }
+
+    /**
+     * Attach a learning observer (arm selections, epsilon adaptation,
+     * action-store probe/insert traffic, periodic learning-state
+     * snapshots). Only prefetchers that learn online emit anything;
+     * the default ignores it. Pass nullptr to detach.
+     */
+    virtual void setLearningObserver(obs::LearningObserver *learn)
+    {
+        (void)learn;
+    }
 
     /**
      * Attach a self-profiler so the prefetcher can attribute its

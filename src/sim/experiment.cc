@@ -10,6 +10,7 @@
 #include "core/hashing.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "obs/learning.h"
 #include "obs/run_observer.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "prefetch/ghb.h"
@@ -176,6 +177,12 @@ Heartbeat::hook()
 }
 
 void
+Heartbeat::setStatus(std::function<std::string()> status)
+{
+    status_ = std::move(status);
+}
+
+void
 Heartbeat::beat(std::uint64_t instructions)
 {
     const auto now = std::chrono::steady_clock::now();
@@ -193,8 +200,18 @@ Heartbeat::beat(std::uint64_t instructions)
         total_ == 0 ? 0.0
                     : 100.0 * static_cast<double>(instructions) /
                           static_cast<double>(total_);
-    inform("%s: %5.1f%% (%.1fM insts, %.2fM insts/s)", label_.c_str(),
-           pct, static_cast<double>(instructions) / 1e6, rate / 1e6);
+    // The status suffix is folded into the one inform() call so the
+    // line is still a single atomic write (concurrent heartbeats never
+    // interleave mid-line).
+    std::string status;
+    if (status_) {
+        status = status_();
+        if (!status.empty())
+            status.insert(0, ", ");
+    }
+    inform("%s: %5.1f%% (%.1fM insts, %.2fM insts/s%s)", label_.c_str(),
+           pct, static_cast<double>(instructions) / 1e6, rate / 1e6,
+           status.c_str());
 }
 
 double
@@ -391,11 +408,14 @@ runSweep(const std::vector<std::string> &workload_names,
                 prefetcher_names[k % n_prefetchers], config);
             Simulator simulator(config);
             obs::PrefetchTracker tracker;
+            obs::LearningRecorder learner;
             obs::RunObserver observer;
-            if (options.observe) {
+            if (options.observe)
                 observer.tracker = &tracker;
+            if (options.observe_learning)
+                observer.learn = &learner;
+            if (options.observe || options.observe_learning)
                 simulator.setObserver(&observer);
-            }
             if (options.verbose)
                 simulator.setProgress(progress.hook(k));
             CellResult cell;

@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -98,6 +99,15 @@ class Heartbeat
     /** The callback to pass to Simulator::setProgress(). */
     Simulator::ProgressFn hook();
 
+    /**
+     * Extra live state appended to each progress line (e.g. the
+     * context prefetcher's current accuracy/epsilon). The callback
+     * runs on the simulating thread, inside the single inform() call,
+     * so the log line stays one atomic write. Empty results are
+     * omitted.
+     */
+    void setStatus(std::function<std::string()> status);
+
     /** Report progress at @p instructions (rate-limited). */
     void beat(std::uint64_t instructions);
 
@@ -105,6 +115,7 @@ class Heartbeat
     std::string label_;
     std::uint64_t total_;
     double min_seconds_;
+    std::function<std::string()> status_;
     std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point last_;
 };
@@ -169,6 +180,13 @@ struct SweepOptions
      * produce bit-identical RunStats.
      */
     bool observe = false;
+    /**
+     * Attach a per-cell learning recorder (snapshots discarded), the
+     * learning-observer analogue of observe: determinism tests assert
+     * that sweeps with the learning hooks live are bit-identical to
+     * unobserved ones.
+     */
+    bool observe_learning = false;
 };
 
 /**

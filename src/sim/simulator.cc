@@ -155,6 +155,7 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
     if constexpr (kObserved) {
         hierarchy.setTracker(observer_->tracker);
         prefetcher.setRlTap(observer_->rl);
+        prefetcher.setLearningObserver(observer_->learn);
     }
     if constexpr (kProfiled)
         prefetcher.setProfiler(profiler);
@@ -204,6 +205,10 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
                      "demand accesses sped up by a prefetch");
     hierarchy.registerStats(registry);
     prefetcher.registerStats(registry);
+    if constexpr (kObserved) {
+        if (observer_->learn != nullptr)
+            observer_->learn->registerStats(registry);
+    }
     if constexpr (kProfiled)
         profiler->registerStats(registry);
     registry.formula("mem.mshr.occupancy_avg",
@@ -390,10 +395,13 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
         prefetcher.setProfiler(nullptr);
     if constexpr (kObserved) {
         // Close every still-active lifecycle as Useless and detach the
-        // tap: the prefetcher may outlive this run.
+        // taps: the prefetcher may outlive this run. The learning
+        // observer detaches after finish() so the final snapshot above
+        // reached it.
         if (observer_->tracker != nullptr)
             observer_->tracker->finish(core.elapsed());
         prefetcher.setRlTap(nullptr);
+        prefetcher.setLearningObserver(nullptr);
     }
 
     // RunStats keeps its public shape but is populated from the

@@ -154,6 +154,42 @@ TEST(Classify, ManifestIsProvenance)
               StatClass::Provenance);
 }
 
+TEST(Classify, LearningSubtreeIsObserverConditional)
+{
+    EXPECT_EQ(classify("stats.learn.policy.epsilon"),
+              StatClass::Learning);
+    EXPECT_EQ(classify("learn.cst.probes"), StatClass::Learning);
+    EXPECT_EQ(classify("snapshots.0.accuracy"), StatClass::Learning);
+    // "learned" is not the "learn" segment.
+    EXPECT_EQ(classify("sim.learned_counts"), StatClass::Correctness);
+}
+
+TEST(DiffDocs, MissingLearningKeyIsNotedNotFailed)
+{
+    // The learn.* subtree exists only when the learning observer was
+    // attached: comparing an observed run against an unobserved
+    // baseline must stay clean...
+    const FlatDoc a = parseJson(R"({"sim":{"cycles":1}})");
+    const FlatDoc b = parseJson(
+        R"({"sim":{"cycles":1},"learn":{"cst":{"probes":9}}})");
+    const DiffResult result = diffDocs(a, b);
+    EXPECT_EQ(result.exitCode(), 0);
+    EXPECT_EQ(result.only_b, 1u);
+}
+
+TEST(DiffDocs, LearningValueDriftFails)
+{
+    // ...but when both runs recorded learning state, any drift is a
+    // determinism break, exactly like a correctness counter.
+    const FlatDoc a = parseJson(
+        R"({"learn":{"policy":{"selections":100}}})");
+    const FlatDoc b = parseJson(
+        R"({"learn":{"policy":{"selections":101}}})");
+    const DiffResult result = diffDocs(a, b);
+    EXPECT_EQ(result.exitCode(), 1);
+    EXPECT_TRUE(result.correctness_drift);
+}
+
 // Golden canned run documents: a baseline, an identical rerun with
 // only wall-clock noise, a correctness drift, and a throughput
 // regression.

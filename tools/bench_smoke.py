@@ -2,7 +2,7 @@
 """Bench smoke: perf gauges for the replay, tracing and profiling paths.
 
 Runs two quick probes against an existing build tree and writes a single
-JSON scorecard (BENCH_PR5.json) so CI tracks the perf trajectory:
+JSON scorecard (BENCH_PR6.json) so CI tracks the perf trajectory:
 
   1. A reduced fig12 sweep (CSP_SCALE-scaled) timed end to end, with the
      peak resident set of the child process captured via getrusage --
@@ -21,15 +21,18 @@ compresses worse than MIN_COMPRESSION_X against the retired 56-byte
 array-of-structs record, so a regression in the trace encoding turns
 the bench-smoke job red rather than silently fattening sweeps.
 
-It also gates the two "disabled observability must stay free" bars:
+It also gates the three "disabled observability must stay free" bars:
 
   - BM_TraceObs_NullSink (observer attached, every sink null) must
     retain at least MIN_DISABLED_RATE of BM_TraceObs_Control's insts/s.
   - BM_Profile_Disabled (no profiler attached -- the path every normal
     run takes) must retain at least MIN_DISABLED_RATE of the same
     control rate, so compiling in --profile costs nothing when unused.
+  - BM_LearnObs_NullTap (observer attached, learning observer null)
+    must retain at least MIN_DISABLED_RATE of the control rate, so the
+    learning hooks cost nothing when --learn-out is not requested.
 
-Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR5.json]
+Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR6.json]
 """
 
 import argparse
@@ -82,7 +85,8 @@ def run_micro(build_dir, min_time, raw_out):
         [
             binary,
             "--benchmark_filter="
-            "BM_Replay_|BM_TraceObs_|BM_Profile_|BM_Stride$|BM_Context$",
+            "BM_Replay_|BM_TraceObs_|BM_Profile_|BM_LearnObs_|"
+            "BM_Stride$|BM_Context$",
             f"--benchmark_min_time={min_time}",
             f"--benchmark_out={raw_out}",
             "--benchmark_out_format=json",
@@ -112,6 +116,7 @@ def distill(benchmarks):
     replay = {}
     trace_obs = {}
     profile = {}
+    learn_obs = {}
     observe_ns = {}
     for bench in benchmarks:
         name = bench["name"]
@@ -133,16 +138,20 @@ def distill(benchmarks):
             # BM_Profile_<Disabled|Enabled>: self-profiling replay rates
             mode = name.removeprefix("BM_Profile_").lower()
             profile[mode] = round(bench["insts/s"])
+        elif name.startswith("BM_LearnObs_"):
+            # BM_LearnObs_<NullTap|Recorder>: learning-observer rates
+            mode = name.removeprefix("BM_LearnObs_").lower()
+            learn_obs[mode] = round(bench["insts/s"])
         else:
             observe_ns[name.removeprefix("BM_").lower()] = round(
                 bench["real_time"], 1)
-    return replay, trace_obs, profile, observe_ns
+    return replay, trace_obs, profile, learn_obs, observe_ns
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR5.json")
+    parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument("--fig12-scale", type=float, default=0.05,
                         help="CSP_SCALE for the reduced fig12 sweep")
     parser.add_argument("--jobs", type=int, default=2)
@@ -155,7 +164,7 @@ def main():
           f"{fig12['seconds']} s, peak RSS {fig12['peak_rss_mb']} MiB")
 
     raw_out = args.out + ".raw"
-    replay, trace_obs, profile, observe_ns = distill(
+    replay, trace_obs, profile, learn_obs, observe_ns = distill(
         run_micro(args.build_dir, args.min_time, raw_out))
     os.remove(raw_out)
 
@@ -163,9 +172,11 @@ def main():
     disabled_rate = (trace_obs["nullsink"] / control if control else 0.0)
     profile_rate = (profile.get("disabled", 0) / control
                     if control else 0.0)
+    learn_rate = (learn_obs.get("nulltap", 0) / control
+                  if control else 0.0)
     worst = min(replay.values(), key=lambda r: r["compression_x"])
     report = {
-        "schema": "csp-bench-smoke-v2",
+        "schema": "csp-bench-smoke-v3",
         "generated_by": "tools/bench_smoke.py",
         "manifest": run_manifest(args.build_dir),
         "aos_record_bytes": AOS_RECORD_BYTES,
@@ -175,6 +186,8 @@ def main():
         "trace_obs_disabled_rate": round(disabled_rate, 4),
         "profile_insts_per_sec": profile,
         "profile_disabled_rate": round(profile_rate, 4),
+        "learn_obs_insts_per_sec": learn_obs,
+        "learn_obs_disabled_rate": round(learn_rate, 4),
         "observe_ns_per_access": observe_ns,
         "fig12_reduced_sweep": fig12,
     }
@@ -192,9 +205,15 @@ def main():
     for mode in ("disabled", "enabled"):
         if mode in profile:
             print(f"profile {mode}: {profile[mode] / 1e6:.2f} M insts/s")
+    for mode in ("nulltap", "recorder"):
+        if mode in learn_obs:
+            print(f"learn-obs {mode}: {learn_obs[mode] / 1e6:.2f} "
+                  f"M insts/s")
     print(f"trace-obs disabled-path rate: {disabled_rate:.4f} "
           f"(>= {MIN_DISABLED_RATE} required)")
     print(f"profile disabled-path rate: {profile_rate:.4f} "
+          f"(>= {MIN_DISABLED_RATE} required)")
+    print(f"learn-obs disabled-path rate: {learn_rate:.4f} "
           f"(>= {MIN_DISABLED_RATE} required)")
     print(f"wrote {args.out}")
 
@@ -211,6 +230,11 @@ def main():
     if profile_rate < MIN_DISABLED_RATE:
         print(f"FAIL: disabled-path profiling keeps only "
               f"{profile_rate:.4f} of the control replay rate "
+              f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
+        failed = True
+    if learn_rate < MIN_DISABLED_RATE:
+        print(f"FAIL: disabled learning observer keeps only "
+              f"{learn_rate:.4f} of the control replay rate "
               f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
         failed = True
     return 1 if failed else 0

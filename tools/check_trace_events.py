@@ -16,11 +16,18 @@ Checks, in order:
      open "b", and any span still open at EOF is an error (the writer
      must end Useless spans at finish()).
   4. Timestamps are non-negative and counters' args are numeric.
+  5. Known counter tracks carry exactly their expected series: the
+     "bandit" track {epsilon, accuracy}, the learning observatory's
+     "policy" track {epsilon, entropy}.
+
+--require NAME (repeatable) additionally fails the check when the
+named counter track never appears — CI uses it to assert that a
+--learn-out run actually produced the "policy" track.
 
 Exit 0 and a one-line summary on success; exit 1 with the first few
 violations otherwise.
 
-Usage: python3 tools/check_trace_events.py TRACE.json
+Usage: python3 tools/check_trace_events.py TRACE.json [--require NAME]
 """
 
 import collections
@@ -35,8 +42,16 @@ REQUIRED_BY_PHASE = {
     "C": ("name", "ph", "ts", "pid", "args"),
 }
 
+# Counter tracks with a fixed series set: every sample must carry
+# exactly these arg keys (a renamed series would silently produce an
+# empty Perfetto track).
+COUNTER_TRACK_ARGS = {
+    "bandit": {"epsilon", "accuracy"},
+    "policy": {"epsilon", "entropy"},
+}
 
-def check(path):
+
+def check(path, require_counters=()):
     errors = []
     with open(path) as f:
         try:
@@ -54,6 +69,7 @@ def check(path):
 
     open_spans = collections.Counter()
     phases = collections.Counter()
+    counter_tracks = collections.Counter()
     for n, ev in enumerate(events):
         if not isinstance(ev, dict):
             errors.append(f"event {n}: not an object")
@@ -87,21 +103,46 @@ def check(path):
                    if not isinstance(v, (int, float))}
             if bad:
                 errors.append(f"event {n}: non-numeric counter args {bad}")
+            counter_tracks[ev["name"]] += 1
+            expected = COUNTER_TRACK_ARGS.get(ev["name"])
+            if expected is not None and set(ev["args"]) != expected:
+                errors.append(
+                    f"event {n}: counter {ev['name']!r} args "
+                    f"{sorted(ev['args'])} != {sorted(expected)}")
 
     unclosed = sum(open_spans.values())
     if unclosed:
         errors.append(f"{unclosed} async span(s) never closed")
     if phases["b"] == 0:
         errors.append("no lifecycle spans (ph=b) in trace")
+    for name in require_counters:
+        if counter_tracks[name] == 0:
+            errors.append(f"required counter track {name!r} never "
+                          f"appeared")
     return errors, phases
 
 
 def main():
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    path = None
+    require = []
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                print("--require needs a counter-track name",
+                      file=sys.stderr)
+                return 2
+            require.append(args.pop(0))
+        elif path is None:
+            path = arg
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if path is None:
         print(__doc__, file=sys.stderr)
         return 2
-    path = sys.argv[1]
-    errors, phases = check(path)
+    errors, phases = check(path, require)
     if errors:
         for err in errors[:20]:
             print(f"FAIL {path}: {err}", file=sys.stderr)

@@ -15,6 +15,7 @@
  */
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +32,7 @@
 #include "core/profiling.h"
 #include "core/run_manifest.h"
 #include "core/thread_pool.h"
+#include "obs/learning.h"
 #include "obs/run_observer.h"
 #include "obs/trace_events.h"
 #include "prefetch/context/context_prefetcher.h"
@@ -68,6 +70,8 @@ struct Options
     std::string autopsy_out;
     std::string trace_events;
     std::uint64_t trace_sample = 1;
+    std::string learn_out;
+    std::uint64_t learn_snapshot_every = 0; ///< 0 = auto (~32/run)
     SystemConfig config;
 };
 
@@ -117,6 +121,15 @@ usage()
         "                           events, MSHR occupancy counters\n"
         "  --trace-sample N         emit 1 in N lifecycle spans and\n"
         "                           instant events (default 1 = all)\n"
+        "  --learn-out FILE         periodic learning-state snapshots\n"
+        "                           (policy epsilon/accuracy/entropy,\n"
+        "                           CST health, top contexts with arm\n"
+        "                           scores) as learn.json, manifest\n"
+        "                           embedded; render with csplearn,\n"
+        "                           diff with cspdiff\n"
+        "  --learn-snapshot-every N snapshot the learning state every N\n"
+        "                           prefetcher lookups (default 0 =\n"
+        "                           auto, about 32 per run)\n"
         "  --profile                attribute wall-clock to simulator\n"
         "                           phases (trace-gen, replay, train/\n"
         "                           predict, memory, stats flush) under\n"
@@ -192,6 +205,11 @@ parse(int argc, char **argv)
             options.autopsy_out = need_value(i);
         } else if (arg == "--trace-events") {
             options.trace_events = need_value(i);
+        } else if (arg == "--learn-out") {
+            options.learn_out = need_value(i);
+        } else if (arg == "--learn-snapshot-every") {
+            options.learn_snapshot_every =
+                std::strtoull(need_value(i), nullptr, 10);
         } else if (arg == "--profile") {
             options.profile = true;
         } else if (arg == "--manifest") {
@@ -333,19 +351,34 @@ autopsyStem(const std::string &path, const std::string &pf_name,
     return stem;
 }
 
-/** Per-prefetcher path for --trace-events (same tagging idiom as the
- *  interval CSV). */
+/** Tag @p base per prefetcher on multi-prefetcher runs (the idiom the
+ *  interval CSV uses: stem.<pf>.ext). */
 std::string
-traceEventsPath(const Options &options, const std::string &pf_name,
-                bool multi)
+taggedPath(const std::string &base, const std::string &pf_name,
+           bool multi)
 {
-    const std::string &base = options.trace_events;
     if (!multi)
         return base;
     const std::size_t dot = base.rfind('.');
     if (dot == std::string::npos)
         return base + "." + pf_name;
     return base.substr(0, dot) + "." + pf_name + base.substr(dot);
+}
+
+/** Per-prefetcher path for --trace-events. */
+std::string
+traceEventsPath(const Options &options, const std::string &pf_name,
+                bool multi)
+{
+    return taggedPath(options.trace_events, pf_name, multi);
+}
+
+/** Per-prefetcher path for --learn-out. */
+std::string
+learnOutPath(const Options &options, const std::string &pf_name,
+             bool multi)
+{
+    return taggedPath(options.learn_out, pf_name, multi);
 }
 
 } // namespace
@@ -431,9 +464,13 @@ main(int argc, char **argv)
         std::unique_ptr<obs::PrefetchTracker> tracker;
         /// Phase wall-clock attribution; null unless --profile.
         std::unique_ptr<prof::Profiler> profiler;
+        /// Learning-dynamics recorder, kept past the worker for the
+        /// serial learn.json write; null unless --learn-out.
+        std::unique_ptr<obs::LearningRecorder> learner;
     };
     const bool observing = !options.autopsy_out.empty() ||
-                           !options.trace_events.empty();
+                           !options.trace_events.empty() ||
+                           !options.learn_out.empty();
     std::vector<PfOutcome> outcomes(pf_names.size());
     if (options.profile) {
         // Trace generation is shared by every prefetcher's run, so
@@ -464,8 +501,34 @@ main(int argc, char **argv)
                     simulator.setSampling(options.stats_interval,
                                           options.stats_filter);
                 }
-                if (options.verbose)
+                // Single-prefetcher runs get a Heartbeat that also
+                // shows the live learning state when the context
+                // prefetcher is active; multi-prefetcher runs fold
+                // into the aggregate SweepProgress line.
+                std::unique_ptr<sim::Heartbeat> heartbeat;
+                if (options.verbose && !multi) {
+                    heartbeat = std::make_unique<sim::Heartbeat>(
+                        (options.workload.empty() ? "cspsim"
+                                                  : options.workload) +
+                            "/" + pf_names[i],
+                        trace.instructions());
+                    if (const auto *ctx = dynamic_cast<
+                            const prefetch::ctx::ContextPrefetcher *>(
+                            prefetcher.get())) {
+                        heartbeat->setStatus([ctx] {
+                            char buf[64];
+                            std::snprintf(
+                                buf, sizeof(buf),
+                                "acc %.3f, eps %.3f",
+                                ctx->policy().accuracy(),
+                                ctx->policy().epsilon());
+                            return std::string(buf);
+                        });
+                    }
+                    simulator.setProgress(heartbeat->hook());
+                } else if (options.verbose) {
                     simulator.setProgress(progress.hook(i));
+                }
                 if (outcomes[i].profiler != nullptr)
                     simulator.setProfiler(outcomes[i].profiler.get());
                 // The timeline file is written live during the run (one
@@ -487,6 +550,21 @@ main(int argc, char **argv)
                     rl_tap = std::make_unique<obs::RlEventTap>(
                         events.get(), options.trace_sample);
                     observer.rl = rl_tap.get();
+                }
+                if (!options.learn_out.empty()) {
+                    obs::LearningRecorder::Options learn_opts;
+                    // Auto cadence: ~32 snapshots per run. Lookup
+                    // counts, not wall-clock, so the snapshot series
+                    // is identical for any --jobs.
+                    learn_opts.snapshot_every =
+                        options.learn_snapshot_every != 0
+                            ? options.learn_snapshot_every
+                            : std::max<std::uint64_t>(
+                                  1, trace.memAccesses() / 32);
+                    outcomes[i].learner =
+                        std::make_unique<obs::LearningRecorder>(
+                            learn_opts, events.get());
+                    observer.learn = outcomes[i].learner.get();
                 }
                 if (observing) {
                     outcomes[i].tracker =
@@ -567,6 +645,18 @@ main(int argc, char **argv)
                 inform("wrote autopsy tables to %s.{csv,json}",
                        stem.c_str());
             }
+        }
+        if (!options.learn_out.empty()) {
+            const std::string path =
+                learnOutPath(options, pf_name, multi);
+            ensureParentDir(path);
+            std::ofstream learn_file(path);
+            if (!learn_file)
+                fatal("cannot write %s", path.c_str());
+            outcomes[i].learner->writeLearnJson(
+                learn_file, manifest.toJson(), pf_name);
+            if (options.verbose)
+                inform("wrote learning snapshots to %s", path.c_str());
         }
         if (baseline_ipc == 0.0) {
             // First row is the reference (it is "none" for "all").
