@@ -216,7 +216,7 @@ BENCHMARK(BM_Replay_Libquantum_Stride);
  *               instantiation, codegen identical to pre-tracing.
  *   - NullSink: an observer with every sink null — the observed
  *               instantiation with all runtime guards false. This is
- *               the "compiled in but disabled" cost the <= 2% bench
+ *               the "compiled in but disabled" cost the disabled-rate bench
  *               gate compares against Control.
  *   - Enabled:  full tracker + Perfetto writer into a string sink,
  *               1-in-64 sampling — the real cost of tracing a run.
@@ -287,7 +287,7 @@ BENCHMARK(BM_TraceObs_Enabled);
 
 /** Self-profiling overhead on replay. Disabled = no profiler attached
  *  (the unprofiled template instantiation — this is what every normal
- *  run executes, and what the <= 2% bench gate compares against
+ *  run executes, and what the disabled-rate bench gate compares against
  *  BM_TraceObs_Control). Enabled = a Profiler attached, timing every
  *  phase with steady_clock reads. */
 void

@@ -38,6 +38,23 @@ hashCombine(std::uint64_t seed, std::uint64_t value)
 }
 
 /**
+ * hashCombine with the value's mix64 precomputed:
+ * hashCombinePremixed(seed, mix64(v)) == hashCombine(seed, v).
+ * Callers that hash the same values repeatedly (the context snapshot's
+ * per-attribute lanes) cache the mix and pay only the cheap combine.
+ */
+constexpr std::uint64_t
+hashCombinePremixed(std::uint64_t seed, std::uint64_t mixed)
+{
+    return mix64(seed ^ (mixed + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                         (seed >> 2)));
+}
+
+/** Initial WordHasher state (exposed so incremental hashers can chain
+ *  hashCombine themselves and still match WordHasher digests). */
+inline constexpr std::uint64_t kWordHasherSeed = 0x51ed270b35ae7d25ull;
+
+/**
  * Incremental hasher over 64-bit words. The order of added words matters,
  * which is what we want: context attributes are position-significant.
  */
@@ -62,7 +79,7 @@ class WordHasher
     }
 
   private:
-    std::uint64_t state_ = 0x51ed270b35ae7d25ull;
+    std::uint64_t state_ = kWordHasherSeed;
 };
 
 } // namespace csp

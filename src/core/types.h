@@ -11,6 +11,7 @@
 #ifndef CSP_CORE_TYPES_H
 #define CSP_CORE_TYPES_H
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 
@@ -62,12 +63,8 @@ isPowerOfTwo(std::uint64_t value)
 constexpr unsigned
 floorLog2(std::uint64_t value)
 {
-    unsigned log = 0;
-    while (value > 1) {
-        value >>= 1;
-        ++log;
-    }
-    return log;
+    return value <= 1 ? 0
+                      : static_cast<unsigned>(std::bit_width(value)) - 1;
 }
 
 /**

@@ -26,94 +26,6 @@ Cache::Cache(const CacheConfig &config, std::string name)
     CSP_ASSERT(set_mask_ == sets_ - 1);
 }
 
-std::uint64_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> line_shift_) & set_mask_;
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> (line_shift_ + set_shift_);
-}
-
-LineState *
-Cache::lookup(Addr addr, bool touch)
-{
-    const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    for (unsigned way = 0; way < ways_; ++way) {
-        LineState &line = lines_[set * ways_ + way];
-        if (line.valid && line.tag == tag) {
-            if (touch)
-                line.lru = ++lru_clock_;
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
-const LineState *
-Cache::peek(Addr addr) const
-{
-    const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    for (unsigned way = 0; way < ways_; ++way) {
-        const LineState &line = lines_[set * ways_ + way];
-        if (line.valid && line.tag == tag)
-            return &line;
-    }
-    return nullptr;
-}
-
-LineState &
-Cache::insert(Addr addr, Cycle ready, bool prefetched,
-              EvictInfo *evicted, bool lru_insert)
-{
-    const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    std::uint64_t set_min_lru = ~0ull;
-    for (unsigned way = 0; way < ways_; ++way) {
-        const LineState &line = lines_[set * ways_ + way];
-        if (line.valid)
-            set_min_lru = std::min(set_min_lru, line.lru);
-    }
-    LineState *victim = nullptr;
-    for (unsigned way = 0; way < ways_; ++way) {
-        LineState &line = lines_[set * ways_ + way];
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-        if (victim == nullptr || line.lru < victim->lru)
-            victim = &line;
-    }
-    if (evicted != nullptr) {
-        evicted->valid = victim->valid;
-        evicted->prefetched_unused =
-            victim->valid && victim->prefetched && !victim->used;
-        evicted->dirty = victim->valid && victim->dirty;
-        if (victim->valid) {
-            evicted->line_addr =
-                ((victim->tag << set_shift_) | set) << line_shift_;
-        }
-    }
-    victim->tag = tag;
-    victim->valid = true;
-    victim->prefetched = prefetched;
-    victim->used = false;
-    victim->dirty = false;
-    victim->ready = ready;
-    if (lru_insert && set_min_lru != ~0ull) {
-        // LIP: next in line for eviction unless a demand promotes it.
-        victim->lru = set_min_lru == 0 ? 0 : set_min_lru - 1;
-    } else {
-        victim->lru = ++lru_clock_;
-    }
-    return *victim;
-}
-
 void
 Cache::invalidate(Addr addr)
 {

@@ -18,13 +18,20 @@ Hierarchy::Hierarchy(const MemoryConfig &config)
 Cycle
 Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
                          Addr pc, bool *went_to_memory,
-                         bool *served_by_l2_prefetch)
+                         bool *served_by_l2_prefetch, bool l2_probed,
+                         LineState *l2_probe, LineState **l2_line_out)
 {
     *went_to_memory = false;
     if (served_by_l2_prefetch != nullptr)
         *served_by_l2_prefetch = false;
     const Cycle l2_lat = config_.l2.access_latency;
-    if (LineState *line = l2_.lookup(addr)) {
+    LineState *line =
+        l2_probed ? l2_probe : l2_.lookup(addr, /*touch=*/false);
+    if (line != nullptr) {
+        // A hit refreshes LRU exactly as the touching lookup used to.
+        l2_.touch(*line);
+        if (l2_line_out != nullptr)
+            *l2_line_out = line;
         if (served_by_l2_prefetch != nullptr) {
             *served_by_l2_prefetch =
                 !is_prefetch && line->prefetched && !line->used;
@@ -53,8 +60,10 @@ Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
     l2_mshrs_.allocate(slot, fill);
     fill_latency_.sample(fill - start);
     EvictInfo evicted;
-    l2_.insert(addr, fill, is_prefetch, &evicted,
-               /*lru_insert=*/is_prefetch);
+    LineState &inserted = l2_.insert(addr, fill, is_prefetch, &evicted,
+                                     /*lru_insert=*/is_prefetch);
+    if (l2_line_out != nullptr)
+        *l2_line_out = &inserted;
     if (evicted.prefetched_unused) {
         ++stats_.prefetch_evicted_unused;
         if (tracker_ != nullptr)
@@ -191,8 +200,8 @@ Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs,
     // is not starved out by demand traffic at L1), and additionally
     // fills L1 when MSHR headroom exists; otherwise the demand that
     // comes later still sees a cheap L2 hit.
-    const bool l2_has =
-        l2_.lookup(line_addr, false) != nullptr;
+    LineState *const l2_probe = l2_.lookup(line_addr, false);
+    const bool l2_has = l2_probe != nullptr;
     if (!l2_has &&
         l2_mshrs_.freeWithin(now, config_.prefetch_mshr_wait_limit) <=
             config_.l2_mshr_reserve) {
@@ -203,9 +212,10 @@ Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs,
     }
     const Cycle start = now + config_.l1d.access_latency;
     bool went_to_memory = false;
+    LineState *l2_line = nullptr;
     const Cycle fill =
         fillFromBelow(line_addr, start, true, pc, &went_to_memory,
-                      nullptr);
+                      nullptr, /*l2_probed=*/true, l2_probe, &l2_line);
     ++stats_.prefetches_issued;
 
     const unsigned free =
@@ -225,8 +235,8 @@ Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs,
         }
         handleL1Eviction(evicted);
         // The L1 copy carries the usefulness tracking from here on.
-        if (LineState *l2line = l2_.lookup(line_addr, false))
-            l2line->used = true;
+        if (l2_line != nullptr)
+            l2_line->used = true;
     }
     if (tracker_ != nullptr) {
         // An L2-resident target that could not take an L1 fill moved no

@@ -151,10 +151,17 @@ class Hierarchy
      *  Returns the cycle at which the line's data reaches the L1 fill
      *  port, whether DRAM was involved, and whether an unused
      *  prefetched L2 line served the request. @p pc is the requesting
-     *  PC, tracker attribution only. */
+     *  PC, tracker attribution only. When the caller already probed L2
+     *  (without touching LRU), it passes the result through
+     *  @p l2_probed/@p l2_probe to skip the re-probe; @p l2_line_out,
+     *  when non-null, receives the line now holding @p addr in L2 (hit
+     *  or freshly inserted) so the caller needs no post-probe either. */
     Cycle fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
                         Addr pc, bool *went_to_memory,
-                        bool *served_by_l2_prefetch);
+                        bool *served_by_l2_prefetch,
+                        bool l2_probed = false,
+                        LineState *l2_probe = nullptr,
+                        LineState **l2_line_out = nullptr);
 
     MemoryConfig config_;
     Cache l1_;

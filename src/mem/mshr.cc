@@ -1,7 +1,5 @@
 #include "mem/mshr.h"
 
-#include <algorithm>
-
 #include "core/logging.h"
 
 namespace csp::mem {
@@ -9,56 +7,6 @@ namespace csp::mem {
 MshrFile::MshrFile(unsigned slots) : busy_(slots, 0)
 {
     CSP_ASSERT(slots > 0);
-}
-
-unsigned
-MshrFile::freeAt(Cycle now) const
-{
-    unsigned free = 0;
-    for (Cycle completion : busy_) {
-        if (completion <= now)
-            ++free;
-    }
-    return free;
-}
-
-unsigned
-MshrFile::freeWithin(Cycle now, Cycle window) const
-{
-    unsigned free = 0;
-    for (Cycle completion : busy_) {
-        if (completion <= now + window)
-            ++free;
-    }
-    return free;
-}
-
-Cycle
-MshrFile::availableAt(Cycle now) const
-{
-    Cycle earliest = kInvalidCycle;
-    for (Cycle completion : busy_) {
-        if (completion <= now)
-            return now;
-        earliest = std::min(earliest, completion);
-    }
-    return earliest;
-}
-
-void
-MshrFile::allocate(Cycle completion)
-{
-    auto slot = std::min_element(busy_.begin(), busy_.end());
-    *slot = completion;
-    ++allocations_;
-}
-
-void
-MshrFile::allocate(Cycle start, Cycle completion)
-{
-    CSP_ASSERT(completion >= start);
-    allocate(completion);
-    busy_cycles_ += completion - start;
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef CSP_MEM_MSHR_H
 #define CSP_MEM_MSHR_H
 
+#include <algorithm>
 #include <vector>
 
 #include "core/types.h"
@@ -24,7 +25,11 @@ class MshrFile
     explicit MshrFile(unsigned slots);
 
     /** Number of slots free at @p now. */
-    unsigned freeAt(Cycle now) const;
+    unsigned
+    freeAt(Cycle now) const
+    {
+        return freeWithin(now, 0);
+    }
 
     /**
      * Number of slots that will be free by @p now + @p window. Because
@@ -32,27 +37,58 @@ class MshrFile
      * freeness is pessimistic; throttling decisions use a one
      * memory-round-trip window instead.
      */
-    unsigned freeWithin(Cycle now, Cycle window) const;
+    unsigned
+    freeWithin(Cycle now, Cycle window) const
+    {
+        const Cycle horizon = now + window;
+        unsigned free = 0;
+        for (Cycle completion : busy_) {
+            if (completion <= horizon)
+                ++free;
+        }
+        return free;
+    }
 
     /**
      * Earliest cycle >= @p now at which at least one slot is free.
      * Returns @p now itself when a slot is already free.
      */
-    Cycle availableAt(Cycle now) const;
+    Cycle
+    availableAt(Cycle now) const
+    {
+        Cycle earliest = kInvalidCycle;
+        for (Cycle completion : busy_) {
+            if (completion <= now)
+                return now;
+            earliest = std::min(earliest, completion);
+        }
+        return earliest;
+    }
 
     /**
      * Occupy a slot until @p completion. The caller must have chosen a
      * start cycle >= availableAt(now); the slot holding the earliest
      * completion is reused.
      */
-    void allocate(Cycle completion);
+    void
+    allocate(Cycle completion)
+    {
+        auto slot = std::min_element(busy_.begin(), busy_.end());
+        *slot = completion;
+        ++allocations_;
+    }
 
     /**
      * Like allocate(@p completion), additionally crediting the
      * [start, completion) span to the occupancy accounting read by the
      * stats registry (mem.mshr.*_busy_cycles).
      */
-    void allocate(Cycle start, Cycle completion);
+    void
+    allocate(Cycle start, Cycle completion)
+    {
+        allocate(completion);
+        busy_cycles_ += completion - start;
+    }
 
     /** Total slot count. */
     unsigned slots() const { return static_cast<unsigned>(busy_.size()); }

@@ -1,7 +1,5 @@
 #include "prefetch/context/bandit.h"
 
-#include <algorithm>
-
 namespace csp::prefetch::ctx {
 
 BanditPolicy::BanditPolicy(const ContextPrefetcherConfig &config,
@@ -10,34 +8,8 @@ BanditPolicy::BanditPolicy(const ContextPrefetcherConfig &config,
       rng_(seed),
       explore_enabled_(explore_enabled),
       accuracy_(0.005, 0.0)
-{}
-
-double
-BanditPolicy::epsilon() const
 {
-    const double spread = config_.epsilon_max - config_.epsilon_min;
-    return config_.epsilon_min + spread * (1.0 - accuracy_.value());
-}
-
-bool
-BanditPolicy::explore()
-{
-    return explore_enabled_ && rng_.chance(epsilon());
-}
-
-unsigned
-BanditPolicy::degree(unsigned free_mshrs) const
-{
-    if (config_.max_degree == 0)
-        return 0;
-    // One prefetch is always attempted (the memory system may still
-    // refuse it, converting it to a shadow operation); extra degree
-    // must be earned by accuracy and backed by MSHR headroom.
-    const double acc = accuracy_.value();
-    unsigned degree =
-        1 + static_cast<unsigned>(acc * (config_.max_degree - 1) + 0.5);
-    degree = std::min(degree, config_.max_degree);
-    return std::min(degree, 1 + free_mshrs);
+    refreshDerived();
 }
 
 } // namespace csp::prefetch::ctx

@@ -95,6 +95,7 @@ ContextPrefetcher::captureLearnSnapshot(Cycle cycle)
     learn_->onSnapshot(cycle, snap);
 }
 
+template <bool kInstr>
 void
 ContextPrefetcher::expireEntry(const PendingPrefetch &entry)
 {
@@ -102,24 +103,39 @@ ContextPrefetcher::expireEntry(const PendingPrefetch &entry)
     if (!toggles_.negative_rewards)
         penalty = 0;
     cst_.reward(entry.reduced_key, entry.delta, penalty);
-    policy_.recordOutcome(false);
+    policy_.recordOutcomeT<kInstr>(false);
     ++stats_.pq_expiries;
-    if (rl_tap_ != nullptr) {
-        rl_tap_->onReward(last_cycle_,
-                          {entry.line, entry.delta, /*depth=*/0, penalty,
-                           /*in_window=*/false, /*expiry=*/true});
-    }
-    if (learn_ != nullptr) {
-        learn_->onRewardApplied(last_cycle_,
-                                {entry.line, entry.delta, /*depth=*/0,
-                                 penalty, /*in_window=*/false,
-                                 /*expiry=*/true});
+    if constexpr (kInstr) {
+        if (rl_tap_ != nullptr) {
+            rl_tap_->onReward(last_cycle_,
+                              {entry.line, entry.delta, /*depth=*/0,
+                               penalty, /*in_window=*/false,
+                               /*expiry=*/true});
+        }
+        if (learn_ != nullptr) {
+            learn_->onRewardApplied(last_cycle_,
+                                    {entry.line, entry.delta,
+                                     /*depth=*/0, penalty,
+                                     /*in_window=*/false,
+                                     /*expiry=*/true});
+        }
     }
 }
 
 void
 ContextPrefetcher::observe(const AccessInfo &info,
                            std::vector<PrefetchRequest> &out)
+{
+    if (rl_tap_ != nullptr || learn_ != nullptr || profiler_ != nullptr)
+        observeImpl<true>(info, out);
+    else
+        observeImpl<false>(info, out);
+}
+
+template <bool kInstr>
+void
+ContextPrefetcher::observeImpl(const AccessInfo &info,
+                               std::vector<PrefetchRequest> &out)
 {
     CSP_ASSERT(info.context != nullptr);
     // Train/predict phase attribution (explicit clock reads, not
@@ -128,74 +144,88 @@ ContextPrefetcher::observe(const AccessInfo &info,
     // onward is prediction. No clock is touched unless a profiler is
     // attached.
     std::chrono::steady_clock::time_point phase_start;
-    if (profiler_ != nullptr)
-        phase_start = std::chrono::steady_clock::now();
+    if constexpr (kInstr) {
+        if (profiler_ != nullptr)
+            phase_start = std::chrono::steady_clock::now();
+    }
     const Addr block = alignDown(info.vaddr, config_.block_bytes);
     const AccessSeq seq = info.seq;
     last_cycle_ = info.cycle;
     ++stats_.lookups;
-    if (rl_tap_ != nullptr && (stats_.lookups & 4095) == 0) {
-        rl_tap_->onBandit(info.cycle,
-                          {policy_.epsilon(), policy_.accuracy(),
-                           stats_.explorations});
+    if constexpr (kInstr) {
+        if (rl_tap_ != nullptr && (stats_.lookups & 4095) == 0) {
+            rl_tap_->onBandit(info.cycle,
+                              {policy_.epsilon(), policy_.accuracy(),
+                               stats_.explorations});
+        }
     }
 
     // ------------------------------------------------------------------
     // Feedback unit: reward the predictions this access confirms.
     // ------------------------------------------------------------------
-    pq_.onAccess(block, seq,
-                 [&](const PendingPrefetch &entry, unsigned depth) {
-                     int amount = reward_(depth);
-                     const bool in_window =
-                         depth >= reward_.windowLo() &&
-                         depth <= reward_.windowHi();
-                     if (!toggles_.negative_rewards && amount < 0)
-                         amount = 0;
-                     cst_.reward(entry.reduced_key, entry.delta, amount);
-                     hit_depths_.sample(depth);
-                     reward_by_depth_.sample(depth);
-                     policy_.recordOutcome(in_window);
-                     ++stats_.pq_hits;
-                     if (in_window)
-                         ++stats_.pq_hits_in_window;
-                     if (rl_tap_ != nullptr) {
-                         rl_tap_->onReward(info.cycle,
-                                           {entry.line, entry.delta,
-                                            depth, amount, in_window,
-                                            /*expiry=*/false});
-                     }
-                     if (learn_ != nullptr) {
-                         learn_->onRewardApplied(
-                             info.cycle,
-                             {entry.line, entry.delta, depth, amount,
-                              in_window, /*expiry=*/false});
-                     }
-                 });
+    pq_.onAccess(
+        block, seq, [&](const PendingPrefetch &entry, unsigned depth) {
+            int amount = reward_(depth);
+            const bool in_window = depth >= reward_.windowLo() &&
+                                   depth <= reward_.windowHi();
+            if (!toggles_.negative_rewards && amount < 0)
+                amount = 0;
+            cst_.reward(entry.reduced_key, entry.delta, amount);
+            hit_depths_.sample(depth);
+            reward_by_depth_.sample(depth);
+            policy_.recordOutcomeT<kInstr>(in_window);
+            ++stats_.pq_hits;
+            if (in_window)
+                ++stats_.pq_hits_in_window;
+            if constexpr (kInstr) {
+                if (rl_tap_ != nullptr) {
+                    rl_tap_->onReward(info.cycle,
+                                      {entry.line, entry.delta, depth,
+                                       amount, in_window,
+                                       /*expiry=*/false});
+                }
+                if (learn_ != nullptr) {
+                    learn_->onRewardApplied(
+                        info.cycle,
+                        {entry.line, entry.delta, depth, amount,
+                         in_window, /*expiry=*/false});
+                }
+            }
+        });
 
     // ------------------------------------------------------------------
     // Two-level context indexing (Figure 7).
     // ------------------------------------------------------------------
-    trace::ContextSnapshot reduced_view = *info.context;
+    // The ablation path (software hints off) blanks the compiler-hint
+    // attributes in a scratch copy; the normal path hashes the
+    // simulator-owned snapshot in place (its lanes stay warm across
+    // accesses — no copy, no re-mixing of unchanged attributes).
+    const trace::ContextSnapshot *ctx_view = info.context;
     if (!toggles_.software_hints) {
-        reduced_view.set(Attr::TypeInfo, 0);
-        reduced_view.set(Attr::LinkOffset, 0);
-        reduced_view.set(Attr::RefForm, 0);
+        hint_scratch_ = *info.context;
+        hint_scratch_.set(Attr::TypeInfo, 0);
+        hint_scratch_.set(Attr::LinkOffset, 0);
+        hint_scratch_.set(Attr::RefForm, 0);
+        ctx_view = &hint_scratch_;
     }
     const auto full_hash = static_cast<std::uint16_t>(
-        reduced_view.hash(trace::kAllAttrs, config_.full_hash_bits));
+        ctx_view->hash(trace::kAllAttrs, config_.full_hash_bits));
     const AttrMask mask = reducer_.lookup(full_hash);
     const auto reduced_key = static_cast<std::uint32_t>(
-        reduced_view.hash(mask, config_.reduced_hash_bits));
+        ctx_view->hash(mask, config_.reduced_hash_bits));
 
     // ------------------------------------------------------------------
     // Collection unit: bind sampled history contexts to this block.
     // ------------------------------------------------------------------
-    scratch_samples_.clear();
-    history_.sample(scratch_samples_);
     const auto expiry = [this](const PendingPrefetch &entry) {
-        expireEntry(entry);
+        expireEntry<kInstr>(entry);
     };
-    for (const HistoryEntry *hist : scratch_samples_) {
+    // Walk the sample ladder directly (same order HistoryQueue::sample
+    // would visit, minus the scratch vector of pointers).
+    for (const unsigned sample_depth : history_.sampleDepths()) {
+        const HistoryEntry *hist = history_.at(sample_depth);
+        if (hist == nullptr)
+            continue;
         // Paper Algorithm 1: only contexts whose depth is within the
         // prefetch window are associated — a context bound to a
         // too-near address would only ever earn late penalties.
@@ -210,47 +240,42 @@ ContextPrefetcher::observe(const AccessInfo &info,
             ++stats_.delta_overflows;
             continue;
         }
-        const CstAddResult added =
-            cst_.addLink(hist->reduced_key,
-                         static_cast<std::int32_t>(delta));
+        const CstAddResult added = cst_.addLinkT<kInstr>(
+            hist->reduced_key, static_cast<std::int32_t>(delta));
         if (added.inserted)
             ++stats_.associations;
         // Overload adaptation: heavy link churn on an entry that is
         // NOT earning rewards means too many distinct futures share
         // one reduced context — split it. Churn on a healthy entry
         // (one that already holds a vetted link) is just candidate
-        // competition and is discarded.
-        if (const Cst::Entry *entry = cst_.lookup(hist->reduced_key)) {
-            if (entry->churn >= config_.overload_threshold) {
-                int best = -128;
-                for (const CstLink &link : cst_.links(entry)) {
-                    if (link.valid) {
-                        best = std::max(
-                            best,
-                            static_cast<int>(link.score.value()));
-                    }
-                }
-                // "Healthy" = some link has accumulated at least one
-                // full-strength reward; deliberately independent of
-                // the dispatch threshold.
-                if (best < config_.reward.peak_reward &&
-                    reducer_.onOverload(hist->full_hash)) {
-                    ++stats_.overload_events;
-                }
-                cst_.clearChurn(hist->reduced_key);
+        // competition and is discarded. addLink already reports the
+        // entry's post-insert churn, so the common (quiet) case needs
+        // no second table probe.
+        if (added.entry_matches &&
+            added.churn >= config_.overload_threshold) {
+            // "Healthy" = some link has accumulated at least one
+            // full-strength reward; deliberately independent of the
+            // dispatch threshold.
+            if (cst_.bestScore(hist->reduced_key) <
+                    config_.reward.peak_reward &&
+                reducer_.onOverload(hist->full_hash)) {
+                ++stats_.overload_events;
             }
+            cst_.clearChurn(hist->reduced_key);
         }
     }
 
-    if (profiler_ != nullptr) {
-        const auto now = std::chrono::steady_clock::now();
-        profiler_->add(prof::Phase::PrefetchTrain,
-                       static_cast<std::uint64_t>(
-                           std::chrono::duration_cast<
-                               std::chrono::nanoseconds>(
-                               now - phase_start)
-                               .count()));
-        phase_start = now;
+    if constexpr (kInstr) {
+        if (profiler_ != nullptr) {
+            const auto now = std::chrono::steady_clock::now();
+            profiler_->add(prof::Phase::PrefetchTrain,
+                           static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   now - phase_start)
+                                   .count()));
+            phase_start = now;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -265,9 +290,9 @@ ContextPrefetcher::observe(const AccessInfo &info,
     const unsigned degree = policy_.degree(info.free_l1_mshrs);
     const unsigned want =
         std::max(degree, 1u); // track at least one candidate as shadow
-    const unsigned n = cst_.bestLinks(reduced_key, deltas,
-                                      std::min<unsigned>(want, 16),
-                                      /*min_score=*/-1, scores);
+    const unsigned n = cst_.bestLinksT<kInstr>(
+        reduced_key, deltas, std::min<unsigned>(want, 16),
+        /*min_score=*/-1, scores);
     for (unsigned i = 0; i < n; ++i) {
         const Addr target =
             block + static_cast<Addr>(
@@ -314,18 +339,20 @@ ContextPrefetcher::observe(const AccessInfo &info,
         }
     }
 
-    if (learn_ != nullptr) {
-        obs::ArmSelectionEvent sel;
-        sel.real = static_cast<unsigned>(stats_.real_predictions -
-                                         learn_real_before);
-        sel.shadow = static_cast<unsigned>(stats_.shadow_predictions -
-                                           learn_shadow_before);
-        sel.explored = stats_.explorations != learn_explore_before;
-        sel.epsilon = policy_.epsilon();
-        learn_->onArmSelection(info.cycle, sel);
-        if (stats_.lookups >= next_learn_snapshot_) {
-            captureLearnSnapshot(info.cycle);
-            next_learn_snapshot_ += learn_snapshot_every_;
+    if constexpr (kInstr) {
+        if (learn_ != nullptr) {
+            obs::ArmSelectionEvent sel;
+            sel.real = static_cast<unsigned>(stats_.real_predictions -
+                                             learn_real_before);
+            sel.shadow = static_cast<unsigned>(
+                stats_.shadow_predictions - learn_shadow_before);
+            sel.explored = stats_.explorations != learn_explore_before;
+            sel.epsilon = policy_.epsilon();
+            learn_->onArmSelection(info.cycle, sel);
+            if (stats_.lookups >= next_learn_snapshot_) {
+                captureLearnSnapshot(info.cycle);
+                next_learn_snapshot_ += learn_snapshot_every_;
+            }
         }
     }
 
@@ -339,14 +366,16 @@ ContextPrefetcher::observe(const AccessInfo &info,
     // ------------------------------------------------------------------
     history_.push({reduced_key, full_hash, block, seq});
 
-    if (profiler_ != nullptr) {
-        profiler_->add(prof::Phase::PrefetchPredict,
-                       static_cast<std::uint64_t>(
-                           std::chrono::duration_cast<
-                               std::chrono::nanoseconds>(
-                               std::chrono::steady_clock::now() -
-                               phase_start)
-                               .count()));
+    if constexpr (kInstr) {
+        if (profiler_ != nullptr) {
+            profiler_->add(prof::Phase::PrefetchPredict,
+                           static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() -
+                                   phase_start)
+                                   .count()));
+        }
     }
 }
 
@@ -365,9 +394,15 @@ ContextPrefetcher::onPrefetchOutcome(Addr addr,
 void
 ContextPrefetcher::finish()
 {
-    pq_.flush([this](const PendingPrefetch &entry) {
-        expireEntry(entry);
-    });
+    if (rl_tap_ != nullptr || learn_ != nullptr) {
+        pq_.flush([this](const PendingPrefetch &entry) {
+            expireEntry<true>(entry);
+        });
+    } else {
+        pq_.flush([this](const PendingPrefetch &entry) {
+            expireEntry<false>(entry);
+        });
+    }
     // Always leave the observer one final snapshot of the converged
     // learning state (captured after the queue flush so the policy's
     // accuracy reflects every expiry).

@@ -117,7 +117,21 @@ class ContextPrefetcher final : public Prefetcher
     const RewardFunction &rewardFunction() const { return reward_; }
 
   private:
+    /**
+     * The whole of Algorithm 1, compiled twice: kInstr=true is the
+     * instrumented build (RL tap, learning observer, phase profiler —
+     * each still null-checked at runtime), kInstr=false is the bare
+     * replay hot path with every observer touch point compiled out.
+     * observe() dispatches on whether any sink is attached, so runs
+     * with no observability attached pay zero instrumentation cost.
+     */
+    template <bool kInstr>
+    void observeImpl(const AccessInfo &info,
+                     std::vector<PrefetchRequest> &out);
+
+    template <bool kInstr>
     void expireEntry(const PendingPrefetch &entry);
+
     std::int64_t maxDelta() const;
     void captureLearnSnapshot(Cycle cycle);
 
@@ -134,7 +148,9 @@ class ContextPrefetcher final : public Prefetcher
     /// §4.3 reward-window shape as a percentile-capable distribution.
     Log2Histogram reward_by_depth_;
     ContextStats stats_;
-    std::vector<const HistoryEntry *> scratch_samples_;
+    /// Scratch snapshot for the software-hints-off ablation (the only
+    /// path that must mutate the simulator-owned context).
+    trace::ContextSnapshot hint_scratch_;
     obs::RlTap *rl_tap_ = nullptr; ///< borrowed, may be null
     obs::LearningObserver *learn_ = nullptr; ///< borrowed, may be null
     std::uint64_t learn_snapshot_every_ = 0;

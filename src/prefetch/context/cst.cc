@@ -1,6 +1,7 @@
 #include "prefetch/context/cst.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "core/logging.h"
@@ -10,42 +11,23 @@ namespace csp::prefetch::ctx {
 
 Cst::Cst(const ContextPrefetcherConfig &config)
     : index_bits_(floorLog2(config.cst_entries)),
+      index_mask_((1u << index_bits_) - 1),
       links_per_entry_(config.cst_links),
-      table_(config.cst_entries),
-      link_arena_(static_cast<std::size_t>(config.cst_entries) *
-                  config.cst_links)
+      entries_(config.cst_entries),
+      stride_words_(1 + (2 * config.cst_links + 7) / 8),
+      arena_(static_cast<std::size_t>(config.cst_entries) *
+             (1 + (2 * config.cst_links + 7) / 8))
 {
     CSP_ASSERT(isPowerOfTwo(config.cst_entries));
-    CSP_ASSERT(config.cst_links >= 1);
-}
-
-std::uint32_t
-Cst::indexOf(std::uint32_t reduced_key) const
-{
-    return reduced_key & ((1u << index_bits_) - 1);
-}
-
-std::uint32_t
-Cst::tagOf(std::uint32_t reduced_key) const
-{
-    return reduced_key >> index_bits_;
-}
-
-Cst::Entry *
-Cst::entryIfMatch(std::uint32_t reduced_key)
-{
-    Entry &entry = table_[indexOf(reduced_key)];
-    if (entry.valid && entry.tag == tagOf(reduced_key))
-        return &entry;
-    return nullptr;
+    CSP_ASSERT(config.cst_links >= 1 && config.cst_links <= 16);
 }
 
 const Cst::Entry *
 Cst::entryIfMatch(std::uint32_t reduced_key) const
 {
-    const Entry &entry = table_[indexOf(reduced_key)];
-    if (entry.valid && entry.tag == tagOf(reduced_key))
-        return &entry;
+    const Entry *entry = entryAt(indexOf(reduced_key));
+    if (entry->valid != 0 && entry->tag == tagOf(reduced_key))
+        return entry;
     return nullptr;
 }
 
@@ -55,143 +37,56 @@ Cst::lookup(std::uint32_t reduced_key) const
     return entryIfMatch(reduced_key);
 }
 
-CstAddResult
-Cst::addLink(std::uint32_t reduced_key, std::int32_t delta)
+int
+Cst::bestScore(std::uint32_t reduced_key) const
 {
-    CstAddResult result;
-    bool new_entry = false;
-    bool entry_evicted = false;
-    // Notification only: the observer sees every insertion outcome but
-    // can never influence one.
-    const auto notify = [&] {
-        if (learn_ != nullptr) {
-            learn_->onCstInsert({result.inserted,
-                                 result.already_present, new_entry,
-                                 entry_evicted, result.evicted_link,
-                                 result.entry_conflict});
-        }
-    };
-    Entry &entry = table_[indexOf(reduced_key)];
-    CstLink *const entry_links = linksOf(entry);
-    const std::uint32_t tag = tagOf(reduced_key);
-
-    if (!entry.valid || entry.tag != tag) {
-        if (entry.valid) {
-            // Conflicting live entry: protect it while it still holds
-            // positively scored links, but age it so stale contexts
-            // eventually yield the slot.
-            int best = -128;
-            for (unsigned i = 0; i < links_per_entry_; ++i) {
-                CstLink &link = entry_links[i];
-                if (link.valid) {
-                    best = std::max(best,
-                                    static_cast<int>(link.score.value()));
-                    link.score.add(-1);
-                }
-            }
-            if (best > 0) {
-                result.entry_conflict = true;
-                notify();
-                return result;
-            }
-        }
-        if (entry.valid) {
-            ++entry_evictions_;
-            entry_evicted = true;
-        }
-        new_entry = true;
-        entry.valid = true;
-        entry.tag = tag;
-        entry.churn = 0;
-        for (unsigned i = 0; i < links_per_entry_; ++i)
-            entry_links[i] = CstLink{};
+    const std::uint32_t index = indexOf(reduced_key);
+    const Entry &entry = *entryAt(index);
+    const std::int8_t *const scores =
+        deltasAt(index) + links_per_entry_;
+    int best = -128;
+    std::uint32_t mask = entry.link_mask;
+    while (mask != 0) {
+        const unsigned i =
+            static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        best = std::max(best, static_cast<int>(scores[i]));
     }
-
-    CstLink *free_slot = nullptr;
-    CstLink *weakest = nullptr;
-    for (unsigned i = 0; i < links_per_entry_; ++i) {
-        CstLink &link = entry_links[i];
-        if (!link.valid) {
-            if (free_slot == nullptr)
-                free_slot = &link;
-            continue;
-        }
-        if (link.delta == delta) {
-            result.already_present = true;
-            notify();
-            return result;
-        }
-        if (weakest == nullptr || link.score < weakest->score)
-            weakest = &link;
-    }
-
-    CstLink *slot = free_slot;
-    if (slot == nullptr) {
-        // Score-based replacement: only displace non-positive links.
-        if (weakest->score.value() > 0) {
-            if (entry.churn < 255)
-                ++entry.churn;
-            notify();
-            return result;
-        }
-        slot = weakest;
-        result.evicted_link = true;
-        ++link_evictions_;
-        if (entry.churn < 255)
-            ++entry.churn;
-    }
-    slot->valid = true;
-    slot->delta = delta;
-    slot->score = Score8{0};
-    result.inserted = true;
-    notify();
-    return result;
+    return best;
 }
 
-void
-Cst::reward(std::uint32_t reduced_key, std::int32_t delta, int amount)
-{
-    Entry *entry = entryIfMatch(reduced_key);
-    if (entry == nullptr)
-        return;
-    CstLink *const entry_links = linksOf(*entry);
-    for (unsigned i = 0; i < links_per_entry_; ++i) {
-        CstLink &link = entry_links[i];
-        if (link.valid && link.delta == delta) {
-            link.score.add(amount);
-            // A rewarded entry is healthy: candidate pressure on it is
-            // competition, not overload. Decay the churn signal so the
-            // Reducer only splits contexts that fail to earn rewards.
-            if (amount > 0 && entry->churn > 0)
-                --entry->churn;
-            return;
-        }
-    }
-}
-
+template <bool kLearn>
 unsigned
-Cst::bestLinks(std::uint32_t reduced_key, std::int32_t *out,
-               unsigned max_links, int min_score,
-               int *scores_out) const
+Cst::bestLinksT(std::uint32_t reduced_key, std::int32_t *out,
+                unsigned max_links, int min_score,
+                int *scores_out) const
 {
-    const Entry *entry = entryIfMatch(reduced_key);
-    if (learn_ != nullptr) {
-        obs::CstProbeEvent probe;
-        probe.hit = entry != nullptr;
-        if (entry != nullptr) {
-            for (const CstLink &link : links(entry)) {
-                if (link.valid &&
-                    probe.valid_links < obs::kMaxLearnLinks) {
+    const std::uint32_t index = indexOf(reduced_key);
+    const Entry &entry = *entryAt(index);
+    const bool hit =
+        entry.valid != 0 && entry.tag == tagOf(reduced_key);
+    const std::int8_t *const deltas = deltasAt(index);
+    const std::int8_t *const scores = deltas + links_per_entry_;
+    if constexpr (kLearn) {
+        if (learn_ != nullptr) {
+            obs::CstProbeEvent probe;
+            probe.hit = hit;
+            if (hit) {
+                std::uint32_t mask = entry.link_mask;
+                while (mask != 0 &&
+                       probe.valid_links < obs::kMaxLearnLinks) {
+                    const unsigned i =
+                        static_cast<unsigned>(std::countr_zero(mask));
+                    mask &= mask - 1;
                     probe.scores[probe.valid_links++] =
-                        static_cast<int>(link.score.value());
+                        static_cast<int>(scores[i]);
                 }
             }
+            learn_->onCstProbe(probe);
         }
-        learn_->onCstProbe(probe);
     }
-    if (entry == nullptr)
+    if (!hit)
         return 0;
-    // Selection sort over at most links_per_entry_ candidates.
     struct Candidate
     {
         std::int32_t delta;
@@ -199,12 +94,14 @@ Cst::bestLinks(std::uint32_t reduced_key, std::int32_t *out,
     };
     Candidate candidates[16];
     unsigned count = 0;
-    for (const CstLink &link : links(entry)) {
-        if (link.valid && link.score.value() > min_score &&
-            count < 16) {
-            candidates[count++] = {link.delta,
-                                   static_cast<int>(link.score.value())};
-        }
+    std::uint32_t mask = entry.link_mask;
+    while (mask != 0) {
+        const unsigned i =
+            static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const int score = scores[i];
+        if (score > min_score && count < 16)
+            candidates[count++] = {deltas[i], score};
     }
     std::sort(candidates, candidates + count,
               [](const Candidate &a, const Candidate &b) {
@@ -219,18 +116,28 @@ Cst::bestLinks(std::uint32_t reduced_key, std::int32_t *out,
     return emit;
 }
 
+template unsigned Cst::bestLinksT<false>(std::uint32_t, std::int32_t *,
+                                         unsigned, int, int *) const;
+template unsigned Cst::bestLinksT<true>(std::uint32_t, std::int32_t *,
+                                        unsigned, int, int *) const;
+
 bool
 Cst::randomLink(std::uint32_t reduced_key, Rng &rng,
                 std::int32_t *delta_out) const
 {
-    const Entry *entry = entryIfMatch(reduced_key);
-    if (entry == nullptr)
+    const std::uint32_t index = indexOf(reduced_key);
+    const Entry &entry = *entryAt(index);
+    if (entry.valid == 0 || entry.tag != tagOf(reduced_key))
         return false;
+    const std::int8_t *const deltas = deltasAt(index);
     std::int32_t valid_deltas[16];
     unsigned count = 0;
-    for (const CstLink &link : links(entry)) {
-        if (link.valid && count < 16)
-            valid_deltas[count++] = link.delta;
+    std::uint32_t mask = entry.link_mask;
+    while (mask != 0 && count < 16) {
+        const unsigned i =
+            static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        valid_deltas[count++] = deltas[i];
     }
     if (count == 0)
         return false;
@@ -243,22 +150,27 @@ Cst::softmaxLink(std::uint32_t reduced_key, Rng &rng,
                  double temperature, std::int32_t *delta_out) const
 {
     CSP_ASSERT(temperature > 0.0);
-    const Entry *entry = entryIfMatch(reduced_key);
-    if (entry == nullptr)
+    const std::uint32_t index = indexOf(reduced_key);
+    const Entry &entry = *entryAt(index);
+    if (entry.valid == 0 || entry.tag != tagOf(reduced_key))
         return false;
+    const std::int8_t *const link_deltas = deltasAt(index);
+    const std::int8_t *const scores = link_deltas + links_per_entry_;
     double weights[16];
     std::int32_t deltas[16];
     unsigned count = 0;
     double total = 0.0;
-    for (const CstLink &link : links(entry)) {
-        if (link.valid && count < 16) {
-            const double w = std::exp(
-                static_cast<double>(link.score.value()) / temperature);
-            weights[count] = w;
-            deltas[count] = link.delta;
-            total += w;
-            ++count;
-        }
+    std::uint32_t mask = entry.link_mask;
+    while (mask != 0 && count < 16) {
+        const unsigned i =
+            static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const double w = std::exp(
+            static_cast<double>(scores[i]) / temperature);
+        weights[count] = w;
+        deltas[count] = link_deltas[i];
+        total += w;
+        ++count;
     }
     if (count == 0)
         return false;
@@ -277,16 +189,17 @@ Cst::softmaxLink(std::uint32_t reduced_key, Rng &rng,
 void
 Cst::clearChurn(std::uint32_t reduced_key)
 {
-    if (Entry *entry = entryIfMatch(reduced_key))
-        entry->churn = 0;
+    Entry &entry = *entryAt(indexOf(reduced_key));
+    if (entry.valid != 0 && entry.tag == tagOf(reduced_key))
+        entry.churn = 0;
 }
 
 unsigned
 Cst::liveEntries() const
 {
     unsigned live = 0;
-    for (const Entry &entry : table_) {
-        if (entry.valid)
+    for (std::uint32_t i = 0; i < entries_; ++i) {
+        if (entryAt(i)->valid != 0)
             ++live;
     }
     return live;
@@ -303,16 +216,20 @@ Cst::snapshotTopK(unsigned top_k,
     };
     std::vector<Ranked> ranked;
     unsigned live = 0;
-    for (std::uint32_t i = 0; i < table_.size(); ++i) {
-        const Entry &entry = table_[i];
-        if (!entry.valid)
+    for (std::uint32_t i = 0; i < entries_; ++i) {
+        const Entry &entry = *entryAt(i);
+        if (entry.valid == 0)
             continue;
         ++live;
+        const std::int8_t *const scores =
+            deltasAt(i) + links_per_entry_;
         int best = -128;
-        for (const CstLink &link : links(&entry)) {
-            if (link.valid)
-                best = std::max(best,
-                                static_cast<int>(link.score.value()));
+        std::uint32_t mask = entry.link_mask;
+        while (mask != 0) {
+            const unsigned j =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            best = std::max(best, static_cast<int>(scores[j]));
         }
         ranked.push_back({best, i});
     }
@@ -321,22 +238,25 @@ Cst::snapshotTopK(unsigned top_k,
                   return a.best != b.best ? a.best > b.best
                                           : a.index < b.index;
               });
-    const auto emit =
-        std::min<std::size_t>(top_k, ranked.size());
+    const auto emit = std::min<std::size_t>(top_k, ranked.size());
     out.clear();
     out.reserve(emit);
     for (std::size_t k = 0; k < emit; ++k) {
-        const Entry &entry = table_[ranked[k].index];
+        const std::uint32_t index = ranked[k].index;
+        const Entry &entry = *entryAt(index);
+        const std::int8_t *const deltas = deltasAt(index);
+        const std::int8_t *const scores = deltas + links_per_entry_;
         obs::SnapshotContext ctx;
-        ctx.key = (entry.tag << index_bits_) | ranked[k].index;
+        ctx.key = (entry.tag << index_bits_) | index;
         ctx.churn = entry.churn;
-        for (const CstLink &link : links(&entry)) {
-            if (link.valid && ctx.n_links < obs::kMaxLearnLinks) {
-                ctx.deltas[ctx.n_links] = link.delta;
-                ctx.scores[ctx.n_links] =
-                    static_cast<int>(link.score.value());
-                ++ctx.n_links;
-            }
+        std::uint32_t mask = entry.link_mask;
+        while (mask != 0 && ctx.n_links < obs::kMaxLearnLinks) {
+            const unsigned j =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            ctx.deltas[ctx.n_links] = deltas[j];
+            ctx.scores[ctx.n_links] = static_cast<int>(scores[j]);
+            ++ctx.n_links;
         }
         out.push_back(ctx);
     }
@@ -348,13 +268,18 @@ Cst::scoreSummary() const
 {
     stats::DistSummary s;
     double sum = 0.0;
-    for (const Entry &entry : table_) {
-        if (!entry.valid)
+    for (std::uint32_t i = 0; i < entries_; ++i) {
+        const Entry &entry = *entryAt(i);
+        if (entry.valid == 0)
             continue;
-        for (const CstLink &link : links(&entry)) {
-            if (!link.valid)
-                continue;
-            const double score = link.score.value();
+        const std::int8_t *const scores =
+            deltasAt(i) + links_per_entry_;
+        std::uint32_t mask = entry.link_mask;
+        while (mask != 0) {
+            const unsigned j =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            const double score = scores[j];
             if (s.count == 0) {
                 s.min = score;
                 s.max = score;
@@ -374,12 +299,7 @@ Cst::scoreSummary() const
 void
 Cst::reset()
 {
-    for (Entry &entry : table_) {
-        entry.valid = false;
-        entry.churn = 0;
-    }
-    for (CstLink &link : link_arena_)
-        link = CstLink{};
+    std::fill(arena_.begin(), arena_.end(), 0);
     link_evictions_ = 0;
     entry_evictions_ = 0;
 }

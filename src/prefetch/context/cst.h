@@ -10,29 +10,33 @@
  * carrying a saturating score updated by the reward function. Links
  * compete for the entry's slots under score-based replacement, so that
  * associations that earn positive rewards survive (paper section 5).
+ *
+ * Storage is a single flat arena of fixed-stride entry blocks. Each
+ * block packs the tag/valid/churn replacement metadata and the link
+ * arms — struct-of-arrays int8 delta and score lanes — into one run of
+ * bytes, so with the default 4 links an entry is exactly 16 bytes and a
+ * probe touches one cache line (the whole default table is 32 KiB).
+ * Scores are the paper's 1-byte saturating integers, applied
+ * branchlessly; deltas are likewise 1-byte (the prefetcher's delta
+ * range is +-127 by construction, asserted on insert).
  */
 
 #ifndef CSP_PREFETCH_CONTEXT_CST_H
 #define CSP_PREFETCH_CONTEXT_CST_H
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "core/config.h"
+#include "core/logging.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/stats_registry.h"
 #include "obs/learning_observer.h"
 
 namespace csp::prefetch::ctx {
-
-/** One context-address association. */
-struct CstLink
-{
-    std::int32_t delta = 0; ///< block delta (paper: 1-byte, configurable)
-    Score8 score{};
-    bool valid = false;
-};
 
 /** Result of a data-collection insertion. */
 struct CstAddResult
@@ -41,6 +45,11 @@ struct CstAddResult
     bool already_present = false;
     bool evicted_link = false;  ///< link churn: an overload signal
     bool entry_conflict = false;///< tag conflict with a live entry
+    /// The entry now holding this key (false only on entry_conflict);
+    /// when true, churn reports its post-insert churn counter so the
+    /// caller's overload check needs no second probe.
+    bool entry_matches = false;
+    std::uint8_t churn = 0;
 };
 
 /** See file comment. */
@@ -49,37 +58,19 @@ class Cst
   public:
     explicit Cst(const ContextPrefetcherConfig &config);
 
+    /** Entry header: replacement metadata, packed in front of the link
+     *  lanes within the same arena block. */
     struct Entry
     {
         std::uint32_t tag = 0;
-        bool valid = false;
+        std::uint8_t valid = 0;
         std::uint8_t churn = 0; ///< recent link evictions (overload cue)
+        std::uint16_t link_mask = 0; ///< bit i set: link slot i holds a link
     };
-
-    /**
-     * View of one entry's link slots. Links live in a single
-     * contiguous arena (entry index * links-per-entry), not per-entry
-     * vectors, so steady-state operation never allocates and a lookup
-     * touches one cache line of links.
-     */
-    struct LinkSpan
-    {
-        const CstLink *first;
-        unsigned count;
-
-        const CstLink *begin() const { return first; }
-        const CstLink *end() const { return first + count; }
-    };
+    static_assert(sizeof(Entry) == 8, "header must pack into one word");
 
     /** Entry for @p reduced_key iff present with a matching tag. */
     const Entry *lookup(std::uint32_t reduced_key) const;
-
-    /** The link slots of @p entry (as returned by lookup()). */
-    LinkSpan
-    links(const Entry *entry) const
-    {
-        return LinkSpan{linksOf(*entry), links_per_entry_};
-    }
 
     /**
      * Data collection: associate @p delta with @p reduced_key. New links
@@ -88,7 +79,17 @@ class Cst
      * its score is at or below zero (positive scores are protected and
      * the insertion is dropped instead).
      */
-    CstAddResult addLink(std::uint32_t reduced_key, std::int32_t delta);
+    CstAddResult
+    addLink(std::uint32_t reduced_key, std::int32_t delta)
+    {
+        return learn_ != nullptr ? addLinkT<true>(reduced_key, delta)
+                                 : addLinkT<false>(reduced_key, delta);
+    }
+
+    /** addLink with the learning-tap notifications compiled out
+     *  (kLearn=false) — the replay hot path's entry point. */
+    template <bool kLearn>
+    CstAddResult addLinkT(std::uint32_t reduced_key, std::int32_t delta);
 
     /** Feedback: apply @p reward to the (key, delta) association. */
     void reward(std::uint32_t reduced_key, std::int32_t delta, int amount);
@@ -98,9 +99,27 @@ class Cst
      * @p min_score, best first. Returns the number written to @p out
      * (and, when @p scores_out is non-null, the matching scores).
      */
-    unsigned bestLinks(std::uint32_t reduced_key, std::int32_t *out,
-                       unsigned max_links, int min_score,
-                       int *scores_out = nullptr) const;
+    unsigned
+    bestLinks(std::uint32_t reduced_key, std::int32_t *out,
+              unsigned max_links, int min_score,
+              int *scores_out = nullptr) const
+    {
+        return learn_ != nullptr
+                   ? bestLinksT<true>(reduced_key, out, max_links,
+                                      min_score, scores_out)
+                   : bestLinksT<false>(reduced_key, out, max_links,
+                                       min_score, scores_out);
+    }
+
+    /** bestLinks with the probe-event notification compiled out. */
+    template <bool kLearn>
+    unsigned bestLinksT(std::uint32_t reduced_key, std::int32_t *out,
+                        unsigned max_links, int min_score,
+                        int *scores_out = nullptr) const;
+
+    /** Best valid-link score of the entry holding @p reduced_key
+     *  (-128 when the entry has no links; key must be present). */
+    int bestScore(std::uint32_t reduced_key) const;
 
     /**
      * Exploration: a uniformly random valid link of the entry (paper:
@@ -122,10 +141,25 @@ class Cst
     /** Clear the churn counter after the Reducer consumed the signal. */
     void clearChurn(std::uint32_t reduced_key);
 
-    unsigned entries() const
+    /**
+     * Hint that the entry for @p reduced_key is about to be probed.
+     * Purely a memory-system hint (the arena is far larger than the
+     * data cache, so probes are almost always cold); never changes any
+     * table state or result.
+     */
+    void
+    prefetchEntry(std::uint32_t reduced_key) const
     {
-        return static_cast<unsigned>(table_.size());
+        __builtin_prefetch(arena_.data() +
+                           static_cast<std::size_t>(
+                               indexOf(reduced_key)) *
+                               stride_words_);
     }
+
+    unsigned entries() const { return entries_; }
+
+    /** Links per entry (the paper's action-set size). */
+    unsigned linksPerEntry() const { return links_per_entry_; }
 
     /** Number of valid entries (occupancy diagnostics). */
     unsigned liveEntries() const;
@@ -161,35 +195,235 @@ class Cst
     void reset();
 
   private:
-    Entry *entryIfMatch(std::uint32_t reduced_key);
+    Entry *
+    entryAt(std::uint32_t index)
+    {
+        return reinterpret_cast<Entry *>(arena_.data() +
+                                         index * stride_words_);
+    }
+
+    const Entry *
+    entryAt(std::uint32_t index) const
+    {
+        return reinterpret_cast<const Entry *>(arena_.data() +
+                                               index * stride_words_);
+    }
+
+    /** Delta lane of the entry block at @p index; the score lane
+     *  follows links_per_entry_ bytes later. */
+    std::int8_t *
+    deltasAt(std::uint32_t index)
+    {
+        return reinterpret_cast<std::int8_t *>(arena_.data() +
+                                               index * stride_words_ + 1);
+    }
+
+    const std::int8_t *
+    deltasAt(std::uint32_t index) const
+    {
+        return reinterpret_cast<const std::int8_t *>(
+            arena_.data() + index * stride_words_ + 1);
+    }
+
+    std::uint32_t
+    indexOf(std::uint32_t reduced_key) const
+    {
+        return reduced_key & index_mask_;
+    }
+
+    std::uint32_t
+    tagOf(std::uint32_t reduced_key) const
+    {
+        return reduced_key >> index_bits_;
+    }
+
     const Entry *entryIfMatch(std::uint32_t reduced_key) const;
-    std::uint32_t indexOf(std::uint32_t reduced_key) const;
-    std::uint32_t tagOf(std::uint32_t reduced_key) const;
 
-    CstLink *
-    linksOf(const Entry &entry)
-    {
-        return link_arena_.data() +
-               static_cast<std::size_t>(&entry - table_.data()) *
-                   links_per_entry_;
-    }
+    /** addLinkT body, with the link count a compile-time constant on
+     *  the common configuration (kLinks = 0 reads it at runtime) so the
+     *  per-slot scans fully unroll. */
+    template <bool kLearn, unsigned kLinks>
+    CstAddResult addLinkImpl(std::uint32_t reduced_key,
+                             std::int32_t delta);
 
-    const CstLink *
-    linksOf(const Entry &entry) const
-    {
-        return link_arena_.data() +
-               static_cast<std::size_t>(&entry - table_.data()) *
-                   links_per_entry_;
-    }
+    /** reward() body under the same link-count specialization. */
+    template <unsigned kLinks>
+    void rewardImpl(std::uint32_t reduced_key, std::int32_t delta,
+                    int amount);
 
     unsigned index_bits_;
+    std::uint32_t index_mask_;
     unsigned links_per_entry_;
-    std::vector<Entry> table_;
-    std::vector<CstLink> link_arena_; ///< entries() * links_per_entry_
+    unsigned entries_;
+    unsigned stride_words_; ///< 64-bit words per entry block
+    /// entries_ * stride_words_ 64-bit words: per entry, one header
+    /// word then the int8 delta lane and int8 score lane, padded to a
+    /// word boundary.
+    std::vector<std::uint64_t> arena_;
     std::uint64_t link_evictions_ = 0;
     std::uint64_t entry_evictions_ = 0;
     obs::LearningObserver *learn_ = nullptr; ///< borrowed, may be null
 };
+
+// The data-collection path runs several times per demand access (one
+// addLink per sampled history depth) and every reward lands here too;
+// both are defined inline so the replay loop never pays a call, and
+// both dispatch to a body whose link count is a compile-time constant
+// for the stock 4-link configuration so every per-slot scan unrolls.
+
+template <bool kLearn>
+inline CstAddResult
+Cst::addLinkT(std::uint32_t reduced_key, std::int32_t delta)
+{
+    if (links_per_entry_ == 4)
+        return addLinkImpl<kLearn, 4>(reduced_key, delta);
+    return addLinkImpl<kLearn, 0>(reduced_key, delta);
+}
+
+template <bool kLearn, unsigned kLinks>
+CstAddResult
+Cst::addLinkImpl(std::uint32_t reduced_key, std::int32_t delta)
+{
+    const unsigned nlinks =
+        kLinks != 0 ? kLinks : links_per_entry_;
+    CSP_ASSERT(delta >= -128 && delta <= 127);
+    CstAddResult result;
+    bool new_entry = false;
+    bool entry_evicted = false;
+    // Notification only: the observer sees every insertion outcome but
+    // can never influence one.
+    const auto notify = [&] {
+        if constexpr (kLearn) {
+            if (learn_ != nullptr) {
+                learn_->onCstInsert({result.inserted,
+                                     result.already_present, new_entry,
+                                     entry_evicted, result.evicted_link,
+                                     result.entry_conflict});
+            }
+        }
+    };
+    const std::uint32_t index = indexOf(reduced_key);
+    Entry &entry = *entryAt(index);
+    std::int8_t *const deltas = deltasAt(index);
+    std::int8_t *const scores = deltas + nlinks;
+    const std::uint32_t tag = tagOf(reduced_key);
+
+    if (entry.valid == 0 || entry.tag != tag) {
+        if (entry.valid != 0) {
+            // Conflicting live entry: protect it while it still holds
+            // positively scored links, but age it so stale contexts
+            // eventually yield the slot.
+            int best = -128;
+            for (unsigned i = 0; i < nlinks; ++i) {
+                if (!(entry.link_mask & (1u << i)))
+                    continue;
+                best = std::max(best, static_cast<int>(scores[i]));
+                scores[i] = static_cast<std::int8_t>(
+                    std::max(static_cast<int>(scores[i]) - 1, -128));
+            }
+            if (best > 0) {
+                result.entry_conflict = true;
+                notify();
+                return result;
+            }
+            ++entry_evictions_;
+            entry_evicted = true;
+        }
+        new_entry = true;
+        entry.valid = 1;
+        entry.tag = tag;
+        entry.churn = 0;
+        entry.link_mask = 0;
+    }
+
+    const std::uint32_t full_mask = (1u << nlinks) - 1;
+    const std::uint32_t free_bits = ~entry.link_mask & full_mask;
+    const unsigned no_slot = nlinks;
+    unsigned weakest = no_slot;
+    int weakest_score = 0;
+    for (unsigned i = 0; i < nlinks; ++i) {
+        if (!(entry.link_mask & (1u << i)))
+            continue;
+        if (deltas[i] == delta) {
+            result.already_present = true;
+            result.entry_matches = true;
+            result.churn = entry.churn;
+            notify();
+            return result;
+        }
+        if (weakest == no_slot ||
+            static_cast<int>(scores[i]) < weakest_score) {
+            weakest = i;
+            weakest_score = scores[i];
+        }
+    }
+
+    unsigned slot;
+    if (free_bits != 0) {
+        slot = static_cast<unsigned>(std::countr_zero(free_bits));
+    } else {
+        // Score-based replacement: only displace non-positive links.
+        if (weakest_score > 0) {
+            if (entry.churn < 255)
+                ++entry.churn;
+            result.entry_matches = true;
+            result.churn = entry.churn;
+            notify();
+            return result;
+        }
+        slot = weakest;
+        result.evicted_link = true;
+        ++link_evictions_;
+        if (entry.churn < 255)
+            ++entry.churn;
+    }
+    deltas[slot] = static_cast<std::int8_t>(delta);
+    scores[slot] = 0;
+    entry.link_mask |= static_cast<std::uint16_t>(1u << slot);
+    result.inserted = true;
+    result.entry_matches = true;
+    result.churn = entry.churn;
+    notify();
+    return result;
+}
+
+inline void
+Cst::reward(std::uint32_t reduced_key, std::int32_t delta, int amount)
+{
+    if (links_per_entry_ == 4)
+        return rewardImpl<4>(reduced_key, delta, amount);
+    return rewardImpl<0>(reduced_key, delta, amount);
+}
+
+template <unsigned kLinks>
+void
+Cst::rewardImpl(std::uint32_t reduced_key, std::int32_t delta,
+                int amount)
+{
+    const unsigned nlinks =
+        kLinks != 0 ? kLinks : links_per_entry_;
+    const std::uint32_t index = indexOf(reduced_key);
+    Entry &entry = *entryAt(index);
+    if (entry.valid == 0 || entry.tag != tagOf(reduced_key))
+        return;
+    std::int8_t *const deltas = deltasAt(index);
+    std::int8_t *const scores = deltas + nlinks;
+    for (unsigned i = 0; i < nlinks; ++i) {
+        if (!(entry.link_mask & (1u << i)))
+            continue;
+        if (deltas[i] == delta) {
+            // Branchless saturating apply on the int8 score lane.
+            scores[i] = static_cast<std::int8_t>(std::clamp(
+                static_cast<int>(scores[i]) + amount, -128, 127));
+            // A rewarded entry is healthy: candidate pressure on it is
+            // competition, not overload. Decay the churn signal so the
+            // Reducer only splits contexts that fail to earn rewards.
+            if (amount > 0 && entry.churn > 0)
+                --entry.churn;
+            return;
+        }
+    }
+}
 
 } // namespace csp::prefetch::ctx
 

@@ -24,30 +24,7 @@ HistoryQueue::HistoryQueue(unsigned capacity,
         CSP_ASSERT(depth >= 1 && depth <= capacity_);
 }
 
-void
-HistoryQueue::push(const HistoryEntry &entry)
-{
-    ring_[pushes_ % capacity_] = entry;
-    ++pushes_;
-}
 
-const HistoryEntry *
-HistoryQueue::at(unsigned depth) const
-{
-    // depth 1 = the most recent push.
-    if (depth == 0 || depth > capacity_ || depth > pushes_)
-        return nullptr;
-    return &ring_[(pushes_ - depth) % capacity_];
-}
-
-void
-HistoryQueue::sample(std::vector<const HistoryEntry *> &out) const
-{
-    for (unsigned depth : depths_) {
-        if (const HistoryEntry *entry = at(depth))
-            out.push_back(entry);
-    }
-}
 
 std::uint64_t
 HistoryQueue::size() const
@@ -59,6 +36,7 @@ void
 HistoryQueue::clear()
 {
     pushes_ = 0;
+    head_ = 0;
 }
 
 } // namespace csp::prefetch::ctx

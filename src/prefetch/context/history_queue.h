@@ -41,16 +41,43 @@ class HistoryQueue
                           std::vector<unsigned> sample_depths = {});
 
     /** Record the context observed at demand access @p seq. */
-    void push(const HistoryEntry &entry);
+    void
+    push(const HistoryEntry &entry)
+    {
+        ring_[head_] = entry;
+        if (++head_ == capacity_)
+            head_ = 0;
+        ++pushes_;
+    }
 
     /**
      * Collect the sampled entries, i.e. those at the configured depths
      * behind the most recent push. Results are appended to @p out.
      */
-    void sample(std::vector<const HistoryEntry *> &out) const;
+    void
+    sample(std::vector<const HistoryEntry *> &out) const
+    {
+        for (unsigned depth : depths_) {
+            if (const HistoryEntry *entry = at(depth))
+                out.push_back(entry);
+        }
+    }
 
     /** Entry exactly @p depth pushes behind the newest (null if absent). */
-    const HistoryEntry *at(unsigned depth) const;
+    const HistoryEntry *
+    at(unsigned depth) const
+    {
+        // depth 1 = the most recent push. head_ is the next write
+        // position (== pushes_ mod capacity_), so the entry `depth`
+        // pushes back sits at (head_ - depth) mod capacity_ — computed
+        // without a division since 1 <= depth <= capacity_.
+        if (depth == 0 || depth > capacity_ || depth > pushes_)
+            return nullptr;
+        const unsigned idx = head_ >= depth
+                                 ? head_ - depth
+                                 : head_ + capacity_ - depth;
+        return &ring_[idx];
+    }
 
     unsigned capacity() const { return capacity_; }
     std::uint64_t size() const;
@@ -64,6 +91,7 @@ class HistoryQueue
     std::vector<unsigned> depths_;
     std::vector<HistoryEntry> ring_;
     std::uint64_t pushes_ = 0;
+    unsigned head_ = 0; ///< next write position (pushes_ mod capacity_)
 };
 
 } // namespace csp::prefetch::ctx

@@ -1,90 +1,72 @@
 #include "prefetch/context/prefetch_queue.h"
 
+#include <algorithm>
+
 #include "core/logging.h"
 
 namespace csp::prefetch::ctx {
 
+namespace {
+
+std::size_t
+nextPowerOfTwo(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 PrefetchQueue::PrefetchQueue(unsigned capacity) : ring_(capacity)
 {
     CSP_ASSERT(capacity > 0);
-}
-
-void
-PrefetchQueue::push(Addr line, std::uint32_t reduced_key,
-                    std::int32_t delta, AccessSeq seq, bool shadow,
-                    const ExpiryCallback &on_expiry)
-{
-    PendingPrefetch &slot = ring_[pushes_ % ring_.size()];
-    if (slot.valid && !slot.hit && on_expiry)
-        on_expiry(slot);
-    slot = PendingPrefetch{line, reduced_key, delta, seq, shadow, false,
-                           true};
-    ++pushes_;
-}
-
-unsigned
-PrefetchQueue::onAccess(Addr line, AccessSeq seq,
-                        const HitCallback &on_hit)
-{
-    unsigned matches = 0;
-    for (PendingPrefetch &entry : ring_) {
-        if (entry.valid && !entry.hit && entry.line == line) {
-            entry.hit = true;
-            ++matches;
-            if (on_hit) {
-                const unsigned depth =
-                    static_cast<unsigned>(seq - entry.seq);
-                on_hit(entry, depth);
-            }
-        }
-    }
-    return matches;
-}
-
-bool
-PrefetchQueue::pending(Addr line) const
-{
-    for (const PendingPrefetch &entry : ring_) {
-        if (entry.valid && !entry.hit && entry.line == line)
-            return true;
-    }
-    return false;
-}
-
-bool
-PrefetchQueue::pendingReal(Addr line) const
-{
-    for (const PendingPrefetch &entry : ring_) {
-        if (entry.valid && !entry.hit && !entry.shadow &&
-            entry.line == line)
-            return true;
-    }
-    return false;
+    words_ = (capacity + 63) / 64;
+    // At most `capacity` distinct lines are indexed at once; 4x slots
+    // keeps the load factor <= 1/4 so probe chains stay short.
+    const std::size_t slots =
+        std::max<std::size_t>(nextPowerOfTwo(capacity) * 4, 8);
+    slot_mask_ = slots - 1;
+    home_shift_ =
+        64 - static_cast<unsigned>(std::countr_zero(slots));
+    slots_.resize(slots);
+    bits_.assign(slots * words_, 0);
 }
 
 void
 PrefetchQueue::demoteToShadow(Addr line)
 {
+    const std::size_t islot = indexFind(line);
+    if (islot == kNoSlot)
+        return;
+    const std::uint64_t *bits = bitsAt(islot);
     PendingPrefetch *newest = nullptr;
-    for (PendingPrefetch &entry : ring_) {
-        if (entry.valid && !entry.hit && !entry.shadow &&
-            entry.line == line) {
-            if (newest == nullptr || entry.seq > newest->seq)
+    for (unsigned w = 0; w < words_; ++w) {
+        std::uint64_t word = bits[w];
+        while (word != 0) {
+            const unsigned b =
+                static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            PendingPrefetch &entry = ring_[w * 64 + b];
+            if (!entry.shadow &&
+                (newest == nullptr || entry.seq > newest->seq)) {
                 newest = &entry;
+            }
         }
     }
     if (newest != nullptr)
         newest->shadow = true;
 }
 
+
+
 void
-PrefetchQueue::flush(const ExpiryCallback &on_expiry)
+PrefetchQueue::indexClearAll()
 {
-    for (PendingPrefetch &entry : ring_) {
-        if (entry.valid && !entry.hit && on_expiry)
-            on_expiry(entry);
-        entry.valid = false;
-    }
+    for (IndexSlot &slot : slots_)
+        slot.used = false;
+    std::fill(bits_.begin(), bits_.end(), 0);
 }
 
 unsigned
@@ -104,6 +86,8 @@ PrefetchQueue::clear()
     for (PendingPrefetch &entry : ring_)
         entry.valid = false;
     pushes_ = 0;
+    head_ = 0;
+    indexClearAll();
 }
 
 } // namespace csp::prefetch::ctx

@@ -34,39 +34,6 @@ Reducer::activationOrder(unsigned step)
     return static_cast<Attr>(step);
 }
 
-std::uint32_t
-Reducer::indexOf(std::uint16_t full_hash) const
-{
-    return full_hash & ((1u << index_bits_) - 1);
-}
-
-std::uint8_t
-Reducer::tagOf(std::uint16_t full_hash) const
-{
-    return static_cast<std::uint8_t>(full_hash >> index_bits_);
-}
-
-Reducer::Entry &
-Reducer::entryFor(std::uint16_t full_hash)
-{
-    Entry &entry = table_[indexOf(full_hash)];
-    if (!entry.valid || entry.tag != tagOf(full_hash)) {
-        // Direct-mapped: conflicts simply displace (paper: "conflicts
-        // have little impact on the prefetcher's performance").
-        entry.valid = true;
-        entry.tag = tagOf(full_hash);
-        entry.mask = initial_mask_;
-        entry.barren_lookups = 0;
-    }
-    return entry;
-}
-
-AttrMask
-Reducer::lookup(std::uint16_t full_hash)
-{
-    return entryFor(full_hash).mask;
-}
-
 bool
 Reducer::onOverload(std::uint16_t full_hash)
 {
@@ -98,23 +65,6 @@ Reducer::onUnderload(std::uint16_t full_hash)
             entry.barren_lookups = 0;
             return true;
         }
-    }
-    return false;
-}
-
-bool
-Reducer::recordOutcome(std::uint16_t full_hash, bool useful)
-{
-    Entry &entry = entryFor(full_hash);
-    if (useful) {
-        entry.barren_lookups = 0;
-        return false;
-    }
-    if (!adaptive_)
-        return false;
-    if (++entry.barren_lookups >= underload_lookups_) {
-        entry.barren_lookups = 0;
-        return onUnderload(full_hash);
     }
     return false;
 }

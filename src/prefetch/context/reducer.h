@@ -46,7 +46,11 @@ class Reducer
      * Active-attribute mask for @p full_hash, allocating (or displacing,
      * direct-mapped) the entry if needed.
      */
-    trace::AttrMask lookup(std::uint16_t full_hash);
+    trace::AttrMask
+    lookup(std::uint16_t full_hash)
+    {
+        return entryFor(full_hash).mask;
+    }
 
     /** Overload signal for the entry: activate one more attribute.
      *  Returns true if the mask changed. */
@@ -59,7 +63,22 @@ class Reducer
     /** Record whether a lookup produced a usable prediction; drives the
      *  underload heuristic internally. Returns true if the entry decided
      *  to underload itself (mask changed). */
-    bool recordOutcome(std::uint16_t full_hash, bool useful);
+    bool
+    recordOutcome(std::uint16_t full_hash, bool useful)
+    {
+        Entry &entry = entryFor(full_hash);
+        if (useful) {
+            entry.barren_lookups = 0;
+            return false;
+        }
+        if (!adaptive_)
+            return false;
+        if (++entry.barren_lookups >= underload_lookups_) {
+            entry.barren_lookups = 0;
+            return onUnderload(full_hash);
+        }
+        return false;
+    }
 
     unsigned entries() const
     {
@@ -84,9 +103,33 @@ class Reducer
         std::uint16_t barren_lookups = 0; ///< lookups since last success
     };
 
-    Entry &entryFor(std::uint16_t full_hash);
-    std::uint32_t indexOf(std::uint16_t full_hash) const;
-    std::uint8_t tagOf(std::uint16_t full_hash) const;
+    Entry &
+    entryFor(std::uint16_t full_hash)
+    {
+        Entry &entry = table_[indexOf(full_hash)];
+        if (!entry.valid || entry.tag != tagOf(full_hash)) {
+            // Direct-mapped: conflicts simply displace (paper:
+            // "conflicts have little impact on the prefetcher's
+            // performance").
+            entry.valid = true;
+            entry.tag = tagOf(full_hash);
+            entry.mask = initial_mask_;
+            entry.barren_lookups = 0;
+        }
+        return entry;
+    }
+
+    std::uint32_t
+    indexOf(std::uint16_t full_hash) const
+    {
+        return full_hash & ((1u << index_bits_) - 1);
+    }
+
+    std::uint8_t
+    tagOf(std::uint16_t full_hash) const
+    {
+        return static_cast<std::uint8_t>(full_hash >> index_bits_);
+    }
 
     unsigned index_bits_;
     trace::AttrMask initial_mask_;

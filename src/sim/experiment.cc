@@ -9,6 +9,7 @@
 
 #include "core/hashing.h"
 #include "core/logging.h"
+#include "core/profiling.h"
 #include "core/thread_pool.h"
 #include "obs/learning.h"
 #include "obs/run_observer.h"
@@ -410,12 +411,15 @@ runSweep(const std::vector<std::string> &workload_names,
             obs::PrefetchTracker tracker;
             obs::LearningRecorder learner;
             obs::RunObserver observer;
+            prof::Profiler profiler;
             if (options.observe)
                 observer.tracker = &tracker;
             if (options.observe_learning)
                 observer.learn = &learner;
             if (options.observe || options.observe_learning)
                 simulator.setObserver(&observer);
+            if (options.profile)
+                simulator.setProfiler(&profiler);
             if (options.verbose)
                 simulator.setProgress(progress.hook(k));
             CellResult cell;

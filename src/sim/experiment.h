@@ -187,6 +187,12 @@ struct SweepOptions
      * unobserved ones.
      */
     bool observe_learning = false;
+    /**
+     * Attach a per-cell self-profiler (phase timings discarded), the
+     * prof.* analogue of observe: determinism tests assert that the
+     * instrumented replay loop produces bit-identical RunStats.
+     */
+    bool profile = false;
 };
 
 /**

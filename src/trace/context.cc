@@ -21,20 +21,6 @@ attrName(Attr attr)
     return "?";
 }
 
-std::uint64_t
-ContextSnapshot::hash(AttrMask mask, unsigned bits) const
-{
-    WordHasher hasher;
-    for (unsigned i = 0; i < kNumAttrs; ++i) {
-        if (mask & (1u << i)) {
-            // Include the attribute index so that equal values in
-            // different attributes hash differently.
-            hasher.add((static_cast<std::uint64_t>(i) << 56) ^ values[i]);
-        }
-    }
-    return hasher.digestBits(bits);
-}
-
 std::string
 ContextSnapshot::describe() const
 {
@@ -43,7 +29,7 @@ ContextSnapshot::describe() const
         if (i)
             out << ' ';
         out << attrName(static_cast<Attr>(i)) << "=0x" << std::hex
-            << values[i] << std::dec;
+            << get(static_cast<Attr>(i)) << std::dec;
     }
     return out.str();
 }

@@ -9,6 +9,7 @@
 #define CSP_TRACE_CONTEXT_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -65,32 +66,77 @@ const char *attrName(Attr attr);
 /**
  * The captured context of one memory access: one 64-bit value per
  * attribute, plus maskable hashing.
+ *
+ * Hashing is incremental: each attribute keeps a pre-mixed hash lane
+ * that is refreshed only when set() actually changes the value (most
+ * attributes are stable across consecutive accesses), so the per-access
+ * masked hash reduces to one cheap combine per selected attribute
+ * instead of a full re-mix of every value.
  */
-struct ContextSnapshot
+class ContextSnapshot
 {
-    std::array<std::uint64_t, kNumAttrs> values{};
-
+  public:
     std::uint64_t
     get(Attr attr) const
     {
-        return values[static_cast<unsigned>(attr)];
+        return values_[static_cast<unsigned>(attr)];
     }
 
     void
     set(Attr attr, std::uint64_t value)
     {
-        values[static_cast<unsigned>(attr)] = value;
+        const auto i = static_cast<unsigned>(attr);
+        if (values_[i] != value) {
+            values_[i] = value;
+            lanes_[i] = laneOf(i, value);
+        }
     }
 
     /**
      * Hash the attributes selected by @p mask down to @p bits bits.
      * Inactive attributes do not influence the result, which is what
-     * makes the Reducer's merge/split behaviour possible.
+     * makes the Reducer's merge/split behaviour possible. Equivalent to
+     * (and bit-compatible with) a WordHasher chain over the selected
+     * (index-salted) attribute values in index order.
      */
-    std::uint64_t hash(AttrMask mask, unsigned bits) const;
+    std::uint64_t
+    hash(AttrMask mask, unsigned bits) const
+    {
+        std::uint64_t state = kWordHasherSeed;
+        auto rest = static_cast<std::uint32_t>(mask);
+        while (rest != 0) {
+            const unsigned i =
+                static_cast<unsigned>(std::countr_zero(rest));
+            rest &= rest - 1;
+            state = hashCombinePremixed(state, lanes_[i]);
+        }
+        return bits >= 64 ? state : (state & ((1ull << bits) - 1));
+    }
 
     /** Debug rendering of all attribute values. */
     std::string describe() const;
+
+  private:
+    /** Pre-mixed lane of attribute @p i holding @p value: the attribute
+     *  index is salted in so equal values in different attributes hash
+     *  differently. */
+    static constexpr std::uint64_t
+    laneOf(unsigned i, std::uint64_t value)
+    {
+        return mix64((static_cast<std::uint64_t>(i) << 56) ^ value);
+    }
+
+    static constexpr std::array<std::uint64_t, kNumAttrs>
+    zeroLanes()
+    {
+        std::array<std::uint64_t, kNumAttrs> lanes{};
+        for (unsigned i = 0; i < kNumAttrs; ++i)
+            lanes[i] = laneOf(i, 0);
+        return lanes;
+    }
+
+    std::array<std::uint64_t, kNumAttrs> values_{};
+    std::array<std::uint64_t, kNumAttrs> lanes_ = zeroLanes();
 };
 
 } // namespace csp::trace

@@ -23,8 +23,7 @@ HwContextTracker::captureInto(const TraceRecord &rec,
     // Two most recent access blocks, position-combined, so the feature
     // distinguishes "where in the structure we are" without collapsing to
     // a single address.
-    ctx.set(Attr::AddrHistory,
-            hashCombine(addr_hist_[0], addr_hist_[1]));
+    ctx.set(Attr::AddrHistory, addr_hist_hash_);
     if (rec.hint.valid()) {
         ctx.set(Attr::TypeInfo, rec.hint.type_id);
         ctx.set(Attr::LinkOffset, rec.hint.link_offset);
@@ -51,6 +50,7 @@ HwContextTracker::update(const TraceRecord &rec)
       case InstKind::Store:
         addr_hist_[1] = addr_hist_[0];
         addr_hist_[0] = rec.vaddr / block_bytes_;
+        addr_hist_hash_ = hashCombine(addr_hist_[0], addr_hist_[1]);
         break;
       case InstKind::Compute:
         break;
@@ -62,6 +62,7 @@ HwContextTracker::reset()
 {
     bhr_ = 0;
     addr_hist_[0] = addr_hist_[1] = 0;
+    addr_hist_hash_ = hashCombine(0, 0);
     last_loaded_ = 0;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "core/hashing.h"
 #include "trace/context.h"
 #include "trace/trace.h"
 
@@ -53,6 +54,9 @@ class HwContextTracker
     unsigned block_bytes_;
     std::uint16_t bhr_ = 0;         ///< branch history register
     std::uint64_t addr_hist_[2] = {0, 0}; ///< last two access blocks
+    /// Position-combined addr_hist_, refreshed in update() (memory
+    /// records only) so captureInto() reads it instead of re-hashing.
+    std::uint64_t addr_hist_hash_ = hashCombine(0, 0);
     std::uint64_t last_loaded_ = 0; ///< previous load's returned value
 };
 

@@ -32,6 +32,20 @@ smallSweep(unsigned jobs, std::uint64_t scale = 12000)
     return runSweep(kWorkloads, kPrefetchers, params, config, options);
 }
 
+SweepResult
+instrumentedSweep(unsigned jobs, bool profile, bool observe_learning)
+{
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 12000;
+    SweepOptions options;
+    options.verbose = false;
+    options.jobs = jobs;
+    options.profile = profile;
+    options.observe_learning = observe_learning;
+    return runSweep(kWorkloads, kPrefetchers, params, config, options);
+}
+
 void
 expectIdenticalStats(const RunStats &a, const RunStats &b)
 {
@@ -79,6 +93,27 @@ TEST(ParallelSweep, BitIdenticalAcrossJobCounts)
     const SweepResult eight = smallSweep(8);
     expectIdenticalSweeps(serial, two);
     expectIdenticalSweeps(serial, eight);
+}
+
+/** The instrumented replay loops (prof.* phase timers, learning
+ *  observer) must not perturb simulation results: every combination of
+ *  profiling and learning hooks, at jobs 1 and 4, is bit-identical to
+ *  the plain serial sweep. This is the contract that lets the hot-path
+ *  rework template observe()/run() on instrumentation without a
+ *  correctness risk. */
+TEST(ParallelSweep, InstrumentationBitIdenticalAcrossJobCounts)
+{
+    const SweepResult plain = smallSweep(1);
+    for (const bool profile : {false, true}) {
+        for (const bool learn : {false, true}) {
+            if (!profile && !learn)
+                continue;
+            expectIdenticalSweeps(
+                plain, instrumentedSweep(1, profile, learn));
+            expectIdenticalSweeps(
+                plain, instrumentedSweep(4, profile, learn));
+        }
+    }
 }
 
 TEST(ParallelSweep, CellsAssembleRowMajor)
