@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <unistd.h>
 
 #include "core/profiling.h"
 #include "core/rng.h"
@@ -17,6 +20,7 @@
 #include "obs/trace_events.h"
 #include "sim/experiment.h"
 #include "trace/hw_state.h"
+#include "trace/trace_io.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -209,6 +213,133 @@ BENCHMARK(BM_Replay_List_None);
 BENCHMARK(BM_Replay_List_Context);
 BENCHMARK(BM_Replay_Libquantum_None);
 BENCHMARK(BM_Replay_Libquantum_Stride);
+
+/** Raw decode throughput of the packed trace encoding, simulator
+ *  excluded: TraceCursor over the in-memory buffer vs
+ *  StreamingTraceSource over an mmap'd trace file (zero-copy decode
+ *  plus windowed MADV_DONTNEED releases). bench_smoke.py floors the
+ *  packed rate and gauges the mmap rate next to it, so neither the
+ *  shared decoder nor the streaming wrapper can quietly regress. */
+void
+runDecode(benchmark::State &state, bool use_mmap)
+{
+    workloads::WorkloadParams params;
+    params.scale = 100000;
+    params.seed = 1;
+    const trace::TraceBuffer buffer = workloads::Registry::builtin()
+                                          .create("mcf")
+                                          ->generate(params);
+    trace::MappedTrace mapped;
+    std::string path;
+    if (use_mmap) {
+        path = "/tmp/csp_bench_decode_" + std::to_string(getpid()) +
+               ".csptrace";
+        if (!trace::saveTraceFile(buffer, path) ||
+            mapped.open(path) != trace::TraceIoStatus::Ok) {
+            std::remove(path.c_str());
+            state.SkipWithError("cannot save/map the decode trace");
+            return;
+        }
+    }
+    std::uint64_t insts = 0;
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        if (use_mmap) {
+            trace::StreamingTraceSource source(mapped);
+            while (const trace::TraceRecord *rec = source.next()) {
+                benchmark::DoNotOptimize(rec->vaddr);
+                ++records;
+            }
+        } else {
+            trace::TraceCursor cursor(buffer);
+            while (const trace::TraceRecord *rec = cursor.next()) {
+                benchmark::DoNotOptimize(rec->vaddr);
+                ++records;
+            }
+        }
+        insts += buffer.instructions();
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["records/s"] = benchmark::Counter(
+        static_cast<double>(records), benchmark::Counter::kIsRate);
+    if (!path.empty())
+        std::remove(path.c_str());
+}
+
+void BM_Decode_Packed(benchmark::State &s) { runDecode(s, false); }
+void BM_Decode_Mmap(benchmark::State &s) { runDecode(s, true); }
+
+BENCHMARK(BM_Decode_Packed);
+BENCHMARK(BM_Decode_Mmap);
+
+/** Streaming replay throughput: the same cells as the BM_Replay_*
+ *  gauges above, but fed from MappedTrace + StreamingTraceSource
+ *  instead of the in-memory TraceBuffer — runSweep's replay path when
+ *  a cell misses the result cache but its trace sits in traces/cache.
+ *  The trace is generated and saved once outside the timed loop; every
+ *  iteration replays straight out of the mapping. */
+void
+runMmapReplay(benchmark::State &state,
+              const std::string &workload_name,
+              const std::string &prefetcher_name)
+{
+    workloads::WorkloadParams params;
+    params.scale = 100000;
+    params.seed = 1;
+    const std::string path = "/tmp/csp_bench_mmap_" + workload_name +
+                             "_" + std::to_string(getpid()) +
+                             ".csptrace";
+    {
+        const trace::TraceBuffer buffer =
+            workloads::Registry::builtin()
+                .create(workload_name)
+                ->generate(params);
+        if (!trace::saveTraceFile(buffer, path)) {
+            std::remove(path.c_str());
+            state.SkipWithError("cannot save the replay trace");
+            return;
+        }
+        // The buffer dies here; the timed loop sees only the mapping.
+    }
+    trace::MappedTrace mapped;
+    if (mapped.open(path) != trace::TraceIoStatus::Ok) {
+        std::remove(path.c_str());
+        state.SkipWithError("cannot map the replay trace");
+        return;
+    }
+    SystemConfig config;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto prefetcher =
+            sim::makePrefetcher(prefetcher_name, config);
+        sim::Simulator simulator(config);
+        const sim::RunStats stats =
+            simulator.run(mapped, *prefetcher);
+        benchmark::DoNotOptimize(stats.cycles);
+        insts += stats.instructions;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["trace_bytes"] = benchmark::Counter(
+        static_cast<double>(mapped.payloadBytes()));
+    mapped.close();
+    std::remove(path.c_str());
+}
+
+void
+BM_ReplayMmap_Mcf_Context(benchmark::State &s)
+{
+    runMmapReplay(s, "mcf", "context");
+}
+void
+BM_ReplayMmap_List_None(benchmark::State &s)
+{
+    runMmapReplay(s, "list", "none");
+}
+
+BENCHMARK(BM_ReplayMmap_Mcf_Context);
+BENCHMARK(BM_ReplayMmap_List_None);
 
 /** Lifecycle-tracing overhead on replay, three configurations over the
  *  same trace and prefetcher:

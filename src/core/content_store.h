@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Filesystem primitives for the content-addressed stores (the
+ * `results/cache/` result cache and `traces/cache/` trace cache):
+ * recursive directory creation, whole-file reads, and atomic writes.
+ *
+ * Atomicity matters because sweep shards run as independent processes
+ * that may store the same digest concurrently: every write goes to a
+ * unique temp file in the destination directory and is renamed into
+ * place, so readers only ever observe complete entries and concurrent
+ * writers race benignly (the entries are content-addressed — both
+ * writers produce identical bytes, and the last rename wins).
+ */
+
+#ifndef CSP_CORE_CONTENT_STORE_H
+#define CSP_CORE_CONTENT_STORE_H
+
+#include <string>
+#include <string_view>
+
+namespace csp {
+
+/** Create @p dir and any missing parents; true when it exists after. */
+bool ensureDirectories(const std::string &dir);
+
+/** Read the whole file at @p path; false if unreadable. */
+bool readFileToString(const std::string &path, std::string &out);
+
+/**
+ * A process/thread-unique sibling path of @p path, for write-then-
+ * rename: same directory (so the rename never crosses filesystems),
+ * named after the pid plus a process-wide counter.
+ */
+std::string uniqueTempPath(const std::string &path);
+
+/**
+ * Atomically publish @p bytes at @p path (unique temp file + rename),
+ * creating parent directories as needed. Returns false on any
+ * filesystem error, leaving no temp file behind.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view bytes);
+
+/** Atomically rename @p from over @p to; false on failure. */
+bool atomicRename(const std::string &from, const std::string &to);
+
+} // namespace csp
+
+#endif // CSP_CORE_CONTENT_STORE_H

@@ -3,14 +3,19 @@
 namespace csp {
 
 std::uint64_t
+fnv1aResume(std::uint64_t state, std::span<const std::uint8_t> bytes)
+{
+    for (std::uint8_t byte : bytes) {
+        state ^= byte;
+        state *= 0x100000001b3ull;
+    }
+    return state;
+}
+
+std::uint64_t
 fnv1a(std::span<const std::uint8_t> bytes)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (std::uint8_t byte : bytes) {
-        hash ^= byte;
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
+    return fnv1aResume(kFnv1aBasis, bytes);
 }
 
 } // namespace csp

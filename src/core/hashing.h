@@ -17,8 +17,20 @@
 
 namespace csp {
 
+/** FNV-1a initial state (offset basis), for chunked hashing. */
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ull;
+
 /** 64-bit FNV-1a over a byte span. */
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes);
+
+/**
+ * Continue an FNV-1a hash from @p state over @p bytes, so large inputs
+ * can be hashed window-by-window: chaining from kFnv1aBasis across
+ * consecutive chunks equals fnv1a over their concatenation. Lets the
+ * mmap'd trace verifier hash a file without keeping it resident.
+ */
+std::uint64_t fnv1aResume(std::uint64_t state,
+                          std::span<const std::uint8_t> bytes);
 
 /** Strong 64-bit integer mix (splitmix64 finalizer). */
 constexpr std::uint64_t

@@ -409,6 +409,12 @@ classify(const std::string &name)
         const std::string segment = name.substr(begin, dot - begin);
         if (first && segment == "manifest")
             return StatClass::Provenance;
+        // Sweep artefacts' cache/shard accounting blocks: how cells
+        // were obtained (memoized vs simulated, which shard), never
+        // what they contain — a warm rerun or a merged shard set
+        // legitimately differs here while every cell matches.
+        if (first && (segment == "cache" || segment == "shard"))
+            return StatClass::Provenance;
         first = false;
         if (segment == "prof")
             return StatClass::Timing;
@@ -423,9 +429,11 @@ classify(const std::string &name)
         if (segment == "ns" || segmentEndsWith(segment, "_ns") ||
             segment == "seconds" ||
             segmentEndsWith(segment, "_seconds") ||
-            segmentEndsWith(segment, "insts_per_sec") ||
+            segmentEndsWith(segment, "_per_sec") ||
             segment.find("ns_per") != std::string::npos ||
             segmentEndsWith(segment, "_disabled_rate") ||
+            segmentEndsWith(segment, "_decode_rate") ||
+            segmentEndsWith(segment, "speedup_x") ||
             segmentEndsWith(segment, "_rss_mb") ||
             segment == "wall") {
             return StatClass::Timing;

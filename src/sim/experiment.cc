@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <numeric>
 
+#include "core/content_store.h"
 #include "core/hashing.h"
 #include "core/logging.h"
 #include "core/profiling.h"
 #include "core/thread_pool.h"
 #include "obs/learning.h"
 #include "obs/run_observer.h"
+#include "sim/result_cache.h"
+#include "trace/trace_io.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "prefetch/ghb.h"
 #include "prefetch/jump_pointer.h"
@@ -35,6 +39,48 @@ joinNames(const std::vector<std::string> &names)
         joined += name;
     }
     return joined;
+}
+
+/**
+ * Cache path of a workload's generated trace. The key folds in
+ * kResultCacheEpoch — the same "bump on result-affecting changes"
+ * epoch the result cache uses — because a stale trace file is exactly
+ * as wrong as a stale result entry: the file's self-digest only proves
+ * the bytes match what some past generator produced, not that today's
+ * generator agrees. The workload name rides along in the filename for
+ * debuggability.
+ */
+std::string
+traceCachePath(const std::string &dir, const std::string &workload,
+               const workloads::WorkloadParams &params)
+{
+    WordHasher h;
+    h.add(kResultCacheEpoch);
+    h.add(fnv1a({reinterpret_cast<const std::uint8_t *>(workload.data()),
+                 workload.size()}));
+    h.add(params.scale);
+    h.add(params.seed);
+    h.add(params.placement == runtime::Placement::Sequential ? 0 : 1);
+    return dir + "/" + workload + "-" + hexDigest(h.digest()) +
+           ".csptrace";
+}
+
+/** Publish @p buffer at @p path atomically (temp sibling + rename);
+ *  a failed store only warns — the sweep still has the buffer. */
+void
+storeTraceInCache(const trace::TraceBuffer &buffer,
+                  const std::string &dir, const std::string &path)
+{
+    if (!ensureDirectories(dir)) {
+        warn("trace cache: cannot create %s", dir.c_str());
+        return;
+    }
+    const std::string tmp = uniqueTempPath(path);
+    if (!trace::saveTraceFile(buffer, tmp) ||
+        !atomicRename(tmp, path)) {
+        std::remove(tmp.c_str());
+        warn("trace cache: cannot store %s", path.c_str());
+    }
 }
 
 } // namespace
@@ -239,6 +285,7 @@ SweepProgress::SweepProgress(std::string label,
     : label_(std::move(label)),
       totals_(std::move(cell_totals)),
       current_(totals_.size(), 0),
+      expected_cells_(totals_.size()),
       jobs_(jobs),
       min_seconds_(min_seconds),
       start_(std::chrono::steady_clock::now()),
@@ -246,6 +293,13 @@ SweepProgress::SweepProgress(std::string label,
 {
     total_sum_ = std::accumulate(totals_.begin(), totals_.end(),
                                  std::uint64_t{0});
+}
+
+void
+SweepProgress::setExpectedCells(std::size_t expected)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    expected_cells_ = expected;
 }
 
 Simulator::ProgressFn
@@ -282,7 +336,21 @@ SweepProgress::cellDone(std::size_t cell)
     done_sum_ += totals_[cell] - current_[cell];
     current_[cell] = totals_[cell];
     ++cells_done_;
-    if (cells_done_ == totals_.size()) {
+    if (cells_done_ == expected_cells_) {
+        last_ = std::chrono::steady_clock::now();
+        report();
+    }
+}
+
+void
+SweepProgress::cellCached(std::size_t cell)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_sum_ += totals_[cell] - current_[cell];
+    current_[cell] = totals_[cell];
+    ++cells_done_;
+    ++cells_cached_;
+    if (cells_done_ == expected_cells_) {
         last_ = std::chrono::steady_clock::now();
         report();
     }
@@ -299,12 +367,19 @@ SweepProgress::report()
         total_sum_ == 0 ? 100.0
                         : 100.0 * static_cast<double>(done_sum_) /
                               static_cast<double>(total_sum_);
+    // Memoized cells show up as a suffix so a warm sweep's log makes
+    // the cache's contribution visible: "12/40 cells (7 cached)".
+    char cached[32] = "";
+    if (cells_cached_ != 0) {
+        std::snprintf(cached, sizeof cached, " (%zu cached)",
+                      cells_cached_);
+    }
     inform("%s: %5.1f%% (%.1fM/%.1fM insts, %.2fM insts/s, "
-           "%zu/%zu cells, jobs=%u)",
+           "%zu/%zu cells%s, jobs=%u)",
            label_.c_str(), pct,
            static_cast<double>(done_sum_) / 1e6,
            static_cast<double>(total_sum_) / 1e6, rate / 1e6,
-           cells_done_, totals_.size(), jobs_);
+           cells_done_, expected_cells_, cached, jobs_);
 }
 
 SweepResult
@@ -313,9 +388,16 @@ runSweep(const std::vector<std::string> &workload_names,
          const workloads::WorkloadParams &params,
          const SystemConfig &config, const SweepOptions &options)
 {
+    if (options.shard_count == 0 ||
+        options.shard_index >= options.shard_count) {
+        fatal("runSweep: invalid shard %u/%u", options.shard_index,
+              options.shard_count);
+    }
     SweepResult result;
     result.workload_names = workload_names;
     result.prefetcher_names = prefetcher_names;
+    result.shard_index = options.shard_index;
+    result.shard_count = options.shard_count;
     const std::size_t n_workloads = workload_names.size();
     const std::size_t n_prefetchers = prefetcher_names.size();
     const std::size_t n_cells = n_workloads * n_prefetchers;
@@ -338,16 +420,68 @@ runSweep(const std::vector<std::string> &workload_names,
     result.manifest.jobs = jobs;
     ThreadPool pool(jobs);
 
-    // Phase 1: generate every workload's trace once, workloads in
-    // parallel. Each trace is then shared read-only by all of that
-    // workload's cells. Summary lines print afterwards in workload
-    // order, so verbose output is deterministic.
+    const std::string trace_cache_dir =
+        options.trace_cache_dir.empty() ? defaultTraceCacheDir()
+                                        : options.trace_cache_dir;
+    std::mutex sink_mutex; // guards options.profiler_sink merges
+    const auto generateTrace = [&](std::size_t wi) {
+        const auto t0 = std::chrono::steady_clock::now();
+        trace::TraceBuffer buffer =
+            registry.create(workload_names[wi])->generate(params);
+        if (options.profiler_sink != nullptr) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            std::lock_guard<std::mutex> lock(sink_mutex);
+            options.profiler_sink->add(
+                prof::Phase::TraceGen,
+                static_cast<std::uint64_t>(ns));
+        }
+        return buffer;
+    };
+
+    // Phase 1: establish every workload trace's summary (counts +
+    // content digest) once, workloads in parallel. A trace-cache hit
+    // contributes only its O(1) header here — the payload is mapped or
+    // loaded lazily in phase 2, and only if a cell actually misses the
+    // result cache. Misses generate (and store) the trace now. Summary
+    // lines print afterwards in workload order, so verbose output is
+    // deterministic.
     const auto trace_gen_start = std::chrono::steady_clock::now();
     std::vector<trace::TraceBuffer> traces(n_workloads);
+    std::vector<trace::TraceFileSummary> summaries(n_workloads);
+    std::vector<std::string> cache_paths(n_workloads);
+    // Written only before pool.wait() (phase 1) or under trace_once
+    // (phase 2), so no atomics needed.
+    std::vector<std::uint8_t> materialized(n_workloads, 0);
+    std::atomic<std::uint64_t> trace_cache_hits{0};
     pool.parallelFor(n_workloads, [&](std::size_t wi) {
-        traces[wi] =
-            registry.create(workload_names[wi])->generate(params);
+        if (options.use_trace_cache) {
+            cache_paths[wi] = traceCachePath(
+                trace_cache_dir, workload_names[wi], params);
+            trace::TraceFileSummary summary;
+            if (trace::readTraceFileSummary(cache_paths[wi],
+                                            summary) ==
+                trace::TraceIoStatus::Ok) {
+                summaries[wi] = summary;
+                trace_cache_hits.fetch_add(
+                    1, std::memory_order_relaxed);
+                return;
+            }
+        }
+        traces[wi] = generateTrace(wi);
+        summaries[wi] = {traces[wi].size(), traces[wi].instructions(),
+                         traces[wi].memAccesses(),
+                         traces[wi].contentDigest()};
+        materialized[wi] = 1;
+        if (options.use_trace_cache) {
+            storeTraceInCache(traces[wi], trace_cache_dir,
+                              cache_paths[wi]);
+        }
     });
+    result.trace_cache_hits =
+        trace_cache_hits.load(std::memory_order_relaxed);
     result.manifest.trace_gen_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - trace_gen_start)
@@ -356,21 +490,24 @@ runSweep(const std::vector<std::string> &workload_names,
     // their last cell completes in phase 2.
     {
         WordHasher combined;
-        for (const trace::TraceBuffer &t : traces) {
-            combined.add(t.contentDigest());
-            result.manifest.trace_records += t.size();
-            result.manifest.trace_instructions += t.instructions();
-            result.manifest.trace_accesses += t.memAccesses();
+        for (const trace::TraceFileSummary &s : summaries) {
+            combined.add(s.content_digest);
+            result.manifest.trace_records += s.records;
+            result.manifest.trace_instructions += s.instructions;
+            result.manifest.trace_accesses += s.mem_accesses;
         }
         result.manifest.trace_digest =
             hexDigest(combined.digest());
     }
     if (options.verbose) {
         for (std::size_t wi = 0; wi < n_workloads; ++wi) {
-            inform("%-14s %8.2fM insts, %6.2fM accesses",
+            inform("%-14s %8.2fM insts, %6.2fM accesses%s",
                    workload_names[wi].c_str(),
-                   static_cast<double>(traces[wi].instructions()) / 1e6,
-                   static_cast<double>(traces[wi].memAccesses()) / 1e6);
+                   static_cast<double>(summaries[wi].instructions) /
+                       1e6,
+                   static_cast<double>(summaries[wi].mem_accesses) /
+                       1e6,
+                   materialized[wi] ? "" : " [trace cache]");
         }
     }
 
@@ -382,7 +519,7 @@ runSweep(const std::vector<std::string> &workload_names,
     // identical to the serial path no matter how cells interleave.
     std::vector<std::uint64_t> cell_totals(n_cells);
     for (std::size_t k = 0; k < n_cells; ++k)
-        cell_totals[k] = traces[k / n_prefetchers].instructions();
+        cell_totals[k] = summaries[k / n_prefetchers].instructions;
 
     std::vector<std::size_t> order(n_cells);
     std::iota(order.begin(), order.end(), std::size_t{0});
@@ -391,44 +528,164 @@ runSweep(const std::vector<std::string> &workload_names,
                          return cell_totals[a] > cell_totals[b];
                      });
 
+    // Shard ownership: rank in the global longest-first order, mod
+    // shard_count. Every shard computes the same order from the same
+    // summaries, so the partition is deterministic and disjoint; the
+    // round-robin over sorted ranks also balances big workloads across
+    // shards instead of handing shard 0 all the long traces.
+    std::vector<std::uint8_t> owned(n_cells, 1);
+    if (options.shard_count > 1) {
+        owned.assign(n_cells, 0);
+        for (std::size_t rank = 0; rank < n_cells; ++rank) {
+            if (rank % options.shard_count == options.shard_index)
+                owned[order[rank]] = 1;
+        }
+    }
+    std::size_t owned_cells = 0;
+    std::vector<std::uint64_t> progress_totals(n_cells, 0);
+    for (std::size_t k = 0; k < n_cells; ++k) {
+        if (owned[k]) {
+            ++owned_cells;
+            progress_totals[k] = cell_totals[k];
+        }
+    }
+
     result.cells.resize(n_cells);
-    SweepProgress progress("sweep", cell_totals, jobs);
+    SweepProgress progress("sweep", std::move(progress_totals), jobs);
+    progress.setExpectedCells(owned_cells);
+
+    const bool use_result_cache = options.use_result_cache;
+    const ResultCache result_cache(options.result_cache_dir.empty()
+                                       ? defaultResultCacheDir()
+                                       : options.result_cache_dir);
+    if (use_result_cache &&
+        !ensureDirectories(result_cache.root())) {
+        warn("result cache: cannot create %s",
+             result_cache.root().c_str());
+    }
+    const std::uint64_t config_digest = configDigest(config);
+    std::atomic<std::uint64_t> cells_cached{0};
+    std::atomic<std::uint64_t> cells_simulated{0};
+
+    // Lazy trace materialization for cache-hit workloads: the first
+    // cell of a workload to miss the result cache loads (or, on a
+    // corrupt file, regenerates) the trace; call_once publishes it to
+    // every other cell.
+    std::unique_ptr<std::once_flag[]> trace_once(
+        new std::once_flag[n_workloads]);
+    const auto ensureTrace = [&](std::size_t wi) {
+        std::call_once(trace_once[wi], [&] {
+            if (materialized[wi])
+                return; // generated in phase 1
+            trace::TraceBuffer loaded;
+            const trace::TraceIoStatus status =
+                trace::loadTraceFile(cache_paths[wi], loaded);
+            if (status == trace::TraceIoStatus::Ok) {
+                traces[wi] = std::move(loaded);
+            } else {
+                warn("trace cache: %s for %s, regenerating",
+                     trace::traceIoStatusName(status),
+                     cache_paths[wi].c_str());
+                traces[wi] = generateTrace(wi);
+                if (traces[wi].contentDigest() !=
+                    summaries[wi].content_digest) {
+                    // The header lied (corrupt digest field). Results
+                    // stay correct — cells simulate the regenerated
+                    // trace — but their cache keys carry the stale
+                    // digest, so they can only pollute, never alias.
+                    warn("trace cache: stale header digest in %s",
+                         cache_paths[wi].c_str());
+                }
+                storeTraceInCache(traces[wi], trace_cache_dir,
+                                  cache_paths[wi]);
+            }
+            materialized[wi] = 1;
+        });
+    };
+
     // Per-workload countdown so the last finishing cell releases its
     // trace — peak memory tapers during the sweep instead of holding
-    // every trace until the end.
+    // every trace until the end. Sharded sweeps count owned cells
+    // only; a workload with no owned cells frees (or never loads) its
+    // trace immediately.
     std::unique_ptr<std::atomic<std::size_t>[]> cells_left(
         new std::atomic<std::size_t>[n_workloads]);
-    for (std::size_t wi = 0; wi < n_workloads; ++wi)
-        cells_left[wi].store(n_prefetchers,
-                             std::memory_order_relaxed);
+    for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+        std::size_t owned_here = 0;
+        for (std::size_t pi = 0; pi < n_prefetchers; ++pi)
+            owned_here += owned[wi * n_prefetchers + pi];
+        cells_left[wi].store(owned_here, std::memory_order_relaxed);
+        if (owned_here == 0)
+            traces[wi] = trace::TraceBuffer();
+    }
 
     for (const std::size_t k : order) {
+        if (!owned[k])
+            continue;
         pool.submit([&, k] {
             const std::size_t wi = k / n_prefetchers;
-            auto prefetcher = makePrefetcher(
-                prefetcher_names[k % n_prefetchers], config);
-            Simulator simulator(config);
-            obs::PrefetchTracker tracker;
-            obs::LearningRecorder learner;
-            obs::RunObserver observer;
-            prof::Profiler profiler;
-            if (options.observe)
-                observer.tracker = &tracker;
-            if (options.observe_learning)
-                observer.learn = &learner;
-            if (options.observe || options.observe_learning)
-                simulator.setObserver(&observer);
-            if (options.profile)
-                simulator.setProfiler(&profiler);
-            if (options.verbose)
-                simulator.setProgress(progress.hook(k));
+            const std::size_t pi = k % n_prefetchers;
             CellResult cell;
             cell.workload = workload_names[wi];
-            cell.prefetcher = prefetcher_names[k % n_prefetchers];
-            cell.stats = simulator.run(traces[wi], *prefetcher);
+            cell.prefetcher = prefetcher_names[pi];
+            cell.present = true;
+            CellKey key;
+            key.config_digest = config_digest;
+            key.trace_digest = summaries[wi].content_digest;
+            key.workload = cell.workload;
+            key.prefetcher = cell.prefetcher;
+            key.scale = params.scale;
+            key.seed = params.seed;
+            key.placement = result.manifest.placement;
+            if (use_result_cache &&
+                result_cache.load(key, cell.stats)) {
+                cells_cached.fetch_add(1, std::memory_order_relaxed);
+                if (options.verbose)
+                    progress.cellCached(k);
+            } else {
+                ensureTrace(wi);
+                auto prefetcher =
+                    makePrefetcher(cell.prefetcher, config);
+                Simulator simulator(config);
+                obs::PrefetchTracker tracker;
+                obs::LearningRecorder learner;
+                obs::RunObserver observer;
+                prof::Profiler profiler;
+                if (options.observe)
+                    observer.tracker = &tracker;
+                if (options.observe_learning)
+                    observer.learn = &learner;
+                if (options.observe || options.observe_learning)
+                    simulator.setObserver(&observer);
+                if (options.profile ||
+                    options.profiler_sink != nullptr)
+                    simulator.setProfiler(&profiler);
+                if (options.verbose)
+                    simulator.setProgress(progress.hook(k));
+                cell.stats = simulator.run(traces[wi], *prefetcher);
+                cells_simulated.fetch_add(1,
+                                          std::memory_order_relaxed);
+                if (use_result_cache) {
+                    result_cache.store(key, cell.stats,
+                                       result.manifest.git_sha);
+                }
+                if (options.verbose)
+                    progress.cellDone(k);
+                if (options.profiler_sink != nullptr) {
+                    std::lock_guard<std::mutex> lock(sink_mutex);
+                    for (std::size_t p = 0;
+                         p <
+                         static_cast<std::size_t>(prof::Phase::Count);
+                         ++p) {
+                        const auto phase =
+                            static_cast<prof::Phase>(p);
+                        options.profiler_sink->add(
+                            phase, profiler.ns(phase),
+                            profiler.calls(phase));
+                    }
+                }
+            }
             result.cells[k] = std::move(cell);
-            if (options.verbose)
-                progress.cellDone(k);
             if (cells_left[wi].fetch_sub(
                     1, std::memory_order_acq_rel) == 1) {
                 traces[wi] = trace::TraceBuffer();
@@ -436,6 +693,10 @@ runSweep(const std::vector<std::string> &workload_names,
         });
     }
     pool.wait();
+    result.cells_cached =
+        cells_cached.load(std::memory_order_relaxed);
+    result.cells_simulated =
+        cells_simulated.load(std::memory_order_relaxed);
     result.manifest.sim_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - sim_start)

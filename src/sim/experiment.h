@@ -24,6 +24,10 @@
 #include "sim/simulator.h"
 #include "workloads/registry.h"
 
+namespace csp::prof {
+class Profiler;
+}
+
 namespace csp::sim {
 
 /**
@@ -55,6 +59,9 @@ struct CellResult
     std::string workload;
     std::string prefetcher;
     RunStats stats;
+    /** False for cells a sharded sweep did not own (see
+     *  SweepOptions::shard_count); their stats are default-valued. */
+    bool present = false;
 };
 
 /** Result matrix of a sweep, row-major by workload. */
@@ -63,6 +70,14 @@ struct SweepResult
     std::vector<std::string> workload_names;
     std::vector<std::string> prefetcher_names;
     std::vector<CellResult> cells;
+
+    // Scale-out accounting: how the cells were obtained. Cached and
+    // simulated counts cover this shard's owned cells only.
+    std::uint64_t cells_cached = 0;
+    std::uint64_t cells_simulated = 0;
+    std::uint64_t trace_cache_hits = 0; ///< workload traces not regenerated
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
     /**
      * Provenance of the sweep: build + config digest + seed, the
      * combined content digest of every workload trace (in workload
@@ -146,6 +161,21 @@ class SweepProgress
     /** Mark @p cell finished; the last cell always prints. */
     void cellDone(std::size_t cell);
 
+    /**
+     * Mark @p cell satisfied from the result cache: its instructions
+     * count as done instantly and the progress line grows a
+     * "(N cached)" suffix distinguishing memoized cells from simulated
+     * ones.
+     */
+    void cellCached(std::size_t cell);
+
+    /**
+     * Sharded sweeps own a subset of the grid: the final line prints
+     * (and the cell denominator reads) @p expected instead of the full
+     * cell count. Call before any worker reports.
+     */
+    void setExpectedCells(std::size_t expected);
+
   private:
     void report();
 
@@ -155,6 +185,8 @@ class SweepProgress
     std::uint64_t total_sum_ = 0;
     std::uint64_t done_sum_ = 0;
     std::size_t cells_done_ = 0;
+    std::size_t cells_cached_ = 0;
+    std::size_t expected_cells_ = 0;
     unsigned jobs_;
     double min_seconds_;
     std::chrono::steady_clock::time_point start_;
@@ -193,6 +225,42 @@ struct SweepOptions
      * instrumented replay loop produces bit-identical RunStats.
      */
     bool profile = false;
+    /**
+     * Memoize cells in the content-addressed result cache (see
+     * result_cache.h): consult before simulating, store after. Off by
+     * default at the library level so tests and benches measure real
+     * simulation; the cspsim sweep front-end turns it on unless
+     * --no-result-cache / CSP_RESULT_CACHE=0 says otherwise.
+     */
+    bool use_result_cache = false;
+    /**
+     * Persist generated workload traces as
+     * <trace_cache_dir>/<key>.csptrace and reuse them across runs. A
+     * warm sweep reads only each file's header (content digest) up
+     * front and maps the payload lazily, only for cells that miss the
+     * result cache.
+     */
+    bool use_trace_cache = false;
+    /** Result-cache directory; empty -> defaultResultCacheDir(). */
+    std::string result_cache_dir;
+    /** Trace-cache directory; empty -> defaultTraceCacheDir(). */
+    std::string trace_cache_dir;
+    /**
+     * Deterministic 1-of-N partition of the sweep grid: this process
+     * owns every cell whose rank in the global longest-trace-first
+     * order is congruent to shard_index mod shard_count. Non-owned
+     * cells come back with present=false; cspmerge reassembles the
+     * full matrix bit-identically. shard_count=1 owns everything.
+     */
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
+    /**
+     * When set, every cell's phase timings (and trace generation) are
+     * merged into this aggregate profiler. The warm-sweep tests use it
+     * to assert a fully cached run does zero simulation work: Replay /
+     * MemAccess / TraceGen call counts stay 0.
+     */
+    prof::Profiler *profiler_sink = nullptr;
 };
 
 /**
@@ -203,6 +271,14 @@ struct SweepOptions
  * scheduled longest-trace-first. Cells are assembled in row-major
  * (workload-major) order and every cell's RunStats is bit-identical
  * to a jobs=1 run — parallelism never changes results.
+ *
+ * With options.use_trace_cache, a cached trace contributes only its
+ * header (content digest + counts) up front and is materialised lazily
+ * — only if one of its cells actually misses the result cache; with
+ * options.use_result_cache, memoized cells are returned without any
+ * simulation. A fully warm sweep therefore does zero trace-generation
+ * and zero replay work while producing the same SweepResult cells
+ * bit-for-bit (caching is invisible modulo manifest timing fields).
  */
 SweepResult runSweep(const std::vector<std::string> &workload_names,
                      const std::vector<std::string> &prefetcher_names,

@@ -1,0 +1,259 @@
+#include "sim/result_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/content_store.h"
+#include "core/hashing.h"
+#include "core/logging.h"
+#include "core/run_manifest.h"
+#include "diff/csp_diff.h"
+
+namespace csp::sim {
+
+namespace {
+
+constexpr const char *kSchema = "csp-result-cache-v1";
+
+std::uint64_t
+stringHash(const std::string &text)
+{
+    return fnv1a({reinterpret_cast<const std::uint8_t *>(text.data()),
+                  text.size()});
+}
+
+/** Parse a uint64 from the flattened value's source text — the double
+ *  lane loses precision above 2^53. */
+bool
+parseU64(const diff::FlatDoc &doc, const std::string &name,
+         std::uint64_t &out)
+{
+    const diff::FlatValue *value = doc.find(name);
+    if (value == nullptr || !value->is_number)
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(value->text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+bool
+matchText(const diff::FlatDoc &doc, const std::string &name,
+          const std::string &expect)
+{
+    const diff::FlatValue *value = doc.find(name);
+    return value != nullptr && value->text == expect;
+}
+
+/** Every integer field of a RunStats, in serialization order, fed to
+ *  one visitor — the writer, parser and digest never disagree on the
+ *  field list. */
+template <typename Fn>
+void
+forEachRunStatsField(RunStats &stats, Fn &&fn)
+{
+    fn("instructions", stats.instructions);
+    fn("cycles", stats.cycles);
+    fn("demand_accesses", stats.demand_accesses);
+    fn("l1_misses", stats.l1_misses);
+    fn("l2_demand_misses", stats.l2_demand_misses);
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(AccessClass::Count); ++c) {
+        fn(accessClassName(static_cast<AccessClass>(c)),
+           stats.classes[c]);
+    }
+    fn("prefetch_never_hit", stats.prefetch_never_hit);
+    mem::HierarchyStats &h = stats.hierarchy;
+    fn("hierarchy.demand_accesses", h.demand_accesses);
+    fn("hierarchy.l1_misses", h.l1_misses);
+    fn("hierarchy.l2_demand_misses", h.l2_demand_misses);
+    fn("hierarchy.prefetches_issued", h.prefetches_issued);
+    fn("hierarchy.prefetches_duplicate", h.prefetches_duplicate);
+    fn("hierarchy.prefetches_dropped", h.prefetches_dropped);
+    fn("hierarchy.prefetch_evicted_unused", h.prefetch_evicted_unused);
+    fn("hierarchy.prefetch_unused_at_end", h.prefetch_unused_at_end);
+    fn("hierarchy.l1_writebacks", h.l1_writebacks);
+    fn("hierarchy.l2_writebacks", h.l2_writebacks);
+}
+
+} // namespace
+
+std::uint64_t
+cellKeyDigest(const CellKey &key)
+{
+    WordHasher h;
+    h.add(kResultCacheEpoch);
+    h.add(key.config_digest);
+    h.add(key.trace_digest);
+    h.add(stringHash(key.workload));
+    h.add(stringHash(key.prefetcher));
+    h.add(key.scale);
+    h.add(key.seed);
+    h.add(stringHash(key.placement));
+    return h.digest();
+}
+
+void
+writeRunStatsJson(std::ostream &out, const RunStats &stats)
+{
+    out << '{';
+    bool first = true;
+    // The visitor takes a mutable RunStats; serialization only reads.
+    forEachRunStatsField(
+        const_cast<RunStats &>(stats),
+        [&](const char *name, std::uint64_t value) {
+            // Dotted field names are emitted literally; parseJsonFlat
+            // joins nested keys with '.' too, so the flattened names
+            // agree either way.
+            out << (first ? "" : ",") << '"' << name << "\":" << value;
+            first = false;
+        });
+    out << '}';
+}
+
+bool
+parseRunStatsFlat(const diff::FlatDoc &doc, const std::string &prefix,
+                  RunStats &stats)
+{
+    bool ok = true;
+    forEachRunStatsField(stats,
+                         [&](const char *name, std::uint64_t &value) {
+                             if (!parseU64(doc, prefix + name, value))
+                                 ok = false;
+                         });
+    return ok;
+}
+
+std::uint64_t
+runStatsDigest(const RunStats &stats)
+{
+    WordHasher h;
+    forEachRunStatsField(const_cast<RunStats &>(stats),
+                         [&](const char *, std::uint64_t value) {
+                             h.add(value);
+                         });
+    return h.digest();
+}
+
+std::vector<std::pair<const char *, std::uint64_t>>
+runStatsFields(const RunStats &stats)
+{
+    std::vector<std::pair<const char *, std::uint64_t>> fields;
+    forEachRunStatsField(const_cast<RunStats &>(stats),
+                         [&](const char *name, std::uint64_t value) {
+                             fields.emplace_back(name, value);
+                         });
+    return fields;
+}
+
+bool
+resultCacheEnabledByEnv()
+{
+    const char *env = std::getenv("CSP_RESULT_CACHE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+std::string
+defaultResultCacheDir()
+{
+    const char *env = std::getenv("CSP_RESULT_CACHE_DIR");
+    return env != nullptr && *env != '\0' ? env : "results/cache";
+}
+
+bool
+traceCacheEnabledByEnv()
+{
+    const char *env = std::getenv("CSP_TRACE_CACHE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+std::string
+defaultTraceCacheDir()
+{
+    const char *env = std::getenv("CSP_TRACE_CACHE_DIR");
+    return env != nullptr && *env != '\0' ? env : "traces/cache";
+}
+
+ResultCache::ResultCache(std::string root) : root_(std::move(root)) {}
+
+std::string
+ResultCache::entryPath(const CellKey &key) const
+{
+    return root_ + "/" + hexDigest(cellKeyDigest(key)) + ".json";
+}
+
+bool
+ResultCache::load(const CellKey &key, RunStats &stats) const
+{
+    const std::string path = entryPath(key);
+    std::string text;
+    if (!readFileToString(path, text))
+        return false; // clean miss
+    const auto reject = [&](const char *why) {
+        warn("result cache: invalid entry %s (%s), recomputing",
+             path.c_str(), why);
+        return false;
+    };
+    diff::FlatDoc doc;
+    std::string error;
+    if (!diff::parseJsonFlat(text, doc, &error))
+        return reject(error.c_str());
+    if (!matchText(doc, "schema", kSchema))
+        return reject("schema mismatch");
+    std::uint64_t epoch = 0;
+    if (!parseU64(doc, "epoch", epoch) || epoch != kResultCacheEpoch)
+        return reject("epoch mismatch");
+    // A digest collision mapping two different cells to one entry path
+    // would silently serve wrong results; the stored identity makes
+    // that (and any mis-keyed write) detectable.
+    if (!matchText(doc, "config_digest", hexDigest(key.config_digest)) ||
+        !matchText(doc, "trace_digest", hexDigest(key.trace_digest)) ||
+        !matchText(doc, "workload", key.workload) ||
+        !matchText(doc, "prefetcher", key.prefetcher) ||
+        !matchText(doc, "placement", key.placement))
+        return reject("key mismatch");
+    std::uint64_t scale = 0, seed = 0;
+    if (!parseU64(doc, "scale", scale) || scale != key.scale ||
+        !parseU64(doc, "seed", seed) || seed != key.seed)
+        return reject("key mismatch");
+    RunStats parsed;
+    if (!parseRunStatsFlat(doc, "stats.", parsed))
+        return reject("missing stats fields");
+    const diff::FlatValue *digest_field = doc.find("payload_digest");
+    if (digest_field == nullptr || digest_field->text.empty())
+        return reject("missing payload digest");
+    char *end = nullptr;
+    const std::uint64_t payload_digest =
+        std::strtoull(digest_field->text.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0')
+        return reject("malformed payload digest");
+    if (runStatsDigest(parsed) != payload_digest)
+        return reject("payload digest mismatch");
+    stats = parsed;
+    return true;
+}
+
+bool
+ResultCache::store(const CellKey &key, const RunStats &stats,
+                   const std::string &git_sha) const
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"" << kSchema << '"'
+        << ",\"epoch\":" << kResultCacheEpoch
+        << ",\"config_digest\":\"" << hexDigest(key.config_digest)
+        << '"' << ",\"trace_digest\":\"" << hexDigest(key.trace_digest)
+        << '"' << ",\"workload\":\"" << key.workload << '"'
+        << ",\"prefetcher\":\"" << key.prefetcher << '"'
+        << ",\"scale\":" << key.scale << ",\"seed\":" << key.seed
+        << ",\"placement\":\"" << key.placement << '"'
+        << ",\"git_sha\":\"" << git_sha << '"'
+        << ",\"payload_digest\":\"" << hexDigest(runStatsDigest(stats))
+        << '"' << ",\"stats\":";
+    writeRunStatsJson(out, stats);
+    out << "}\n";
+    return atomicWriteFile(entryPath(key), out.str());
+}
+
+} // namespace csp::sim

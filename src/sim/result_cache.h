@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Content-addressed memoization of sweep cells.
+ *
+ * A sweep cell's RunStats are a pure function of (simulator code,
+ * resolved configuration, workload trace, prefetcher name) — the
+ * repo's determinism contract, enforced since PR 2 by the
+ * bit-identical serial-vs-parallel tests. That makes the RunManifest
+ * digests a sound memoization key: `runSweep` consults
+ * `results/cache/<digest>.json` before simulating a cell and stores a
+ * manifest-stamped entry after, so repeated sweeps (CI, figure
+ * regeneration) do zero simulation work and still produce byte-
+ * identical output.
+ *
+ * Invalidation rule (documented in DESIGN.md §7): the key digest folds
+ * in kResultCacheEpoch, the config digest (every knob + seed), the
+ * trace content digest, the cell identity (workload, prefetcher,
+ * scale, seed, placement). The epoch — not the git SHA — is the code
+ * component: bump it in the same commit as any result-affecting
+ * simulator change (the same commits that must refresh
+ * `results/baseline/`). Keying on the git SHA instead would defeat the
+ * cache on every commit; the SHA is recorded in each entry as
+ * provenance only.
+ *
+ * Entries are self-verifying: a stats payload digest is stored and
+ * re-checked on load, so truncated or corrupted entries are detected
+ * and silently recomputed (with a warning).
+ */
+
+#ifndef CSP_SIM_RESULT_CACHE_H
+#define CSP_SIM_RESULT_CACHE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace csp::diff {
+struct FlatDoc;
+}
+
+namespace csp::sim {
+
+/**
+ * Result-format epoch: participates in every cell key, so bumping it
+ * orphans all stored entries. Bump in the same commit as any change
+ * that alters simulation results (see file comment).
+ */
+inline constexpr std::uint64_t kResultCacheEpoch = 1;
+
+/** Everything that identifies one sweep cell's inputs. */
+struct CellKey
+{
+    std::uint64_t config_digest = 0; ///< configDigest(config), incl. seed
+    std::uint64_t trace_digest = 0;  ///< the cell's workload trace
+    std::string workload;
+    std::string prefetcher;
+    std::uint64_t scale = 0;
+    std::uint64_t seed = 0;
+    std::string placement; ///< "seq" or "rand"
+};
+
+/** The key's content address (folds in kResultCacheEpoch). */
+std::uint64_t cellKeyDigest(const CellKey &key);
+
+/** Serialize every RunStats field (all integers) as one JSON object.
+ *  The cache entry format and the sweep JSON share this shape. */
+void writeRunStatsJson(std::ostream &out, const RunStats &stats);
+
+/** Parse a writeRunStatsJson object back out of a flattened document;
+ *  every field must be present under @p prefix (e.g. "stats."). */
+bool parseRunStatsFlat(const diff::FlatDoc &doc,
+                       const std::string &prefix, RunStats &stats);
+
+/** Order-sensitive digest over every RunStats field — the entry's
+ *  self-verification payload digest. */
+std::uint64_t runStatsDigest(const RunStats &stats);
+
+/** Name/value pairs of every RunStats field in serialization order —
+ *  the sweep CSV's column list (names are static literals). */
+std::vector<std::pair<const char *, std::uint64_t>>
+runStatsFields(const RunStats &stats);
+
+/** True unless CSP_RESULT_CACHE=0 disables the result cache. */
+bool resultCacheEnabledByEnv();
+
+/** $CSP_RESULT_CACHE_DIR when set, else "results/cache". */
+std::string defaultResultCacheDir();
+
+/** True unless CSP_TRACE_CACHE=0 disables the on-disk trace cache. */
+bool traceCacheEnabledByEnv();
+
+/** $CSP_TRACE_CACHE_DIR when set, else "traces/cache". */
+std::string defaultTraceCacheDir();
+
+/** See file comment. */
+class ResultCache
+{
+  public:
+    /** @param root cache directory, created lazily on first store. */
+    explicit ResultCache(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** Entry path for @p key: <root>/<hex key digest>.json. */
+    std::string entryPath(const CellKey &key) const;
+
+    /**
+     * Look up @p key. True with @p stats filled on a verified hit;
+     * false on a miss. A present-but-invalid entry (schema/epoch/key
+     * mismatch, parse failure, payload digest mismatch) warns and
+     * counts as a miss — the caller recomputes and re-stores.
+     */
+    bool load(const CellKey &key, RunStats &stats) const;
+
+    /**
+     * Store @p stats under @p key (atomic write; concurrent shards
+     * storing the same digest race benignly). @p git_sha is recorded
+     * as provenance. False on filesystem failure — never fatal, a
+     * sweep without a writable cache still runs.
+     */
+    bool store(const CellKey &key, const RunStats &stats,
+               const std::string &git_sha) const;
+
+  private:
+    std::string root_;
+};
+
+} // namespace csp::sim
+
+#endif // CSP_SIM_RESULT_CACHE_H

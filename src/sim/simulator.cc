@@ -10,6 +10,7 @@
 #include "obs/run_observer.h"
 #include "sim/predicted_set.h"
 #include "trace/hw_state.h"
+#include "trace/trace_io.h"
 
 namespace csp::sim {
 
@@ -126,6 +127,14 @@ Simulator::run(const std::vector<trace::TraceRecord> &records,
                prefetch::Prefetcher &prefetcher)
 {
     VectorSource source(records);
+    return dispatchRun(source, prefetcher);
+}
+
+RunStats
+Simulator::run(const trace::MappedTrace &trace,
+               prefetch::Prefetcher &prefetcher)
+{
+    trace::StreamingTraceSource source(trace);
     return dispatchRun(source, prefetcher);
 }
 

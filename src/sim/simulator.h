@@ -32,6 +32,10 @@ namespace csp::prof {
 class Profiler;
 }
 
+namespace csp::trace {
+class MappedTrace;
+}
+
 namespace csp::sim {
 
 /** Per-access benefit categories of paper Figure 9. */
@@ -200,6 +204,15 @@ class Simulator
      * against a reference std::vector<TraceRecord> trace bit for bit.
      */
     RunStats run(const std::vector<trace::TraceRecord> &records,
+                 prefetch::Prefetcher &prefetcher);
+
+    /**
+     * Replay an mmap'd on-disk packed trace (trace_io). Streams through
+     * a windowed StreamingTraceSource, so peak RSS stays near the
+     * window size no matter the trace's on-disk size; results are bit
+     * identical to replaying the equivalent in-memory TraceBuffer.
+     */
+    RunStats run(const trace::MappedTrace &trace,
                  prefetch::Prefetcher &prefetcher);
 
     /** Full hierarchical stats of the most recent run() (all registered

@@ -1,6 +1,7 @@
 #include "trace/trace.h"
 
 #include <cstring>
+#include <utility>
 
 #include "core/hashing.h"
 
@@ -162,26 +163,75 @@ TraceBuffer::decode() const
     return out;
 }
 
+TraceBuffer
+TraceBuffer::fromPacked(std::vector<std::uint8_t> bytes,
+                        std::vector<Addr> pc_dict,
+                        std::vector<hints::Hint> hint_dict,
+                        std::size_t count, std::uint64_t instructions,
+                        std::uint64_t mem_accesses)
+{
+    TraceBuffer buffer;
+    buffer.bytes_ = std::move(bytes);
+    buffer.pc_dict_ = std::move(pc_dict);
+    buffer.hint_dict_ = std::move(hint_dict);
+    buffer.count_ = count;
+    buffer.instructions_ = instructions;
+    buffer.mem_accesses_ = mem_accesses;
+    for (std::uint32_t i = 0; i < buffer.pc_dict_.size(); ++i)
+        buffer.pc_index_.emplace(buffer.pc_dict_[i], i);
+    for (std::uint32_t i = 0; i < buffer.hint_dict_.size(); ++i)
+        buffer.hint_index_.emplace(hintKey(buffer.hint_dict_[i]), i);
+    // The trailing record is unknown without decoding, so disable burst
+    // folding for the first append: last_offset_ at end-of-payload with
+    // last_is_compute_ false makes push() start a fresh record.
+    buffer.last_offset_ = buffer.bytes_.size();
+    buffer.last_is_compute_ = false;
+    return buffer;
+}
+
 std::uint64_t
-TraceBuffer::contentDigest() const
+packedTraceDigestPrehashed(std::size_t count, std::uint64_t instructions,
+                           std::uint64_t payload_fnv, const Addr *pcs,
+                           std::size_t pc_count, const hints::Hint *hints,
+                           std::size_t hint_count)
 {
     WordHasher h;
-    h.add(count_);
-    h.add(instructions_);
-    h.add(fnv1a({bytes_.data(), bytes_.size()}));
+    h.add(count);
+    h.add(instructions);
+    h.add(payload_fnv);
     // Dictionary indices appear in the packed bytes, so hashing each
     // dictionary in index order pins the full record stream. Hints are
     // hashed field-wise: the struct has padding bytes.
-    h.add(pc_dict_.size());
-    for (const Addr pc : pc_dict_)
-        h.add(pc);
-    h.add(hint_dict_.size());
-    for (const hints::Hint &hint : hint_dict_) {
-        h.add(static_cast<std::uint64_t>(hint.type_id) |
-              (static_cast<std::uint64_t>(hint.link_offset) << 16) |
-              (static_cast<std::uint64_t>(hint.ref_form) << 32));
+    h.add(pc_count);
+    for (std::size_t i = 0; i < pc_count; ++i)
+        h.add(pcs[i]);
+    h.add(hint_count);
+    for (std::size_t i = 0; i < hint_count; ++i) {
+        h.add(static_cast<std::uint64_t>(hints[i].type_id) |
+              (static_cast<std::uint64_t>(hints[i].link_offset) << 16) |
+              (static_cast<std::uint64_t>(hints[i].ref_form) << 32));
     }
     return h.digest();
+}
+
+std::uint64_t
+packedTraceDigest(std::size_t count, std::uint64_t instructions,
+                  const std::uint8_t *bytes, std::size_t bytes_size,
+                  const Addr *pcs, std::size_t pc_count,
+                  const hints::Hint *hints, std::size_t hint_count)
+{
+    return packedTraceDigestPrehashed(count, instructions,
+                                      fnv1a({bytes, bytes_size}), pcs,
+                                      pc_count, hints, hint_count);
+}
+
+std::uint64_t
+TraceBuffer::contentDigest() const
+{
+    return packedTraceDigest(count_, instructions_, bytes_.data(),
+                             bytes_.size(), pc_dict_.data(),
+                             pc_dict_.size(), hint_dict_.data(),
+                             hint_dict_.size());
 }
 
 const TraceRecord *
@@ -192,7 +242,7 @@ TraceCursor::next()
     const std::uint8_t header = *pos_++;
     const InstKind kind = static_cast<InstKind>(header & kKindMask);
     rec_.kind = kind;
-    rec_.pc = buffer_->pc_dict_[readVarint(pos_)];
+    rec_.pc = pc_dict_[readVarint(pos_)];
     rec_.size =
         (header & kHasSize) ? *pos_++ : static_cast<std::uint8_t>(8);
     if (kind == InstKind::Load || kind == InstKind::Store) {
@@ -201,9 +251,8 @@ TraceCursor::next()
     } else {
         rec_.vaddr = 0;
     }
-    rec_.hint = (header & kHasHint)
-                    ? buffer_->hint_dict_[readVarint(pos_)]
-                    : hints::Hint{};
+    rec_.hint = (header & kHasHint) ? hint_dict_[readVarint(pos_)]
+                                    : hints::Hint{};
     rec_.reg_value = (header & kHasReg) ? readVarint(pos_) : 0;
     rec_.loaded_value = (header & kHasLoaded) ? readVarint(pos_) : 0;
     rec_.repeat = (header & kHasRepeat)

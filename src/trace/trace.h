@@ -121,6 +121,27 @@ class TraceBuffer
     /** Distinct PCs recorded so far (dictionary size). */
     std::size_t pcDictSize() const { return pc_dict_.size(); }
 
+    /** Packed record payload (serialization; see trace_io). */
+    const std::vector<std::uint8_t> &packedBytes() const { return bytes_; }
+
+    /** PC dictionary, index order (serialization; see trace_io). */
+    const std::vector<Addr> &pcDict() const { return pc_dict_; }
+
+    /** Hint dictionary, index order (serialization; see trace_io). */
+    const std::vector<hints::Hint> &hintDict() const { return hint_dict_; }
+
+    /**
+     * Reconstitute a buffer from its packed parts (the trace_io load
+     * path). Rebuilds the dictionary reverse indices and the
+     * trailing-record fold state so the buffer stays appendable.
+     */
+    static TraceBuffer fromPacked(std::vector<std::uint8_t> bytes,
+                                  std::vector<Addr> pc_dict,
+                                  std::vector<hints::Hint> hint_dict,
+                                  std::size_t count,
+                                  std::uint64_t instructions,
+                                  std::uint64_t mem_accesses);
+
     /**
      * Order-sensitive digest over the packed payload and both
      * dictionaries — the trace's content identity for run-provenance
@@ -185,36 +206,73 @@ class TraceBuffer
 };
 
 /**
- * Zero-copy sequential decoder over a TraceBuffer. next() rehydrates
- * the next record into an internal reusable TraceRecord and returns a
- * pointer to it (valid until the following next() call), or nullptr at
- * end of trace. The cursor never allocates.
+ * Content digest over raw packed trace parts. TraceBuffer::contentDigest
+ * and the trace-file verification path (trace_io) share this formula, so
+ * an mmap'd trace can be digest-checked without materialising a buffer.
+ */
+std::uint64_t packedTraceDigest(std::size_t count,
+                                std::uint64_t instructions,
+                                const std::uint8_t *bytes,
+                                std::size_t bytes_size, const Addr *pcs,
+                                std::size_t pc_count,
+                                const hints::Hint *hints,
+                                std::size_t hint_count);
+
+/**
+ * packedTraceDigest with the payload's fnv1a already computed — for
+ * verifiers that hash the payload in windows (fnv1aResume) so the whole
+ * file never needs to be resident at once.
+ */
+std::uint64_t packedTraceDigestPrehashed(
+    std::size_t count, std::uint64_t instructions,
+    std::uint64_t payload_fnv, const Addr *pcs, std::size_t pc_count,
+    const hints::Hint *hints, std::size_t hint_count);
+
+/**
+ * Zero-copy sequential decoder over packed trace bytes. next()
+ * rehydrates the next record into an internal reusable TraceRecord and
+ * returns a pointer to it (valid until the following next() call), or
+ * nullptr at end of trace. The cursor never allocates.
+ *
+ * The cursor reads through raw pointers, not a TraceBuffer, so the
+ * same decode loop runs over an in-memory buffer or an mmap'd trace
+ * file (MappedTrace in trace_io) — the payload and dictionaries just
+ * point into the map.
  */
 class TraceCursor
 {
   public:
     explicit TraceCursor(const TraceBuffer &buffer)
-        : buffer_(&buffer),
-          pos_(buffer.bytes_.data()),
-          end_(buffer.bytes_.data() + buffer.bytes_.size())
+        : TraceCursor(buffer.bytes_.data(),
+                      buffer.bytes_.data() + buffer.bytes_.size(),
+                      buffer.pc_dict_.data(), buffer.hint_dict_.data())
+    {}
+
+    /** Decode surface over raw packed parts (mmap'd trace files). */
+    TraceCursor(const std::uint8_t *begin, const std::uint8_t *end,
+                const Addr *pc_dict, const hints::Hint *hint_dict)
+        : begin_(begin), pos_(begin), end_(end), pc_dict_(pc_dict),
+          hint_dict_(hint_dict)
     {}
 
     /** Decode the next record; nullptr once the trace is exhausted. */
     const TraceRecord *next();
 
     /** Rewind to the first record. */
-    void
-    reset()
-    {
-        pos_ = buffer_->bytes_.data();
-    }
+    void reset() { pos_ = begin_; }
 
     bool done() const { return pos_ == end_; }
 
+    /** Current read position inside the packed payload. Streaming
+     *  consumers use it to release already-consumed pages. */
+    const std::uint8_t *position() const { return pos_; }
+
   private:
-    const TraceBuffer *buffer_;
+    const std::uint8_t *begin_;
     const std::uint8_t *pos_;
     const std::uint8_t *end_;
+    const Addr *pc_dict_;
+    const hints::Hint *hint_dict_;
     TraceRecord rec_;
 };
 

@@ -1,73 +1,70 @@
 #include "trace/trace_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <new>
 #include <ostream>
+
+#include "core/hashing.h"
 
 namespace csp::trace {
 
 namespace {
 
 constexpr char kMagic[8] = {'C', 'S', 'P', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
-/** On-disk record layout (packed, little-endian host assumed). */
-struct DiskRecord
-{
-    std::uint64_t pc;
-    std::uint64_t vaddr;
-    std::uint64_t reg_value;
-    std::uint64_t loaded_value;
-    std::uint32_t repeat;
-    std::uint32_t hint_imm;
-    std::uint8_t kind;
-    std::uint8_t size;
-    std::uint8_t flags; ///< bit0 dep_on_prev_load, bit1 taken
-    std::uint8_t pad = 0;
-};
-
+/**
+ * On-disk header (64 bytes, little-endian host assumed, 8-byte
+ * aligned so the sections after it stay aligned inside an mmap).
+ * Layout: header | pc dict (u64 each) | hint dict (DiskHint each) |
+ * packed payload.
+ */
 struct Header
 {
     char magic[8];
     std::uint32_t version;
     std::uint32_t reserved;
     std::uint64_t record_count;
+    std::uint64_t instructions;
+    std::uint64_t mem_accesses;
+    std::uint64_t content_digest;
+    std::uint32_t pc_dict_count;
+    std::uint32_t hint_dict_count;
+    std::uint64_t payload_bytes;
 };
+static_assert(sizeof(Header) == 64);
 
-DiskRecord
-pack(const TraceRecord &rec)
+/** On-disk hint-dictionary entry (hints::Hint has internal padding). */
+struct DiskHint
 {
-    DiskRecord disk{};
-    disk.pc = rec.pc;
-    disk.vaddr = rec.vaddr;
-    disk.reg_value = rec.reg_value;
-    disk.loaded_value = rec.loaded_value;
-    disk.repeat = rec.repeat;
-    disk.hint_imm = rec.hint.pack();
-    disk.kind = static_cast<std::uint8_t>(rec.kind);
-    disk.size = rec.size;
-    disk.flags = static_cast<std::uint8_t>(
-        (rec.dep_on_prev_load ? 1u : 0u) | (rec.taken ? 2u : 0u));
-    return disk;
+    std::uint16_t type_id;
+    std::uint16_t link_offset;
+    std::uint8_t ref_form;
+    std::uint8_t pad[3];
+};
+static_assert(sizeof(DiskHint) == 8);
+
+hints::Hint
+unpackHint(const DiskHint &disk)
+{
+    hints::Hint hint;
+    hint.type_id = disk.type_id;
+    hint.link_offset = disk.link_offset;
+    hint.ref_form = static_cast<hints::RefForm>(disk.ref_form);
+    return hint;
 }
 
-TraceRecord
-unpack(const DiskRecord &disk)
-{
-    TraceRecord rec;
-    rec.pc = disk.pc;
-    rec.vaddr = disk.vaddr;
-    rec.reg_value = disk.reg_value;
-    rec.loaded_value = disk.loaded_value;
-    rec.repeat = disk.repeat;
-    rec.hint = hints::Hint::unpack(disk.hint_imm);
-    rec.kind = static_cast<InstKind>(disk.kind);
-    rec.size = disk.size;
-    rec.dep_on_prev_load = (disk.flags & 1u) != 0;
-    rec.taken = (disk.flags & 2u) != 0;
-    return rec;
-}
+/** Window size for digest verification over a mapping (see
+ *  MappedTrace::open): bounds verification RSS without paying a
+ *  madvise per page. */
+constexpr std::size_t kVerifyWindowBytes = std::size_t{4} << 20;
 
 } // namespace
 
@@ -80,6 +77,7 @@ traceIoStatusName(TraceIoStatus status)
       case TraceIoStatus::BadMagic: return "bad-magic";
       case TraceIoStatus::BadVersion: return "bad-version";
       case TraceIoStatus::Truncated: return "truncated";
+      case TraceIoStatus::BadDigest: return "bad-digest";
     }
     return "?";
 }
@@ -91,14 +89,31 @@ saveTrace(const TraceBuffer &buffer, std::ostream &stream)
     std::memcpy(header.magic, kMagic, sizeof kMagic);
     header.version = kVersion;
     header.record_count = buffer.size();
+    header.instructions = buffer.instructions();
+    header.mem_accesses = buffer.memAccesses();
+    header.content_digest = buffer.contentDigest();
+    header.pc_dict_count =
+        static_cast<std::uint32_t>(buffer.pcDict().size());
+    header.hint_dict_count =
+        static_cast<std::uint32_t>(buffer.hintDict().size());
+    header.payload_bytes = buffer.packedBytes().size();
     stream.write(reinterpret_cast<const char *>(&header),
                  sizeof header);
-    TraceCursor cursor = buffer.cursor();
-    while (const TraceRecord *rec = cursor.next()) {
-        const DiskRecord disk = pack(*rec);
+    stream.write(
+        reinterpret_cast<const char *>(buffer.pcDict().data()),
+        static_cast<std::streamsize>(buffer.pcDict().size() *
+                                     sizeof(Addr)));
+    for (const hints::Hint &hint : buffer.hintDict()) {
+        DiskHint disk{};
+        disk.type_id = hint.type_id;
+        disk.link_offset = hint.link_offset;
+        disk.ref_form = static_cast<std::uint8_t>(hint.ref_form);
         stream.write(reinterpret_cast<const char *>(&disk),
                      sizeof disk);
     }
+    stream.write(
+        reinterpret_cast<const char *>(buffer.packedBytes().data()),
+        static_cast<std::streamsize>(buffer.packedBytes().size()));
     return static_cast<bool>(stream);
 }
 
@@ -114,20 +129,51 @@ saveTraceFile(const TraceBuffer &buffer, const std::string &path)
 TraceIoStatus
 loadTrace(std::istream &stream, TraceBuffer &buffer)
 {
+    // Magic is validated from its own read so an unrelated short file
+    // reports BadMagic, not Truncated.
     Header header{};
-    stream.read(reinterpret_cast<char *>(&header), sizeof header);
+    stream.read(header.magic, sizeof header.magic);
     if (!stream)
         return TraceIoStatus::Truncated;
     if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
         return TraceIoStatus::BadMagic;
+    stream.read(reinterpret_cast<char *>(&header) + sizeof header.magic,
+                sizeof header - sizeof header.magic);
+    if (!stream)
+        return TraceIoStatus::Truncated;
     if (header.version != kVersion)
         return TraceIoStatus::BadVersion;
-    for (std::uint64_t i = 0; i < header.record_count; ++i) {
-        DiskRecord disk{};
-        stream.read(reinterpret_cast<char *>(&disk), sizeof disk);
+    try {
+        std::vector<Addr> pc_dict(header.pc_dict_count);
+        stream.read(reinterpret_cast<char *>(pc_dict.data()),
+                    static_cast<std::streamsize>(pc_dict.size() *
+                                                 sizeof(Addr)));
+        std::vector<hints::Hint> hint_dict;
+        hint_dict.reserve(header.hint_dict_count);
+        for (std::uint32_t i = 0; i < header.hint_dict_count; ++i) {
+            DiskHint disk{};
+            stream.read(reinterpret_cast<char *>(&disk), sizeof disk);
+            hint_dict.push_back(unpackHint(disk));
+        }
+        std::vector<std::uint8_t> payload(header.payload_bytes);
+        stream.read(reinterpret_cast<char *>(payload.data()),
+                    static_cast<std::streamsize>(payload.size()));
         if (!stream)
             return TraceIoStatus::Truncated;
-        buffer.push(unpack(disk));
+        if (packedTraceDigest(header.record_count, header.instructions,
+                              payload.data(), payload.size(),
+                              pc_dict.data(), pc_dict.size(),
+                              hint_dict.data(), hint_dict.size()) !=
+            header.content_digest)
+            return TraceIoStatus::BadDigest;
+        buffer = TraceBuffer::fromPacked(
+            std::move(payload), std::move(pc_dict),
+            std::move(hint_dict), header.record_count,
+            header.instructions, header.mem_accesses);
+    } catch (const std::bad_alloc &) {
+        // A corrupt header can claim absurd section sizes; treat the
+        // failed allocation as the truncation it reflects.
+        return TraceIoStatus::Truncated;
     }
     return TraceIoStatus::Ok;
 }
@@ -139,6 +185,182 @@ loadTraceFile(const std::string &path, TraceBuffer &buffer)
     if (!stream)
         return TraceIoStatus::CannotOpen;
     return loadTrace(stream, buffer);
+}
+
+TraceIoStatus
+readTraceFileSummary(const std::string &path, TraceFileSummary &out)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        return TraceIoStatus::CannotOpen;
+    Header header{};
+    stream.read(header.magic, sizeof header.magic);
+    if (!stream)
+        return TraceIoStatus::Truncated;
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        return TraceIoStatus::BadMagic;
+    stream.read(reinterpret_cast<char *>(&header) + sizeof header.magic,
+                sizeof header - sizeof header.magic);
+    if (!stream)
+        return TraceIoStatus::Truncated;
+    if (header.version != kVersion)
+        return TraceIoStatus::BadVersion;
+    out.records = header.record_count;
+    out.instructions = header.instructions;
+    out.mem_accesses = header.mem_accesses;
+    out.content_digest = header.content_digest;
+    return TraceIoStatus::Ok;
+}
+
+MappedTrace &
+MappedTrace::operator=(MappedTrace &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    close();
+    base_ = other.base_;
+    map_len_ = other.map_len_;
+    payload_ = other.payload_;
+    payload_bytes_ = other.payload_bytes_;
+    pc_dict_ = std::move(other.pc_dict_);
+    hint_dict_ = std::move(other.hint_dict_);
+    record_count_ = other.record_count_;
+    instructions_ = other.instructions_;
+    mem_accesses_ = other.mem_accesses_;
+    content_digest_ = other.content_digest_;
+    released_ = other.released_;
+    other.base_ = nullptr;
+    other.map_len_ = 0;
+    other.payload_ = nullptr;
+    other.payload_bytes_ = 0;
+    return *this;
+}
+
+void
+MappedTrace::close()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, map_len_);
+    base_ = nullptr;
+    map_len_ = 0;
+    payload_ = nullptr;
+    payload_bytes_ = 0;
+    pc_dict_.clear();
+    hint_dict_.clear();
+    record_count_ = 0;
+    instructions_ = 0;
+    mem_accesses_ = 0;
+    content_digest_ = 0;
+    released_ = 0;
+}
+
+TraceIoStatus
+MappedTrace::open(const std::string &path, bool verify_digest)
+{
+    close();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return TraceIoStatus::CannotOpen;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return TraceIoStatus::CannotOpen;
+    }
+    const std::size_t file_len = static_cast<std::size_t>(st.st_size);
+    if (file_len < sizeof(std::uint64_t) + sizeof kMagic) {
+        ::close(fd);
+        return TraceIoStatus::Truncated;
+    }
+    void *base =
+        ::mmap(nullptr, file_len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED)
+        return TraceIoStatus::CannotOpen;
+    base_ = base;
+    map_len_ = file_len;
+
+    const auto *bytes = static_cast<const std::uint8_t *>(base_);
+    if (std::memcmp(bytes, kMagic, sizeof kMagic) != 0) {
+        close();
+        return TraceIoStatus::BadMagic;
+    }
+    if (file_len < sizeof(Header)) {
+        close();
+        return TraceIoStatus::Truncated;
+    }
+    Header header{};
+    std::memcpy(&header, bytes, sizeof header);
+    if (header.version != kVersion) {
+        close();
+        return TraceIoStatus::BadVersion;
+    }
+    const std::size_t pc_bytes =
+        std::size_t{header.pc_dict_count} * sizeof(Addr);
+    const std::size_t hint_bytes =
+        std::size_t{header.hint_dict_count} * sizeof(DiskHint);
+    const std::size_t payload_off =
+        sizeof(Header) + pc_bytes + hint_bytes;
+    if (payload_off > file_len ||
+        header.payload_bytes > file_len - payload_off) {
+        close();
+        return TraceIoStatus::Truncated;
+    }
+
+    pc_dict_.resize(header.pc_dict_count);
+    std::memcpy(pc_dict_.data(), bytes + sizeof(Header), pc_bytes);
+    hint_dict_.reserve(header.hint_dict_count);
+    for (std::uint32_t i = 0; i < header.hint_dict_count; ++i) {
+        DiskHint disk{};
+        std::memcpy(&disk,
+                    bytes + sizeof(Header) + pc_bytes +
+                        std::size_t{i} * sizeof(DiskHint),
+                    sizeof disk);
+        hint_dict_.push_back(unpackHint(disk));
+    }
+    payload_ = bytes + payload_off;
+    payload_bytes_ = header.payload_bytes;
+    record_count_ = header.record_count;
+    instructions_ = header.instructions;
+    mem_accesses_ = header.mem_accesses;
+    content_digest_ = header.content_digest;
+
+    if (verify_digest) {
+        std::uint64_t fnv = kFnv1aBasis;
+        for (std::size_t off = 0; off < payload_bytes_;
+             off += kVerifyWindowBytes) {
+            const std::size_t n =
+                std::min(kVerifyWindowBytes, payload_bytes_ - off);
+            fnv = fnv1aResume(fnv, {payload_ + off, n});
+            releaseConsumed(payload_ + off + n);
+        }
+        const std::uint64_t expect = packedTraceDigestPrehashed(
+            record_count_, instructions_, fnv, pc_dict_.data(),
+            pc_dict_.size(), hint_dict_.data(), hint_dict_.size());
+        if (expect != content_digest_) {
+            close();
+            return TraceIoStatus::BadDigest;
+        }
+        // Replay starts over from the first payload page; reset the
+        // high-water mark so its release bookkeeping stays monotonic.
+        released_ = 0;
+    }
+    return TraceIoStatus::Ok;
+}
+
+void
+MappedTrace::releaseConsumed(const std::uint8_t *upto) const
+{
+    if (base_ == nullptr)
+        return;
+    static const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    auto *base = static_cast<std::uint8_t *>(base_);
+    std::size_t off = static_cast<std::size_t>(upto - base);
+    off &= ~(page - 1);
+    if (off <= released_)
+        return;
+    ::madvise(base + released_, off - released_, MADV_DONTNEED);
+    released_ = off;
 }
 
 } // namespace csp::trace

@@ -1,0 +1,298 @@
+/** @file The scale-out sweep service's contract: a warm (fully
+ *  memoized) sweep does zero simulation work and emits byte-identical
+ *  artefacts; corrupt cache entries are detected and recomputed;
+ *  sharded sweeps merge bit-identically to an unsharded run; merges
+ *  of mismatched sweeps are refused. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/content_store.h"
+#include "core/profiling.h"
+#include "sim/experiment.h"
+#include "sim/result_cache.h"
+#include "sim/sweep_io.h"
+
+namespace csp::sim {
+namespace {
+
+const std::vector<std::string> kWorkloads = {"array", "list", "bst"};
+const std::vector<std::string> kPrefetchers = {"none", "stride",
+                                               "context"};
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/csp_scaleout_XXXXXX";
+        const char *made = mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        path = made != nullptr ? made : "";
+    }
+
+    ~TempDir()
+    {
+        if (!path.empty())
+            std::filesystem::remove_all(path);
+    }
+
+    std::string resultDir() const { return path + "/rc"; }
+    std::string traceDir() const { return path + "/tc"; }
+};
+
+SweepOptions
+cachedOptions(const TempDir &dirs, unsigned jobs = 4)
+{
+    SweepOptions options;
+    options.verbose = false;
+    options.jobs = jobs;
+    options.use_result_cache = true;
+    options.use_trace_cache = true;
+    options.result_cache_dir = dirs.resultDir();
+    options.trace_cache_dir = dirs.traceDir();
+    return options;
+}
+
+SweepResult
+sweep(const SweepOptions &options, std::uint64_t seed = 1)
+{
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 12000;
+    params.seed = seed;
+    return runSweep(kWorkloads, kPrefetchers, params, config,
+                    options);
+}
+
+std::string
+cellCsv(const SweepResult &result)
+{
+    std::ostringstream out;
+    writeSweepCsv(out, result);
+    return out.str();
+}
+
+TEST(ResultCache, WarmSweepIsByteIdenticalAndDoesZeroWork)
+{
+    TempDir dirs;
+    SweepOptions uncached;
+    uncached.verbose = false;
+    uncached.jobs = 4;
+    const SweepResult baseline = sweep(uncached);
+
+    const SweepResult cold = sweep(cachedOptions(dirs));
+    EXPECT_EQ(cold.cells_simulated, kWorkloads.size() *
+                                        kPrefetchers.size());
+    EXPECT_EQ(cold.cells_cached, 0u);
+    EXPECT_EQ(cold.trace_cache_hits, 0u);
+    // Caching must be invisible in the deterministic cell data.
+    EXPECT_EQ(cellCsv(baseline), cellCsv(cold));
+
+    prof::Profiler sink;
+    SweepOptions warm_options = cachedOptions(dirs);
+    warm_options.profiler_sink = &sink;
+    const SweepResult warm = sweep(warm_options);
+    EXPECT_EQ(warm.cells_cached,
+              kWorkloads.size() * kPrefetchers.size());
+    EXPECT_EQ(warm.cells_simulated, 0u);
+    EXPECT_EQ(warm.trace_cache_hits, kWorkloads.size());
+    EXPECT_EQ(cellCsv(cold), cellCsv(warm));
+    // Zero simulation work, asserted via the aggregate prof.*
+    // counters: no trace generation, no replay, no memory accesses.
+    EXPECT_EQ(sink.calls(prof::Phase::TraceGen), 0u);
+    EXPECT_EQ(sink.calls(prof::Phase::Replay), 0u);
+    EXPECT_EQ(sink.calls(prof::Phase::MemAccess), 0u);
+    // Manifests of cold and warm describe the same experiment.
+    EXPECT_EQ(cold.manifest.config_digest,
+              warm.manifest.config_digest);
+    EXPECT_EQ(cold.manifest.trace_digest, warm.manifest.trace_digest);
+    EXPECT_EQ(cold.manifest.trace_instructions,
+              warm.manifest.trace_instructions);
+}
+
+TEST(ResultCache, TruncatedEntryIsRecomputed)
+{
+    TempDir dirs;
+    const SweepResult cold = sweep(cachedOptions(dirs));
+
+    // Truncate one entry: it must be detected and recomputed, not
+    // trusted and not fatal.
+    std::vector<std::string> entries;
+    for (const auto &file :
+         std::filesystem::directory_iterator(dirs.resultDir()))
+        entries.push_back(file.path().string());
+    ASSERT_EQ(entries.size(),
+              kWorkloads.size() * kPrefetchers.size());
+    std::sort(entries.begin(), entries.end());
+    std::string text;
+    ASSERT_TRUE(readFileToString(entries.front(), text));
+    std::ofstream truncated(entries.front(), std::ios::trunc);
+    truncated << text.substr(0, text.size() / 2);
+    truncated.close();
+
+    const SweepResult warm = sweep(cachedOptions(dirs));
+    EXPECT_EQ(warm.cells_cached,
+              kWorkloads.size() * kPrefetchers.size() - 1);
+    EXPECT_EQ(warm.cells_simulated, 1u);
+    EXPECT_EQ(cellCsv(cold), cellCsv(warm));
+}
+
+TEST(ResultCache, TamperedStatsFailTheDigestRecheck)
+{
+    TempDir dirs;
+    const SweepResult cold = sweep(cachedOptions(dirs));
+
+    // Bump one digit of a stored counter: the JSON stays well-formed
+    // and the key block still matches, so only the payload-digest
+    // re-check can catch it.
+    std::vector<std::string> entries;
+    for (const auto &file :
+         std::filesystem::directory_iterator(dirs.resultDir()))
+        entries.push_back(file.path().string());
+    std::sort(entries.begin(), entries.end());
+    std::string text;
+    ASSERT_TRUE(readFileToString(entries.front(), text));
+    const std::size_t pos = text.find("\"cycles\":");
+    ASSERT_NE(pos, std::string::npos);
+    char &digit = text[pos + std::string("\"cycles\":").size()];
+    ASSERT_TRUE(digit >= '0' && digit <= '9');
+    digit = static_cast<char>('0' + (digit - '0' + 1) % 10);
+    {
+        std::ofstream out(entries.front(), std::ios::trunc);
+        out << text;
+    }
+
+    const SweepResult warm = sweep(cachedOptions(dirs));
+    EXPECT_EQ(warm.cells_simulated, 1u);
+    EXPECT_EQ(cellCsv(cold), cellCsv(warm));
+}
+
+TEST(ResultCache, EntryRefusesServingAForeignKey)
+{
+    TempDir dirs;
+    RunStats stats;
+    stats.instructions = 123;
+    stats.cycles = 456;
+    stats.hierarchy.l1_misses = 7;
+    CellKey key;
+    key.config_digest = 0x1111;
+    key.trace_digest = 0x2222;
+    key.workload = "array";
+    key.prefetcher = "stride";
+    key.scale = 1000;
+    key.seed = 1;
+    key.placement = "rand";
+    const ResultCache cache(dirs.resultDir());
+    ASSERT_TRUE(ensureDirectories(cache.root()));
+    ASSERT_TRUE(cache.store(key, stats, "testsha"));
+
+    RunStats loaded;
+    ASSERT_TRUE(cache.load(key, loaded));
+    EXPECT_EQ(runStatsDigest(loaded), runStatsDigest(stats));
+
+    // A mis-keyed write (or an address collision) must be detected by
+    // the stored identity, not silently served.
+    CellKey other = key;
+    other.prefetcher = "context";
+    std::string entry;
+    ASSERT_TRUE(readFileToString(cache.entryPath(key), entry));
+    ASSERT_TRUE(atomicWriteFile(cache.entryPath(other), entry));
+    EXPECT_FALSE(cache.load(other, loaded));
+}
+
+TEST(ResultCache, ShardsMergeByteIdenticalToUnsharded)
+{
+    SweepOptions unsharded;
+    unsharded.verbose = false;
+    unsharded.jobs = 4;
+    const SweepResult full = sweep(unsharded);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        std::vector<SweepResult> shards;
+        std::size_t present_total = 0;
+        for (unsigned i = 0; i < 3; ++i) {
+            SweepOptions options;
+            options.verbose = false;
+            options.jobs = jobs;
+            options.shard_index = i;
+            options.shard_count = 3;
+            shards.push_back(sweep(options));
+            for (const CellResult &cell : shards.back().cells)
+                present_total += cell.present ? 1 : 0;
+        }
+        EXPECT_EQ(present_total, full.cells.size()) << "jobs " << jobs;
+        SweepResult merged;
+        std::string error;
+        ASSERT_TRUE(mergeSweeps(shards, merged, &error)) << error;
+        EXPECT_EQ(cellCsv(full), cellCsv(merged)) << "jobs " << jobs;
+    }
+}
+
+TEST(ResultCache, MergeRefusesMismatchedSweeps)
+{
+    SweepOptions options;
+    options.verbose = false;
+    options.jobs = 2;
+    options.shard_count = 2;
+    options.shard_index = 0;
+    const SweepResult shard0 = sweep(options);
+    options.shard_index = 1;
+    const SweepResult other_seed = sweep(options, /*seed=*/7);
+
+    SweepResult merged;
+    std::string error;
+    EXPECT_FALSE(mergeSweeps({shard0, other_seed}, merged, &error));
+    EXPECT_FALSE(error.empty());
+
+    // Incomplete coverage is refused too.
+    error.clear();
+    EXPECT_FALSE(mergeSweeps({shard0}, merged, &error));
+    EXPECT_FALSE(error.empty());
+
+    // A duplicated shard is a double-owned cell.
+    error.clear();
+    EXPECT_FALSE(mergeSweeps({shard0, shard0}, merged, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ResultCache, SweepJsonRoundTrips)
+{
+    TempDir dirs;
+    SweepOptions options;
+    options.verbose = false;
+    options.jobs = 2;
+    SweepResult result = sweep(options);
+    // Pin the derived timing doubles to exactly representable values
+    // so the byte-identity below is not at the mercy of printf
+    // round-tripping 16-significant-digit doubles.
+    result.manifest.trace_gen_seconds = 0.125;
+    result.manifest.sim_seconds = 0.25;
+    result.manifest.insts_per_sec = 1536.5;
+
+    std::ostringstream first;
+    writeSweepJson(first, result);
+    const std::string path = dirs.path + "/sweep.json";
+    {
+        std::ofstream out(path);
+        out << first.str();
+    }
+    SweepResult reread;
+    std::string error;
+    ASSERT_TRUE(readSweepJson(path, reread, &error)) << error;
+    std::ostringstream second;
+    writeSweepJson(second, reread);
+    EXPECT_EQ(first.str(), second.str());
+    EXPECT_EQ(cellCsv(result), cellCsv(reread));
+}
+
+} // namespace
+} // namespace csp::sim

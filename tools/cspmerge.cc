@@ -1,0 +1,108 @@
+/**
+ * @file
+ * cspmerge — reassemble sharded sweep artefacts.
+ *
+ * Each `cspsim --workloads ... --shard I/N --sweep-out shardI.json`
+ * process owns a disjoint subset of the sweep grid. cspmerge folds the
+ * shard artefacts back into one complete sweep: the merged cell CSV is
+ * byte-identical to an unsharded run of the same sweep (the
+ * determinism contract makes cell stats independent of which process
+ * computed them), and the merge refuses shards whose manifests
+ * disagree on what was swept.
+ *
+ * Examples:
+ *   cspmerge shard0.json shard1.json shard2.json
+ *   cspmerge shards/*.json --out merged.json --csv merged.csv
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "sim/sweep_io.h"
+
+namespace {
+
+using namespace csp;
+
+void
+usage()
+{
+    std::cout <<
+        "usage: cspmerge SHARD.json... [options]\n"
+        "  --out FILE   write the merged csp-sweep-v1 artefact\n"
+        "  --csv FILE   write the merged cell CSV (byte-identical to\n"
+        "               an unsharded run's stdout CSV)\n"
+        "Without --csv the merged CSV goes to stdout.\n"
+        "Exits 1 when shards disagree on what was swept, a cell is\n"
+        "owned twice, or coverage is incomplete.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> shard_paths;
+    std::string out_path;
+    std::string csv_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&](int &j) -> const char * {
+            if (j + 1 >= argc)
+                fatal("missing value for %s", argv[j]);
+            return argv[++j];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--out") {
+            out_path = need_value(i);
+        } else if (arg == "--csv") {
+            csv_path = need_value(i);
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown option: %s (try --help)", arg.c_str());
+        } else {
+            shard_paths.push_back(arg);
+        }
+    }
+    if (shard_paths.empty()) {
+        usage();
+        return 1;
+    }
+
+    std::vector<sim::SweepResult> shards;
+    shards.reserve(shard_paths.size());
+    for (const std::string &path : shard_paths) {
+        sim::SweepResult shard;
+        std::string error;
+        if (!sim::readSweepJson(path, shard, &error))
+            fatal("%s: %s", path.c_str(), error.c_str());
+        shards.push_back(std::move(shard));
+    }
+
+    sim::SweepResult merged;
+    std::string error;
+    if (!sim::mergeSweeps(shards, merged, &error))
+        fatal("%s", error.c_str());
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot write %s", out_path.c_str());
+        sim::writeSweepJson(out, merged);
+    }
+    if (!csv_path.empty()) {
+        std::ofstream csv(csv_path);
+        if (!csv)
+            fatal("cannot write %s", csv_path.c_str());
+        sim::writeSweepCsv(csv, merged);
+    } else {
+        sim::writeSweepCsv(std::cout, merged);
+    }
+    return 0;
+}

@@ -37,7 +37,9 @@
 #include "obs/trace_events.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "sim/experiment.h"
+#include "sim/result_cache.h"
 #include "sim/simulator.h"
+#include "sim/sweep_io.h"
 #include "sim/table.h"
 #include "trace/trace_io.h"
 #include "workloads/registry.h"
@@ -72,6 +74,15 @@ struct Options
     std::uint64_t trace_sample = 1;
     std::string learn_out;
     std::uint64_t learn_snapshot_every = 0; ///< 0 = auto (~32/run)
+    // Sweep-service mode (--workloads): cached, shardable grid runs.
+    std::string sweep_workloads;
+    std::string sweep_out;
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
+    bool no_result_cache = false;
+    bool no_trace_cache = false;
+    std::string result_cache_dir;
+    std::string trace_cache_dir;
     SystemConfig config;
 };
 
@@ -135,6 +146,34 @@ usage()
         "                           predict, memory, stats flush) under\n"
         "                           prof.* in --stats-out, plus a\n"
         "                           summary on stderr; off = zero-cost\n"
+        "  --workloads LIST         sweep mode: run every workload in\n"
+        "                           LIST (comma-separated, or one of\n"
+        "                           all/ubench/spec/irregular) against\n"
+        "                           every --prefetcher; prints the cell\n"
+        "                           matrix as CSV on stdout. Cells are\n"
+        "                           memoized in the result cache and\n"
+        "                           traces in the trace cache, so a\n"
+        "                           repeated sweep does zero simulation\n"
+        "                           work with byte-identical output\n"
+        "  --sweep-out FILE         write the sweep artefact (manifest,\n"
+        "                           cache/shard accounting, cells) as\n"
+        "                           csp-sweep-v1 JSON; shards feed these\n"
+        "                           files to cspmerge\n"
+        "  --shard I/N              own only every N-th cell (rank I) of\n"
+        "                           the sweep's longest-first schedule;\n"
+        "                           N independent shard processes cover\n"
+        "                           the grid and cspmerge reassembles\n"
+        "                           bit-identically\n"
+        "  --no-result-cache        always simulate (or set\n"
+        "                           CSP_RESULT_CACHE=0)\n"
+        "  --no-trace-cache         always regenerate traces (or set\n"
+        "                           CSP_TRACE_CACHE=0)\n"
+        "  --result-cache-dir DIR   result cache location (default\n"
+        "                           $CSP_RESULT_CACHE_DIR, else\n"
+        "                           results/cache)\n"
+        "  --trace-cache DIR        trace cache location (default\n"
+        "                           $CSP_TRACE_CACHE_DIR, else\n"
+        "                           traces/cache)\n"
         "  --manifest               print the run-provenance manifest\n"
         "                           (build, config digest, host) as\n"
         "                           JSON and exit\n"
@@ -212,6 +251,26 @@ parse(int argc, char **argv)
                 std::strtoull(need_value(i), nullptr, 10);
         } else if (arg == "--profile") {
             options.profile = true;
+        } else if (arg == "--workloads") {
+            options.sweep_workloads = need_value(i);
+        } else if (arg == "--sweep-out") {
+            options.sweep_out = need_value(i);
+        } else if (arg == "--shard") {
+            const char *spec = need_value(i);
+            if (std::sscanf(spec, "%u/%u", &options.shard_index,
+                            &options.shard_count) != 2 ||
+                options.shard_count == 0 ||
+                options.shard_index >= options.shard_count) {
+                fatal("--shard wants I/N with I < N, got %s", spec);
+            }
+        } else if (arg == "--no-result-cache") {
+            options.no_result_cache = true;
+        } else if (arg == "--no-trace-cache") {
+            options.no_trace_cache = true;
+        } else if (arg == "--result-cache-dir") {
+            options.result_cache_dir = need_value(i);
+        } else if (arg == "--trace-cache") {
+            options.trace_cache_dir = need_value(i);
         } else if (arg == "--manifest") {
             options.print_manifest = true;
         } else if (arg == "--trace-sample") {
@@ -244,6 +303,32 @@ prefetcherList(const std::string &selection)
     if (selection == "all")
         return sim::paperPrefetchers();
     return {selection};
+}
+
+std::vector<std::string>
+sweepWorkloadList(const std::string &selection)
+{
+    if (selection == "all")
+        return sim::allWorkloads();
+    if (selection == "ubench")
+        return sim::ubenchWorkloads();
+    if (selection == "spec")
+        return sim::specWorkloads();
+    if (selection == "irregular")
+        return sim::irregularWorkloads();
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start < selection.size()) {
+        const std::size_t comma = selection.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? selection.size() : comma;
+        if (end > start)
+            names.push_back(selection.substr(start, end - start));
+        start = end + 1;
+    }
+    if (names.empty())
+        fatal("--workloads got an empty list");
+    return names;
 }
 
 trace::TraceBuffer
@@ -418,6 +503,43 @@ main(int argc, char **argv)
                                                             : "rand";
     if (options.print_manifest) {
         std::cout << manifest.toJson() << '\n';
+        return 0;
+    }
+
+    // Sweep-service mode: the whole grid (or one shard of it) through
+    // runSweep with both caches on by default — the flags/env knobs
+    // above opt out. stdout carries the deterministic cell CSV;
+    // --sweep-out carries the full artefact for cspmerge/cspdiff.
+    if (!options.sweep_workloads.empty()) {
+        workloads::WorkloadParams params;
+        params.scale = options.scale;
+        params.seed = options.seed;
+        params.placement = options.placement;
+        sim::SweepOptions sweep_opts;
+        sweep_opts.verbose = options.verbose;
+        sweep_opts.jobs = options.jobs;
+        sweep_opts.use_result_cache = !options.no_result_cache &&
+                                      sim::resultCacheEnabledByEnv();
+        sweep_opts.use_trace_cache = !options.no_trace_cache &&
+                                     sim::traceCacheEnabledByEnv();
+        sweep_opts.result_cache_dir = options.result_cache_dir;
+        sweep_opts.trace_cache_dir = options.trace_cache_dir;
+        sweep_opts.shard_index = options.shard_index;
+        sweep_opts.shard_count = options.shard_count;
+        const sim::SweepResult result = sim::runSweep(
+            sweepWorkloadList(options.sweep_workloads),
+            prefetcherList(options.prefetcher), params,
+            options.config, sweep_opts);
+        if (!options.sweep_out.empty()) {
+            std::ostringstream doc;
+            sim::writeSweepJson(doc, result);
+            writeFile(options.sweep_out, doc.str());
+            if (options.verbose) {
+                inform("wrote sweep artefact to %s",
+                       options.sweep_out.c_str());
+            }
+        }
+        sim::writeSweepCsv(std::cout, result);
         return 0;
     }
 
