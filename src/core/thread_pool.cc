@@ -4,6 +4,17 @@
 
 namespace csp {
 
+namespace {
+/** -1 off-pool; workerLoop entry assigns the pool-local index. */
+thread_local int tls_worker_id = -1;
+} // namespace
+
+int
+ThreadPool::currentWorkerId()
+{
+    return tls_worker_id;
+}
+
 unsigned
 ThreadPool::defaultJobs()
 {
@@ -21,8 +32,12 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads == 0)
         threads = defaultJobs();
     workers_.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i] {
+            tls_worker_id = static_cast<int>(i);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

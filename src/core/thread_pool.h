@@ -63,6 +63,14 @@ class ThreadPool
      */
     static unsigned defaultJobs();
 
+    /**
+     * Index of the calling pool worker thread (0-based within its
+     * pool), or -1 off-pool. Worker attribution for observability
+     * (sweep journal cell events); never consulted for scheduling, so
+     * it cannot influence results.
+     */
+    static int currentWorkerId();
+
   private:
     void workerLoop();
 

@@ -1,0 +1,732 @@
+#include "diff/sweep_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "core/content_store.h"
+
+namespace csp::diff {
+
+namespace {
+
+std::uint64_t
+parseU64Text(const std::string &text, std::uint64_t fallback)
+{
+    if (text.empty())
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::string
+fmtMs(std::uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ns) / 1e6);
+    return buf;
+}
+
+std::string
+fmtSec(double seconds)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", seconds);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * fraction);
+    return buf;
+}
+
+std::string
+fmtMInsts(std::uint64_t insts)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fM",
+                  static_cast<double>(insts) / 1e6);
+    return buf;
+}
+
+/** Exact percentile over a sorted sample vector: the value of rank
+ *  ceil(p * n) (1-based), the same convention Log2Histogram uses but
+ *  sample-exact since the summary has every duration. */
+std::uint64_t
+exactPercentile(const std::vector<std::uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank = p * static_cast<double>(sorted.size());
+    std::size_t idx =
+        rank <= 1.0 ? 0
+                    : static_cast<std::size_t>(rank + 0.9999999) - 1;
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+void
+padTo(std::string &line, std::size_t column)
+{
+    if (line.size() < column)
+        line.append(column - line.size(), ' ');
+}
+
+/** Right-align @p text into a cell ending at @p line's current target
+ *  width. Tables below are built from these so the renderer never
+ *  depends on iostream locale state. */
+std::string
+rightAlign(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+struct CellEndInfo
+{
+    const SweepEvent *event = nullptr;
+    std::uint64_t duration_ns = 0;
+    bool cached = false;
+};
+
+} // namespace
+
+std::uint64_t
+SweepEvent::u64(const std::string &key, std::uint64_t fallback) const
+{
+    const FlatValue *value = doc.find(key);
+    if (value == nullptr || !value->is_number)
+        return fallback;
+    return parseU64Text(value->text, fallback);
+}
+
+std::string
+SweepEvent::text(const std::string &key) const
+{
+    const FlatValue *value = doc.find(key);
+    return value == nullptr ? std::string() : value->text;
+}
+
+const SweepEvent *
+SweepJournal::first(const std::string &type) const
+{
+    for (const SweepEvent &event : events) {
+        if (event.type == type)
+            return &event;
+    }
+    return nullptr;
+}
+
+const SweepEvent *
+SweepJournal::last(const std::string &type) const
+{
+    const SweepEvent *found = nullptr;
+    for (const SweepEvent &event : events) {
+        if (event.type == type)
+            found = &event;
+    }
+    return found;
+}
+
+bool
+parseJournal(const std::string &text, SweepJournal &out,
+             std::string *error)
+{
+    out.events.clear();
+    std::size_t start = 0;
+    std::size_t line_no = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        ++line_no;
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        SweepEvent event;
+        event.line = line;
+        std::string parse_error;
+        if (!parseJsonFlat(line, event.doc, &parse_error)) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(line_no) + ": " +
+                         parse_error;
+            }
+            return false;
+        }
+        const FlatValue *type = event.doc.find("event");
+        if (type == nullptr || type->text.empty()) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(line_no) +
+                         ": missing \"event\" field";
+            }
+            return false;
+        }
+        event.type = type->text;
+        const FlatValue *t_ns = event.doc.find("t_ns");
+        const FlatValue *seq = event.doc.find("seq");
+        const FlatValue *shard = event.doc.find("shard");
+        if (t_ns == nullptr || !t_ns->is_number || seq == nullptr ||
+            !seq->is_number || shard == nullptr ||
+            !shard->is_number) {
+            if (error != nullptr) {
+                *error = "line " + std::to_string(line_no) +
+                         ": missing t_ns/seq/shard";
+            }
+            return false;
+        }
+        event.t_ns = parseU64Text(t_ns->text, 0);
+        event.seq = parseU64Text(seq->text, 0);
+        event.shard = parseU64Text(shard->text, 0);
+        out.events.push_back(std::move(event));
+    }
+    return true;
+}
+
+bool
+readJournal(const std::string &path, SweepJournal &out,
+            std::string *error)
+{
+    std::string text;
+    if (!readFileToString(path, text)) {
+        if (error != nullptr)
+            *error = "cannot read " + path;
+        return false;
+    }
+    if (!parseJournal(text, out, error)) {
+        if (error != nullptr)
+            *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+bool
+journalIdentity(const SweepJournal &journal, JournalIdentity &out,
+                std::string *error)
+{
+    const SweepEvent *start = journal.first("sweep_start");
+    if (start == nullptr) {
+        if (error != nullptr)
+            *error = "no sweep_start event (not a sweep journal?)";
+        return false;
+    }
+    out.config_digest = start->text("config_digest");
+    out.seed = start->u64("seed");
+    out.scale = start->u64("scale");
+    out.placement = start->text("placement");
+    out.workloads = start->text("workloads");
+    out.prefetchers = start->text("prefetchers");
+    out.shard_count = start->u64("shard_count", 1);
+    out.shard_index = start->shard;
+    out.unix_ns = start->u64("unix_ns");
+    return true;
+}
+
+bool
+renderSweepSummary(const SweepJournal &journal, std::ostream &out,
+                   std::string *error,
+                   const SweepReportOptions &options)
+{
+    JournalIdentity id;
+    if (!journalIdentity(journal, id, error))
+        return false;
+
+    // Per-shard journal-open wall clock, for span across merged
+    // journals; single journals span [0, max t_ns].
+    std::map<std::uint64_t, std::uint64_t> shard_unix;
+    std::uint64_t shard_count_seen = 0;
+    for (const SweepEvent &event : journal.events) {
+        if (event.type == "sweep_start") {
+            shard_unix[event.shard] = event.u64("unix_ns");
+            ++shard_count_seen;
+        }
+    }
+    std::uint64_t span_ns = 0;
+    {
+        std::uint64_t min_abs = UINT64_MAX, max_abs = 0;
+        for (const SweepEvent &event : journal.events) {
+            const auto it = shard_unix.find(event.shard);
+            const std::uint64_t base =
+                it == shard_unix.end() ? 0 : it->second;
+            min_abs = std::min(min_abs, base);
+            max_abs = std::max(max_abs, base + event.t_ns);
+        }
+        span_ns = max_abs >= min_abs ? max_abs - min_abs : 0;
+    }
+
+    // Collect the cell matrix actually recorded.
+    std::vector<CellEndInfo> cells;
+    std::vector<std::uint64_t> all_ns, cached_ns, simulated_ns;
+    std::uint64_t read_ns = 0, parse_ns = 0, entry_bytes = 0;
+    std::uint64_t cached_wall_ns = 0;
+    std::uint64_t verify_failures = 0;
+    std::uint64_t trace_cache = 0, trace_gen = 0, trace_load = 0;
+    std::uint64_t trace_gen_ns = 0;
+    std::uint64_t evicted = 0, evicted_bytes = 0;
+    struct WorkloadAgg
+    {
+        std::uint64_t cells = 0, cached = 0;
+        std::uint64_t total_ns = 0, max_ns = 0;
+    };
+    std::map<std::string, WorkloadAgg> by_workload;
+    struct WorkerAgg
+    {
+        std::uint64_t cells = 0, busy_ns = 0;
+    };
+    std::map<std::pair<std::uint64_t, std::uint64_t>, WorkerAgg>
+        by_worker;
+    for (const SweepEvent &event : journal.events) {
+        if (event.type == "cell_end") {
+            CellEndInfo info;
+            info.event = &event;
+            info.duration_ns = event.u64("duration_ns");
+            info.cached = event.text("source") == "cached";
+            cells.push_back(info);
+            all_ns.push_back(info.duration_ns);
+            (info.cached ? cached_ns : simulated_ns)
+                .push_back(info.duration_ns);
+            if (info.cached) {
+                read_ns += event.u64("read_ns");
+                parse_ns += event.u64("parse_ns");
+                entry_bytes += event.u64("bytes");
+                cached_wall_ns += info.duration_ns;
+            }
+            verify_failures += event.u64("verify_failed");
+            WorkloadAgg &w = by_workload[event.text("workload")];
+            ++w.cells;
+            w.cached += info.cached ? 1 : 0;
+            w.total_ns += info.duration_ns;
+            w.max_ns = std::max(w.max_ns, info.duration_ns);
+            WorkerAgg &worker =
+                by_worker[{event.shard, event.u64("worker")}];
+            ++worker.cells;
+            worker.busy_ns += info.duration_ns;
+        } else if (event.type == "trace_cache") {
+            ++trace_cache;
+        } else if (event.type == "trace_gen") {
+            ++trace_gen;
+            trace_gen_ns += event.u64("duration_ns");
+        } else if (event.type == "trace_load") {
+            ++trace_load;
+        } else if (event.type == "evict") {
+            ++evicted;
+            evicted_bytes += event.u64("bytes");
+        }
+    }
+    std::sort(all_ns.begin(), all_ns.end());
+    std::sort(cached_ns.begin(), cached_ns.end());
+    std::sort(simulated_ns.begin(), simulated_ns.end());
+
+    out << "sweep observatory summary\n"
+        << "=========================\n";
+    out << "journal : " << shard_count_seen << " shard journal(s), "
+        << journal.events.size() << " events, span " << fmtMs(span_ns)
+        << " ms\n";
+    out << "sweep   : workloads=" << id.workloads
+        << " prefetchers=" << id.prefetchers << "\n"
+        << "          scale=" << id.scale << " seed=" << id.seed
+        << " placement=" << id.placement
+        << " config=" << id.config_digest << " shards="
+        << id.shard_count << "\n";
+    const std::uint64_t n_cached = cached_ns.size();
+    const std::uint64_t n_simulated = simulated_ns.size();
+    const std::uint64_t n_cells = all_ns.size();
+    out << "cells   : " << n_cells << " completed | " << n_cached
+        << " cached ("
+        << (n_cells == 0
+                ? std::string("n/a")
+                : fmtPct(static_cast<double>(n_cached) /
+                         static_cast<double>(n_cells)))
+        << " hit rate) | " << n_simulated << " simulated | "
+        << verify_failures << " verify failure(s)\n";
+    out << "traces  : " << trace_cache << " cache hit(s), "
+        << trace_gen << " generated (" << fmtMs(trace_gen_ns)
+        << " ms), " << trace_load << " loaded\n";
+
+    const auto durationRow = [&](const char *label,
+                                 const std::vector<std::uint64_t>
+                                     &sorted) {
+        std::string line = "  ";
+        line += label;
+        padTo(line, 22);
+        line += rightAlign(std::to_string(sorted.size()), 7);
+        for (const double p : {0.50, 0.90, 0.99}) {
+            line +=
+                rightAlign(fmtMs(exactPercentile(sorted, p)), 11);
+        }
+        line += rightAlign(
+            fmtMs(sorted.empty() ? 0 : sorted.back()), 11);
+        out << line << "\n";
+    };
+    out << "\ncell duration (ms)     count        p50        p90"
+           "        p99        max\n";
+    durationRow("all", all_ns);
+    durationRow("cached", cached_ns);
+    durationRow("simulated", simulated_ns);
+
+    if (n_cached != 0) {
+        // The cold-vs-warm attribution the ROADMAP asked for: where a
+        // memoized cell's wall-clock actually goes.
+        const std::uint64_t other_ns =
+            cached_wall_ns > read_ns + parse_ns
+                ? cached_wall_ns - read_ns - parse_ns
+                : 0;
+        const double wall =
+            static_cast<double>(std::max<std::uint64_t>(
+                cached_wall_ns, 1));
+        out << "\nwarm-path attribution (cached cells, "
+            << fmtMs(cached_wall_ns) << " ms wall):\n"
+            << "  read  " << fmtMs(read_ns) << " ms ("
+            << fmtPct(static_cast<double>(read_ns) / wall)
+            << ") | parse " << fmtMs(parse_ns) << " ms ("
+            << fmtPct(static_cast<double>(parse_ns) / wall)
+            << ") | other " << fmtMs(other_ns) << " ms\n"
+            << "  entries " << entry_bytes << " bytes total, mean "
+            << (n_cached == 0 ? 0 : entry_bytes / n_cached)
+            << " bytes/entry\n";
+    }
+
+    if (!by_workload.empty()) {
+        out << "\nper-workload:\n"
+            << "  workload            cells  cached   total-ms"
+               "    mean-ms     max-ms\n";
+        // Identity order (the sweep's own workload order) keeps the
+        // table deterministic and familiar; stray names (never
+        // emitted by runSweep) sort after, alphabetically.
+        std::vector<std::string> order;
+        std::size_t start = 0;
+        const std::string &joined = id.workloads;
+        while (start <= joined.size()) {
+            const std::size_t comma = joined.find(',', start);
+            const std::size_t end =
+                comma == std::string::npos ? joined.size() : comma;
+            if (end > start)
+                order.push_back(joined.substr(start, end - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        for (const auto &[name, agg] : by_workload) {
+            if (std::find(order.begin(), order.end(), name) ==
+                order.end())
+                order.push_back(name);
+        }
+        std::size_t rows = 0;
+        for (const std::string &name : order) {
+            const auto it = by_workload.find(name);
+            if (it == by_workload.end())
+                continue;
+            if (rows++ >= options.max_workloads) {
+                out << "  ... (" << by_workload.size()
+                    << " workloads total)\n";
+                break;
+            }
+            const WorkloadAgg &agg = it->second;
+            std::string line = "  " + name;
+            padTo(line, 22);
+            line += rightAlign(std::to_string(agg.cells), 5);
+            line += rightAlign(std::to_string(agg.cached), 8);
+            line += rightAlign(fmtMs(agg.total_ns), 11);
+            line += rightAlign(
+                fmtMs(agg.cells == 0 ? 0 : agg.total_ns / agg.cells),
+                11);
+            line += rightAlign(fmtMs(agg.max_ns), 11);
+            out << line << "\n";
+        }
+    }
+
+    if (!cells.empty()) {
+        // The critical path of a longest-first schedule is its
+        // longest cells; these rows are where sweep wall-clock goes.
+        std::vector<const CellEndInfo *> longest;
+        longest.reserve(cells.size());
+        for (const CellEndInfo &info : cells)
+            longest.push_back(&info);
+        std::sort(longest.begin(), longest.end(),
+                  [](const CellEndInfo *a, const CellEndInfo *b) {
+                      if (a->duration_ns != b->duration_ns)
+                          return a->duration_ns > b->duration_ns;
+                      if (a->event->shard != b->event->shard)
+                          return a->event->shard < b->event->shard;
+                      return a->event->seq < b->event->seq;
+                  });
+        out << "\nstragglers (longest cells):\n"
+            << "  #  workload            prefetcher  source     "
+               "shard  worker  duration-ms\n";
+        for (std::size_t i = 0;
+             i < longest.size() && i < options.max_stragglers; ++i) {
+            const CellEndInfo &info = *longest[i];
+            std::string line =
+                "  " + std::to_string(i + 1) + "  " +
+                info.event->text("workload");
+            padTo(line, 25);
+            line += info.event->text("prefetcher");
+            padTo(line, 37);
+            line += info.cached ? "cached" : "simulated";
+            padTo(line, 48);
+            line += rightAlign(std::to_string(info.event->shard), 5);
+            line += rightAlign(
+                std::to_string(info.event->u64("worker")), 8);
+            line += rightAlign(fmtMs(info.duration_ns), 13);
+            out << line << "\n";
+        }
+    }
+
+    if (!by_worker.empty()) {
+        std::uint64_t busy_total = 0;
+        for (const auto &[key, agg] : by_worker)
+            busy_total += agg.busy_ns;
+        out << "\nworkers:\n"
+            << "  shard  worker  cells    busy-ms   share\n";
+        for (const auto &[key, agg] : by_worker) {
+            std::string line = "  ";
+            line += rightAlign(std::to_string(key.first), 5);
+            line += rightAlign(std::to_string(key.second), 8);
+            line += rightAlign(std::to_string(agg.cells), 7);
+            line += rightAlign(fmtMs(agg.busy_ns), 11);
+            line += rightAlign(
+                busy_total == 0
+                    ? std::string("n/a")
+                    : fmtPct(static_cast<double>(agg.busy_ns) /
+                             static_cast<double>(busy_total)),
+                8);
+            out << line << "\n";
+        }
+    }
+
+    if (evicted != 0) {
+        out << "\ncache trim: " << evicted << " entr"
+            << (evicted == 1 ? "y" : "ies") << " evicted, "
+            << evicted_bytes << " bytes reclaimed\n";
+    }
+    if (journal.last("sweep_end") == nullptr) {
+        out << "\n(journal has no sweep_end — sweep still running or "
+               "interrupted)\n";
+    }
+    return true;
+}
+
+bool
+renderSweepStatus(const SweepJournal &journal, std::ostream &out,
+                  std::string *error)
+{
+    JournalIdentity id;
+    if (!journalIdentity(journal, id, error))
+        return false;
+
+    std::uint64_t now_ns = 0;
+    for (const SweepEvent &event : journal.events)
+        now_ns = std::max(now_ns, event.t_ns);
+
+    // In-flight cells: cell_start without a matching cell_end.
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             const SweepEvent *>
+        running; // (shard, cell) -> cell_start
+    std::uint64_t cells_done = 0, cells_cached = 0;
+    std::uint64_t insts_done = 0;
+    for (const SweepEvent &event : journal.events) {
+        if (event.type == "cell_start") {
+            running[{event.shard, event.u64("cell")}] = &event;
+        } else if (event.type == "cell_end") {
+            running.erase({event.shard, event.u64("cell")});
+            ++cells_done;
+            if (event.text("source") == "cached")
+                ++cells_cached;
+            insts_done += event.u64("insts");
+        }
+    }
+    std::uint64_t cells_owned = 0, insts_owned = 0;
+    for (const SweepEvent &event : journal.events) {
+        if (event.type == "schedule") {
+            cells_owned += event.u64("cells_owned");
+            insts_owned += event.u64("insts_owned");
+        }
+    }
+
+    out << "sweep status\n"
+        << "  sweep    : workloads=" << id.workloads
+        << " prefetchers=" << id.prefetchers << " scale=" << id.scale
+        << " seed=" << id.seed << " placement=" << id.placement
+        << "\n";
+    out << "  journal  : shard " << id.shard_index << "/"
+        << id.shard_count << ", " << journal.events.size()
+        << " events, elapsed " << fmtMs(now_ns) << " ms\n";
+    const double elapsed_sec = static_cast<double>(now_ns) / 1e9;
+    const double rate = elapsed_sec > 0.0
+                            ? static_cast<double>(insts_done) /
+                                  elapsed_sec
+                            : 0.0;
+    out << "  progress : " << cells_done << "/" << cells_owned
+        << " cells (" << cells_cached << " cached), "
+        << (insts_owned == 0
+                ? std::string("n/a")
+                : fmtPct(static_cast<double>(insts_done) /
+                         static_cast<double>(insts_owned)))
+        << " of " << fmtMInsts(insts_owned) << " insts, "
+        << fmtMInsts(static_cast<std::uint64_t>(rate))
+        << " insts/s\n";
+    if (journal.last("sweep_end") != nullptr) {
+        out << "  eta      : done (sweep_end seen)\n";
+    } else if (rate > 0.0 && insts_owned > insts_done) {
+        // ETA against the longest-first schedule's remaining owned
+        // instructions at the observed aggregate rate.
+        out << "  eta      : ~"
+            << fmtSec(static_cast<double>(insts_owned - insts_done) /
+                      rate)
+            << " s\n";
+    } else {
+        out << "  eta      : n/a\n";
+    }
+    out << "  cache    : "
+        << (cells_done == 0
+                ? std::string("n/a")
+                : fmtPct(static_cast<double>(cells_cached) /
+                         static_cast<double>(cells_done)))
+        << " hit rate so far\n";
+    if (running.empty()) {
+        out << "  workers  : no cells in flight\n";
+    } else {
+        out << "  workers  :\n";
+        for (const auto &[key, start] : running) {
+            out << "    shard " << start->shard << " worker "
+                << start->u64("worker") << ": "
+                << start->text("workload") << "/"
+                << start->text("prefetcher") << " (running "
+                << fmtMs(now_ns - std::min(start->t_ns, now_ns))
+                << " ms)\n";
+        }
+    }
+    return true;
+}
+
+bool
+mergeJournals(const std::vector<std::string> &paths,
+              const JournalIdentity *expect, std::ostream &out,
+              std::string *error)
+{
+    if (paths.empty()) {
+        if (error != nullptr)
+            *error = "no journals to merge";
+        return false;
+    }
+    struct Shard
+    {
+        SweepJournal journal;
+        JournalIdentity id;
+        std::string path;
+    };
+    std::vector<Shard> shards;
+    shards.reserve(paths.size());
+    for (const std::string &path : paths) {
+        Shard shard;
+        shard.path = path;
+        if (!readJournal(path, shard.journal, error))
+            return false;
+        if (!journalIdentity(shard.journal, shard.id, error)) {
+            if (error != nullptr)
+                *error = path + ": " + *error;
+            return false;
+        }
+        shards.push_back(std::move(shard));
+    }
+    const auto mismatch = [&](const std::string &path,
+                              const char *what) {
+        if (error != nullptr) {
+            *error = path + ": sweep identity mismatch (" + what +
+                     ") — refusing to merge journals of different "
+                     "sweeps";
+        }
+        return false;
+    };
+    const JournalIdentity &ref =
+        expect != nullptr ? *expect : shards.front().id;
+    for (const Shard &shard : shards) {
+        const JournalIdentity &id = shard.id;
+        if (id.config_digest != ref.config_digest)
+            return mismatch(shard.path, "config_digest");
+        if (id.seed != ref.seed)
+            return mismatch(shard.path, "seed");
+        if (id.scale != ref.scale)
+            return mismatch(shard.path, "scale");
+        if (id.placement != ref.placement)
+            return mismatch(shard.path, "placement");
+        if (id.workloads != ref.workloads)
+            return mismatch(shard.path, "workloads");
+        if (id.prefetchers != ref.prefetchers)
+            return mismatch(shard.path, "prefetchers");
+        if (id.shard_count != ref.shard_count)
+            return mismatch(shard.path, "shard_count");
+        if (id.shard_index >= id.shard_count)
+            return mismatch(shard.path, "shard index out of range");
+    }
+    for (std::size_t a = 0; a < shards.size(); ++a) {
+        for (std::size_t b = a + 1; b < shards.size(); ++b) {
+            if (shards[a].id.shard_index ==
+                shards[b].id.shard_index) {
+                if (error != nullptr) {
+                    *error = shards[b].path + ": shard " +
+                             std::to_string(
+                                 shards[b].id.shard_index) +
+                             " journal given twice";
+                }
+                return false;
+            }
+        }
+    }
+    if (shards.size() != ref.shard_count) {
+        if (error != nullptr) {
+            *error = "expected " + std::to_string(ref.shard_count) +
+                     " shard journals, got " +
+                     std::to_string(shards.size());
+        }
+        return false;
+    }
+
+    // Time-ordered concatenation: each journal is already
+    // t_ns-ordered; absolute time anchors the shards against each
+    // other. Ties (identical wall-clock ns) break by journal open
+    // time then seq, so the merge is deterministic for a given set of
+    // files.
+    struct Item
+    {
+        std::uint64_t abs_ns = 0;
+        std::uint64_t unix_ns = 0;
+        std::uint64_t seq = 0;
+        const std::string *line = nullptr;
+    };
+    std::vector<Item> items;
+    for (const Shard &shard : shards) {
+        for (const SweepEvent &event : shard.journal.events) {
+            Item item;
+            item.abs_ns = shard.id.unix_ns + event.t_ns;
+            item.unix_ns = shard.id.unix_ns;
+            item.seq = event.seq;
+            item.line = &event.line;
+            items.push_back(item);
+        }
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         if (a.abs_ns != b.abs_ns)
+                             return a.abs_ns < b.abs_ns;
+                         if (a.unix_ns != b.unix_ns)
+                             return a.unix_ns < b.unix_ns;
+                         return a.seq < b.seq;
+                     });
+    for (const Item &item : items)
+        out << *item.line << "\n";
+    return true;
+}
+
+} // namespace csp::diff

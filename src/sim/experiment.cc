@@ -16,6 +16,7 @@
 #include "obs/learning.h"
 #include "obs/run_observer.h"
 #include "sim/result_cache.h"
+#include "sim/sweep_events.h"
 #include "trace/trace_io.h"
 #include "prefetch/context/context_prefetcher.h"
 #include "prefetch/ghb.h"
@@ -302,6 +303,20 @@ SweepProgress::setExpectedCells(std::size_t expected)
     expected_cells_ = expected;
 }
 
+void
+SweepProgress::setJournal(SweepEventJournal *journal)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    journal_ = journal;
+}
+
+void
+SweepProgress::setPrint(bool print)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    print_ = print;
+}
+
 Simulator::ProgressFn
 SweepProgress::hook(std::size_t cell)
 {
@@ -367,6 +382,24 @@ SweepProgress::report()
         total_sum_ == 0 ? 100.0
                         : 100.0 * static_cast<double>(done_sum_) /
                               static_cast<double>(total_sum_);
+    // Every rate-limited report also lands in the journal, so a
+    // non-verbose sweep with --events-out still records progress for
+    // csptop --follow (ETA, cells/s) without printing anything.
+    if (journal_ != nullptr) {
+        journal_->emit(
+            "heartbeat",
+            {SweepEventJournal::u64("cells_done", cells_done_),
+             SweepEventJournal::u64("cells_expected",
+                                    expected_cells_),
+             SweepEventJournal::u64("cells_cached", cells_cached_),
+             SweepEventJournal::u64("insts_done", done_sum_),
+             SweepEventJournal::u64("insts_total", total_sum_),
+             SweepEventJournal::u64(
+                 "insts_per_sec",
+                 static_cast<std::uint64_t>(rate))});
+    }
+    if (!print_)
+        return;
     // Memoized cells show up as a suffix so a warm sweep's log makes
     // the cache's contribution visible: "12/40 cells (7 cached)".
     char cached[32] = "";
@@ -420,6 +453,33 @@ runSweep(const std::vector<std::string> &workload_names,
     result.manifest.jobs = jobs;
     ThreadPool pool(jobs);
 
+    // The journal is strictly side-band: every emission site below
+    // only records values the sweep already computed, so a null (or
+    // unopened) journal and a live one produce bit-identical results.
+    SweepEventJournal *journal =
+        options.journal != nullptr && options.journal->isOpen()
+            ? options.journal
+            : nullptr;
+    using J = SweepEventJournal;
+    if (journal != nullptr) {
+        journal->setShard(options.shard_index);
+        journal->emit(
+            "sweep_start",
+            {J::str("schema", kSweepEventsSchema),
+             J::u64("unix_ns", journal->unixStartNs()),
+             J::str("config_digest", result.manifest.config_digest),
+             J::u64("seed", params.seed),
+             J::u64("scale", params.scale),
+             J::str("placement", result.manifest.placement),
+             J::str("workloads", result.manifest.workloads),
+             J::str("prefetchers", result.manifest.prefetchers),
+             J::u64("shard_count", options.shard_count),
+             J::u64("jobs", jobs),
+             J::str("git_sha", result.manifest.git_sha)});
+    }
+    SweepTelemetry telemetry;
+    std::mutex telemetry_mutex;
+
     const std::string trace_cache_dir =
         options.trace_cache_dir.empty() ? defaultTraceCacheDir()
                                         : options.trace_cache_dir;
@@ -467,9 +527,23 @@ runSweep(const std::vector<std::string> &workload_names,
                 summaries[wi] = summary;
                 trace_cache_hits.fetch_add(
                     1, std::memory_order_relaxed);
+                if (journal != nullptr) {
+                    journal->emit(
+                        "trace_cache",
+                        {J::str("workload", workload_names[wi]),
+                         J::str("digest",
+                                hexDigest(summary.content_digest)),
+                         J::u64("records", summary.records),
+                         J::u64("insts", summary.instructions),
+                         J::u64("worker",
+                                static_cast<std::uint64_t>(std::max(
+                                    0,
+                                    ThreadPool::currentWorkerId())))});
+                }
                 return;
             }
         }
+        const auto gen_start = std::chrono::steady_clock::now();
         traces[wi] = generateTrace(wi);
         summaries[wi] = {traces[wi].size(), traces[wi].instructions(),
                          traces[wi].memAccesses(),
@@ -479,6 +553,28 @@ runSweep(const std::vector<std::string> &workload_names,
             storeTraceInCache(traces[wi], trace_cache_dir,
                               cache_paths[wi]);
         }
+        if (journal != nullptr) {
+            const auto gen_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - gen_start)
+                    .count());
+            journal->emit(
+                "trace_gen",
+                {J::str("workload", workload_names[wi]),
+                 J::str("digest",
+                        hexDigest(summaries[wi].content_digest)),
+                 J::u64("records", summaries[wi].records),
+                 J::u64("insts", summaries[wi].instructions),
+                 J::u64("accesses", summaries[wi].mem_accesses),
+                 J::u64("duration_ns", gen_ns),
+                 J::u64("cached",
+                        options.use_trace_cache ? 1 : 0),
+                 J::u64("worker",
+                        static_cast<std::uint64_t>(std::max(
+                            0, ThreadPool::currentWorkerId())))});
+        }
+        std::lock_guard<std::mutex> lock(telemetry_mutex);
+        ++telemetry.traces_generated;
     });
     result.trace_cache_hits =
         trace_cache_hits.load(std::memory_order_relaxed);
@@ -550,9 +646,29 @@ runSweep(const std::vector<std::string> &workload_names,
         }
     }
 
+    std::uint64_t owned_insts = 0;
+    for (std::size_t k = 0; k < n_cells; ++k) {
+        if (owned[k])
+            owned_insts += cell_totals[k];
+    }
+    if (journal != nullptr) {
+        journal->emit(
+            "schedule",
+            {J::u64("cells_total", n_cells),
+             J::u64("cells_owned", owned_cells),
+             J::u64("insts_owned", owned_insts),
+             J::str("trace_digest", result.manifest.trace_digest)});
+    }
+
     result.cells.resize(n_cells);
+    // Progress tracking runs for verbose output or a live journal;
+    // the hooks only observe instruction counts, so tracking on/off
+    // cannot change results.
+    const bool track = options.verbose || journal != nullptr;
     SweepProgress progress("sweep", std::move(progress_totals), jobs);
     progress.setExpectedCells(owned_cells);
+    progress.setJournal(journal);
+    progress.setPrint(options.verbose);
 
     const bool use_result_cache = options.use_result_cache;
     const ResultCache result_cache(options.result_cache_dir.empty()
@@ -577,16 +693,40 @@ runSweep(const std::vector<std::string> &workload_names,
         std::call_once(trace_once[wi], [&] {
             if (materialized[wi])
                 return; // generated in phase 1
+            const auto load_start = std::chrono::steady_clock::now();
             trace::TraceBuffer loaded;
             const trace::TraceIoStatus status =
                 trace::loadTraceFile(cache_paths[wi], loaded);
+            if (journal != nullptr) {
+                const auto load_ns = static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - load_start)
+                        .count());
+                journal->emit(
+                    "trace_load",
+                    {J::str("workload", workload_names[wi]),
+                     J::str("status",
+                            trace::traceIoStatusName(status)),
+                     J::u64("duration_ns", load_ns),
+                     J::u64("worker",
+                            static_cast<std::uint64_t>(std::max(
+                                0,
+                                ThreadPool::currentWorkerId())))});
+            }
             if (status == trace::TraceIoStatus::Ok) {
                 traces[wi] = std::move(loaded);
+                std::lock_guard<std::mutex> lock(telemetry_mutex);
+                ++telemetry.traces_loaded;
             } else {
                 warn("trace cache: %s for %s, regenerating",
                      trace::traceIoStatusName(status),
                      cache_paths[wi].c_str());
                 traces[wi] = generateTrace(wi);
+                {
+                    std::lock_guard<std::mutex> lock(telemetry_mutex);
+                    ++telemetry.traces_generated;
+                }
                 if (traces[wi].contentDigest() !=
                     summaries[wi].content_digest) {
                     // The header lied (corrupt digest field). Results
@@ -637,12 +777,73 @@ runSweep(const std::vector<std::string> &workload_names,
             key.scale = params.scale;
             key.seed = params.seed;
             key.placement = result.manifest.placement;
+            const auto worker = static_cast<std::uint64_t>(
+                std::max(0, ThreadPool::currentWorkerId()));
+            const auto cell_start = std::chrono::steady_clock::now();
+            const auto cellNs = [&cell_start] {
+                return static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - cell_start)
+                        .count());
+            };
+            if (journal != nullptr) {
+                journal->emit(
+                    "cell_start",
+                    {J::u64("cell", k),
+                     J::str("workload", cell.workload),
+                     J::str("prefetcher", cell.prefetcher),
+                     J::u64("worker", worker)});
+            }
+            ResultCache::LoadStats load_stats;
             if (use_result_cache &&
-                result_cache.load(key, cell.stats)) {
+                result_cache.load(key, cell.stats, &load_stats)) {
                 cells_cached.fetch_add(1, std::memory_order_relaxed);
-                if (options.verbose)
+                if (track)
                     progress.cellCached(k);
+                const std::uint64_t duration_ns = cellNs();
+                {
+                    std::lock_guard<std::mutex> lock(telemetry_mutex);
+                    telemetry.cache_read_ns += load_stats.read_ns;
+                    telemetry.cache_parse_ns += load_stats.parse_ns;
+                    telemetry.cache_entry_bytes += load_stats.bytes;
+                    telemetry.cell_duration_ns.sample(duration_ns);
+                    telemetry.cache_load_ns.sample(
+                        load_stats.read_ns + load_stats.parse_ns);
+                    telemetry.cache_entry_bytes_dist.sample(
+                        load_stats.bytes);
+                }
+                if (journal != nullptr) {
+                    journal->emit(
+                        "cell_end",
+                        {J::u64("cell", k),
+                         J::str("workload", cell.workload),
+                         J::str("prefetcher", cell.prefetcher),
+                         J::u64("worker", worker),
+                         J::str("source", "cached"),
+                         J::u64("duration_ns", duration_ns),
+                         J::u64("read_ns", load_stats.read_ns),
+                         J::u64("parse_ns", load_stats.parse_ns),
+                         J::u64("bytes", load_stats.bytes),
+                         J::u64("insts", cell.stats.instructions)});
+                }
             } else {
+                // A rejected entry (verify failure) cost a read+parse
+                // before the miss; attribute it like a hit's so the
+                // warm-path totals stay honest.
+                if (load_stats.verify_failed ||
+                    load_stats.bytes != 0) {
+                    std::lock_guard<std::mutex> lock(telemetry_mutex);
+                    telemetry.cache_read_ns += load_stats.read_ns;
+                    telemetry.cache_parse_ns += load_stats.parse_ns;
+                    telemetry.cache_entry_bytes += load_stats.bytes;
+                    telemetry.cache_load_ns.sample(
+                        load_stats.read_ns + load_stats.parse_ns);
+                    telemetry.cache_entry_bytes_dist.sample(
+                        load_stats.bytes);
+                    if (load_stats.verify_failed)
+                        ++telemetry.cache_verify_failures;
+                }
                 ensureTrace(wi);
                 auto prefetcher =
                     makePrefetcher(cell.prefetcher, config);
@@ -660,7 +861,7 @@ runSweep(const std::vector<std::string> &workload_names,
                 if (options.profile ||
                     options.profiler_sink != nullptr)
                     simulator.setProfiler(&profiler);
-                if (options.verbose)
+                if (track)
                     simulator.setProgress(progress.hook(k));
                 cell.stats = simulator.run(traces[wi], *prefetcher);
                 cells_simulated.fetch_add(1,
@@ -669,8 +870,26 @@ runSweep(const std::vector<std::string> &workload_names,
                     result_cache.store(key, cell.stats,
                                        result.manifest.git_sha);
                 }
-                if (options.verbose)
+                if (track)
                     progress.cellDone(k);
+                const std::uint64_t duration_ns = cellNs();
+                {
+                    std::lock_guard<std::mutex> lock(telemetry_mutex);
+                    telemetry.cell_duration_ns.sample(duration_ns);
+                }
+                if (journal != nullptr) {
+                    journal->emit(
+                        "cell_end",
+                        {J::u64("cell", k),
+                         J::str("workload", cell.workload),
+                         J::str("prefetcher", cell.prefetcher),
+                         J::u64("worker", worker),
+                         J::str("source", "simulated"),
+                         J::u64("duration_ns", duration_ns),
+                         J::u64("verify_failed",
+                                load_stats.verify_failed ? 1 : 0),
+                         J::u64("insts", cell.stats.instructions)});
+                }
                 if (options.profiler_sink != nullptr) {
                     std::lock_guard<std::mutex> lock(sink_mutex);
                     for (std::size_t p = 0;
@@ -708,6 +927,37 @@ runSweep(const std::vector<std::string> &workload_names,
         result.manifest.insts_per_sec =
             static_cast<double>(simulated) /
             result.manifest.sim_seconds;
+    }
+    // Fold the roll-up into the artefact's cache block (summed by
+    // cspmerge) and the journal's sweep_end event. No lock: the pool
+    // is drained.
+    result.cache_read_ns = telemetry.cache_read_ns;
+    result.cache_parse_ns = telemetry.cache_parse_ns;
+    result.cache_entry_bytes = telemetry.cache_entry_bytes;
+    result.cache_verify_failures = telemetry.cache_verify_failures;
+    if (journal != nullptr) {
+        telemetry.cells_owned = owned_cells;
+        telemetry.cells_cached = result.cells_cached;
+        telemetry.cells_simulated = result.cells_simulated;
+        telemetry.trace_cache_hits = result.trace_cache_hits;
+        journal->emit(
+            "sweep_end",
+            {J::u64("cells_owned", owned_cells),
+             J::u64("cells_cached", result.cells_cached),
+             J::u64("cells_simulated", result.cells_simulated),
+             J::u64("trace_cache_hits", result.trace_cache_hits),
+             J::u64("cache_read_ns", result.cache_read_ns),
+             J::u64("cache_parse_ns", result.cache_parse_ns),
+             J::u64("cache_entry_bytes", result.cache_entry_bytes),
+             J::u64("cache_verify_failures",
+                    result.cache_verify_failures),
+             J::u64("trace_gen_ns",
+                    static_cast<std::uint64_t>(
+                        result.manifest.trace_gen_seconds * 1e9)),
+             J::u64("sim_ns",
+                    static_cast<std::uint64_t>(
+                        result.manifest.sim_seconds * 1e9)),
+             J::raw("stats", telemetry.statsJson())});
     }
     return result;
 }

@@ -30,6 +30,8 @@ class Profiler;
 
 namespace csp::sim {
 
+class SweepEventJournal;
+
 /**
  * Build a prefetcher by name: "none", "stride", "ghb-gdc", "ghb-pcdc",
  * "sms", "markov", "context". fatal() on unknown names.
@@ -76,6 +78,15 @@ struct SweepResult
     std::uint64_t cells_cached = 0;
     std::uint64_t cells_simulated = 0;
     std::uint64_t trace_cache_hits = 0; ///< workload traces not regenerated
+    // Warm-path cost attribution, summed over this shard's cached
+    // cells (see ResultCache::LoadStats). Side-band telemetry like the
+    // manifest's timing block: never part of the deterministic cell
+    // data, carried in the artefact's cache block so cspmerge can sum
+    // it and csptop can report it.
+    std::uint64_t cache_read_ns = 0;
+    std::uint64_t cache_parse_ns = 0;
+    std::uint64_t cache_entry_bytes = 0;
+    std::uint64_t cache_verify_failures = 0;
     unsigned shard_index = 0;
     unsigned shard_count = 1;
     /**
@@ -176,6 +187,20 @@ class SweepProgress
      */
     void setExpectedCells(std::size_t expected);
 
+    /**
+     * Mirror every rate-limited report as a `heartbeat` journal event
+     * (cells done/cached, instructions done/total, rate). Call before
+     * any worker reports.
+     */
+    void setJournal(SweepEventJournal *journal);
+
+    /**
+     * Suppress the inform() lines while keeping journal heartbeats —
+     * a non-verbose sweep with --events-out still records progress
+     * without spamming stderr. Call before any worker reports.
+     */
+    void setPrint(bool print);
+
   private:
     void report();
 
@@ -187,6 +212,8 @@ class SweepProgress
     std::size_t cells_done_ = 0;
     std::size_t cells_cached_ = 0;
     std::size_t expected_cells_ = 0;
+    SweepEventJournal *journal_ = nullptr;
+    bool print_ = true;
     unsigned jobs_;
     double min_seconds_;
     std::chrono::steady_clock::time_point start_;
@@ -261,6 +288,17 @@ struct SweepOptions
      * MemAccess / TraceGen call counts stay 0.
      */
     prof::Profiler *profiler_sink = nullptr;
+    /**
+     * When non-null (and open), runSweep appends csp-events-v1
+     * lifecycle events — sweep_start, trace_cache/trace_gen/
+     * trace_load, schedule, cell_start/cell_end, heartbeat, sweep_end
+     * — to this journal (see sweep_events.h). Strictly side-band: the
+     * journal observes the sweep but never alters scheduling or
+     * results; sweeps with and without a journal are bit-identical
+     * (enforced by test). runSweep stamps the journal with
+     * shard_index; the cspsim front-end owns open/close.
+     */
+    SweepEventJournal *journal = nullptr;
 };
 
 /**

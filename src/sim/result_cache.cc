@@ -1,7 +1,11 @@
 #include "sim/result_cache.h"
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -149,6 +153,50 @@ runStatsFields(const RunStats &stats)
 }
 
 bool
+parseByteSize(const std::string &text, std::uint64_t &out)
+{
+    // strtoull silently wraps a leading '-'; only plain digits lead.
+    if (text.empty() ||
+        std::isdigit(static_cast<unsigned char>(text[0])) == 0)
+        return false;
+    char *end = nullptr;
+    const std::uint64_t value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        return false;
+    std::uint64_t scale = 1;
+    if (*end != '\0') {
+        switch (std::toupper(static_cast<unsigned char>(*end))) {
+        case 'K': scale = std::uint64_t{1} << 10; break;
+        case 'M': scale = std::uint64_t{1} << 20; break;
+        case 'G': scale = std::uint64_t{1} << 30; break;
+        case 'T': scale = std::uint64_t{1} << 40; break;
+        default: return false;
+        }
+        if (end[1] != '\0')
+            return false;
+    }
+    out = value * scale;
+    return true;
+}
+
+std::uint64_t
+cacheMaxBytesFromEnv()
+{
+    const char *env = std::getenv("CSP_CACHE_MAX_BYTES");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    std::uint64_t bytes = 0;
+    if (!parseByteSize(env, bytes)) {
+        warn("CSP_CACHE_MAX_BYTES: malformed size %s ignored "
+             "(want N with optional K/M/G/T suffix)",
+             env);
+        return 0;
+    }
+    return bytes;
+}
+
+bool
 resultCacheEnabledByEnv()
 {
     const char *env = std::getenv("CSP_RESULT_CACHE");
@@ -185,15 +233,39 @@ ResultCache::entryPath(const CellKey &key) const
 }
 
 bool
-ResultCache::load(const CellKey &key, RunStats &stats) const
+ResultCache::load(const CellKey &key, RunStats &stats,
+                  LoadStats *load_stats) const
 {
     const std::string path = entryPath(key);
+    // The read/parse split below is what the sweep journal's
+    // warm-path attribution is built from (the ROADMAP-named "warm
+    // bottleneck is JSON parse of cached entries"): read_ns covers
+    // getting bytes off disk, parse_ns everything after (flatten,
+    // key checks, stats fields, payload digest).
+    const auto read_start = std::chrono::steady_clock::now();
     std::string text;
     if (!readFileToString(path, text))
         return false; // clean miss
+    const auto parse_start = std::chrono::steady_clock::now();
+    const auto finish = [&](bool verify_failed) {
+        if (load_stats == nullptr)
+            return;
+        const auto ns = [](auto from, auto to) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    to - from)
+                    .count());
+        };
+        load_stats->read_ns = ns(read_start, parse_start);
+        load_stats->parse_ns =
+            ns(parse_start, std::chrono::steady_clock::now());
+        load_stats->bytes = text.size();
+        load_stats->verify_failed = verify_failed;
+    };
     const auto reject = [&](const char *why) {
         warn("result cache: invalid entry %s (%s), recomputing",
              path.c_str(), why);
+        finish(true);
         return false;
     };
     diff::FlatDoc doc;
@@ -232,7 +304,76 @@ ResultCache::load(const CellKey &key, RunStats &stats) const
     if (runStatsDigest(parsed) != payload_digest)
         return reject("payload digest mismatch");
     stats = parsed;
+    finish(false);
+    // Touch the entry so trimResultCache's mtime order is LRU by use.
+    // Best-effort: a read-only cache still hits, it just trims by
+    // write time.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
     return true;
+}
+
+CacheTrimResult
+trimResultCache(const std::string &dir, std::uint64_t max_bytes)
+{
+    CacheTrimResult result;
+    if (max_bytes == 0)
+        return result;
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::file_time_type mtime;
+        std::string name;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<Entry> entries;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return result; // no cache directory -> nothing to trim
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        if (de.path().extension() != ".json")
+            continue;
+        Entry entry;
+        entry.name = de.path().filename().string();
+        entry.bytes = de.file_size(ec);
+        if (ec)
+            continue;
+        entry.mtime = de.last_write_time(ec);
+        if (ec)
+            continue;
+        result.scanned_bytes += entry.bytes;
+        ++result.scanned_entries;
+        entries.push_back(std::move(entry));
+    }
+    if (result.scanned_bytes <= max_bytes)
+        return result;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.name < b.name;
+              });
+    std::uint64_t remaining = result.scanned_bytes;
+    for (const Entry &entry : entries) {
+        if (remaining <= max_bytes)
+            break;
+        std::error_code rm_ec;
+        if (!fs::remove(dir + "/" + entry.name, rm_ec) || rm_ec) {
+            warn("cache trim: cannot remove %s/%s", dir.c_str(),
+                 entry.name.c_str());
+            continue;
+        }
+        remaining -= entry.bytes;
+        result.evicted_bytes += entry.bytes;
+        ++result.evicted_entries;
+        result.evicted.emplace_back(entry.name, entry.bytes);
+    }
+    return result;
 }
 
 bool

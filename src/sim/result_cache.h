@@ -84,6 +84,20 @@ std::uint64_t runStatsDigest(const RunStats &stats);
 std::vector<std::pair<const char *, std::uint64_t>>
 runStatsFields(const RunStats &stats);
 
+/**
+ * Parse a byte-size string with an optional K/M/G/T suffix (powers of
+ * 1024, case-insensitive): "64M" -> 67108864. False on malformed
+ * input; plain integers are bytes.
+ */
+bool parseByteSize(const std::string &text, std::uint64_t &out);
+
+/**
+ * $CSP_CACHE_MAX_BYTES as a byte budget for the result cache, or 0
+ * (unbounded) when unset/empty. Malformed values warn and count as
+ * unbounded. The cspsim --cache-max-bytes flag overrides this.
+ */
+std::uint64_t cacheMaxBytesFromEnv();
+
 /** True unless CSP_RESULT_CACHE=0 disables the result cache. */
 bool resultCacheEnabledByEnv();
 
@@ -109,12 +123,31 @@ class ResultCache
     std::string entryPath(const CellKey &key) const;
 
     /**
+     * Warm-path cost breakdown of one load(), for the sweep journal's
+     * cell events and `cache.*` telemetry. All side-band: nothing here
+     * feeds back into results.
+     */
+    struct LoadStats
+    {
+        std::uint64_t read_ns = 0;  ///< file read (0 on a clean miss)
+        std::uint64_t parse_ns = 0; ///< JSON parse + key/digest verify
+        std::uint64_t bytes = 0;    ///< entry size read (0 on miss)
+        /// Entry existed but failed verification (schema/epoch/key/
+        /// digest) — a rejected entry, not a clean miss.
+        bool verify_failed = false;
+    };
+
+    /**
      * Look up @p key. True with @p stats filled on a verified hit;
      * false on a miss. A present-but-invalid entry (schema/epoch/key
      * mismatch, parse failure, payload digest mismatch) warns and
-     * counts as a miss — the caller recomputes and re-stores.
+     * counts as a miss — the caller recomputes and re-stores. A hit
+     * refreshes the entry's mtime, so the mtime order trimResultCache
+     * evicts by is least-recently-*used*, not least-recently-written.
+     * @p load_stats, when non-null, receives the cost breakdown.
      */
-    bool load(const CellKey &key, RunStats &stats) const;
+    bool load(const CellKey &key, RunStats &stats,
+              LoadStats *load_stats = nullptr) const;
 
     /**
      * Store @p stats under @p key (atomic write; concurrent shards
@@ -128,6 +161,29 @@ class ResultCache
   private:
     std::string root_;
 };
+
+/**
+ * Mtime-LRU bound on a result-cache directory (the ROADMAP "currently
+ * unbounded" item): when the *.json entries exceed @p max_bytes,
+ * delete oldest-mtime-first until the total fits. Run after sweep
+ * completion (cspsim --cache-max-bytes / CSP_CACHE_MAX_BYTES), never
+ * during one — a concurrent shard may be about to hit an entry.
+ * @p max_bytes == 0 means unbounded (no-op). Eviction order ties on
+ * mtime break by path, so a given directory state trims
+ * deterministically. Filesystem errors warn and skip the entry.
+ */
+struct CacheTrimResult
+{
+    std::uint64_t scanned_entries = 0;
+    std::uint64_t scanned_bytes = 0;
+    std::uint64_t evicted_entries = 0;
+    std::uint64_t evicted_bytes = 0;
+    /** Evicted (filename, bytes), oldest first — journal `evict`
+     *  events are emitted from this by the caller. */
+    std::vector<std::pair<std::string, std::uint64_t>> evicted;
+};
+CacheTrimResult trimResultCache(const std::string &dir,
+                                std::uint64_t max_bytes);
 
 } // namespace csp::sim
 

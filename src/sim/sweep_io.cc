@@ -181,7 +181,7 @@ writeSweepJson(std::ostream &out, const SweepResult &result)
     std::uint64_t cells_present = 0;
     for (const CellResult &cell : result.cells)
         cells_present += cell.present ? 1 : 0;
-    out << "{\"schema\":\"csp-sweep-v1\"\n"
+    out << "{\"schema\":\"csp-sweep-v2\"\n"
         << ",\"manifest\":" << result.manifest.toJson() << '\n'
         << ",\"shard\":{\"index\":" << result.shard_index
         << ",\"count\":" << result.shard_count << '}' << '\n'
@@ -189,8 +189,12 @@ writeSweepJson(std::ostream &out, const SweepResult &result)
         << ",\"cells_present\":" << cells_present
         << ",\"cells_cached\":" << result.cells_cached
         << ",\"cells_simulated\":" << result.cells_simulated
-        << ",\"trace_cache_hits\":" << result.trace_cache_hits << '}'
-        << '\n'
+        << ",\"trace_cache_hits\":" << result.trace_cache_hits
+        << ",\"read_ns\":" << result.cache_read_ns
+        << ",\"parse_ns\":" << result.cache_parse_ns
+        << ",\"entry_bytes\":" << result.cache_entry_bytes
+        << ",\"verify_failures\":" << result.cache_verify_failures
+        << '}' << '\n'
         << ",\"cells\":[";
     bool first = true;
     for (const CellResult &cell : result.cells) {
@@ -220,9 +224,9 @@ readSweepJson(const std::string &path, SweepResult &out,
     if (!diff::parseJsonFlat(text, doc, error))
         return false;
     const diff::FlatValue *schema = doc.find("schema");
-    if (schema == nullptr || schema->text != "csp-sweep-v1") {
+    if (schema == nullptr || schema->text != "csp-sweep-v2") {
         if (error != nullptr)
-            *error = path + ": not a csp-sweep-v1 artefact";
+            *error = path + ": not a csp-sweep-v2 artefact";
         return false;
     }
     SweepResult result;
@@ -236,7 +240,14 @@ readSweepJson(const std::string &path, SweepResult &out,
         !getU64(doc, "cache.cells_simulated", result.cells_simulated,
                 error) ||
         !getU64(doc, "cache.trace_cache_hits",
-                result.trace_cache_hits, error))
+                result.trace_cache_hits, error) ||
+        !getU64(doc, "cache.read_ns", result.cache_read_ns, error) ||
+        !getU64(doc, "cache.parse_ns", result.cache_parse_ns,
+                error) ||
+        !getU64(doc, "cache.entry_bytes", result.cache_entry_bytes,
+                error) ||
+        !getU64(doc, "cache.verify_failures",
+                result.cache_verify_failures, error))
         return false;
     result.shard_index = static_cast<unsigned>(shard_index);
     result.shard_count = static_cast<unsigned>(shard_count);
@@ -339,6 +350,10 @@ mergeSweeps(const std::vector<SweepResult> &shards, SweepResult &out,
         merged.cells_cached += shard.cells_cached;
         merged.cells_simulated += shard.cells_simulated;
         merged.trace_cache_hits += shard.trace_cache_hits;
+        merged.cache_read_ns += shard.cache_read_ns;
+        merged.cache_parse_ns += shard.cache_parse_ns;
+        merged.cache_entry_bytes += shard.cache_entry_bytes;
+        merged.cache_verify_failures += shard.cache_verify_failures;
         merged.manifest.trace_gen_seconds +=
             shard.manifest.trace_gen_seconds;
         merged.manifest.sim_seconds += shard.manifest.sim_seconds;

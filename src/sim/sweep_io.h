@@ -12,8 +12,13 @@
  * a cold one's; only the manifest's timing block and the cache/shard
  * accounting may differ, which cspdiff classifies as provenance.
  *
- * The JSON schema is "csp-sweep-v1": manifest, shard block, cache
- * block, then the present cells in row-major (workload-major) order.
+ * The JSON schema is "csp-sweep-v2": manifest, shard block, cache
+ * block (counts plus warm-path read/parse attribution), then the
+ * present cells in row-major (workload-major) order. v2 extends v1's
+ * cache block with read_ns/parse_ns/entry_bytes/verify_failures;
+ * artefacts are transient hand-off files (CI temp dirs, shard
+ * scratch), so the reader requires v2 rather than special-casing old
+ * files.
  */
 
 #ifndef CSP_SIM_SWEEP_IO_H
@@ -35,7 +40,7 @@ namespace csp::sim {
  */
 void writeSweepCsv(std::ostream &out, const SweepResult &result);
 
-/** Write the full "csp-sweep-v1" JSON artefact (see file comment). */
+/** Write the full "csp-sweep-v2" JSON artefact (see file comment). */
 void writeSweepJson(std::ostream &out, const SweepResult &result);
 
 /**

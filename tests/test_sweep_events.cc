@@ -1,0 +1,485 @@
+/** @file The sweep observatory's contract: the --events-out journal is
+ *  well-formed (envelope, ordering, cell pairing, roll-up counts) and
+ *  strictly side-band (cell CSV bit-identical with events on or off,
+ *  at any job count); csptop's renderers are deterministic against
+ *  golden output; shard journals merge time-ordered and mismatched
+ *  identities are refused; the result-cache LRU trim evicts
+ *  oldest-mtime-first; warm sweeps attribute their read/parse cost. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/content_store.h"
+#include "diff/sweep_report.h"
+#include "sim/experiment.h"
+#include "sim/result_cache.h"
+#include "sim/sweep_events.h"
+#include "sim/sweep_io.h"
+
+namespace csp {
+namespace {
+
+const std::vector<std::string> kWorkloads = {"array", "list", "bst"};
+const std::vector<std::string> kPrefetchers = {"none", "stride",
+                                               "context"};
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/csp_events_XXXXXX";
+        const char *made = mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        path = made != nullptr ? made : "";
+    }
+
+    ~TempDir()
+    {
+        if (!path.empty())
+            std::filesystem::remove_all(path);
+    }
+};
+
+sim::SweepResult
+sweep(unsigned jobs, sim::SweepEventJournal *journal = nullptr)
+{
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 12000;
+    sim::SweepOptions options;
+    options.verbose = false;
+    options.jobs = jobs;
+    options.journal = journal;
+    return sim::runSweep(kWorkloads, kPrefetchers, params, config,
+                         options);
+}
+
+std::string
+cellCsv(const sim::SweepResult &result)
+{
+    std::ostringstream out;
+    sim::writeSweepCsv(out, result);
+    return out.str();
+}
+
+/** A fixed journal with known timings — the goldens below are exact,
+ *  which is only possible because the renderers never consult the
+ *  clock. Two workloads x two prefetchers, half cached, one worker
+ *  idle-ish, a post-sweep trim. */
+const char kSyntheticJournal[] =
+    R"({"event":"sweep_start","t_ns":0,"seq":0,"shard":0,"schema":"csp-events-v1","unix_ns":1000000000000,"config_digest":"cafe01234567","seed":7,"scale":1000,"placement":"rand","workloads":"alpha,beta","prefetchers":"none,context","shard_count":1,"jobs":2,"git_sha":"deadbeef"}
+{"event":"trace_gen","t_ns":1000000,"seq":1,"shard":0,"workload":"alpha","digest":"d1","records":10,"insts":100000,"accesses":30,"duration_ns":800000,"cached":1,"worker":0}
+{"event":"trace_cache","t_ns":1200000,"seq":2,"shard":0,"workload":"beta","digest":"d2","records":10,"insts":100000,"worker":1}
+{"event":"schedule","t_ns":1300000,"seq":3,"shard":0,"cells_total":4,"cells_owned":4,"insts_owned":400000,"trace_digest":"td"}
+{"event":"cell_start","t_ns":1400000,"seq":4,"shard":0,"cell":0,"workload":"alpha","prefetcher":"none","worker":0}
+{"event":"cell_start","t_ns":1400000,"seq":5,"shard":0,"cell":1,"workload":"alpha","prefetcher":"context","worker":1}
+{"event":"cell_end","t_ns":1900000,"seq":6,"shard":0,"cell":1,"workload":"alpha","prefetcher":"context","worker":1,"source":"cached","duration_ns":500000,"read_ns":200000,"parse_ns":250000,"bytes":900,"insts":100000}
+{"event":"cell_start","t_ns":2000000,"seq":7,"shard":0,"cell":3,"workload":"beta","prefetcher":"context","worker":1}
+{"event":"heartbeat","t_ns":2500000,"seq":8,"shard":0,"cells_done":1,"cells_expected":4,"cells_cached":1,"insts_done":100000,"insts_total":400000,"insts_per_sec":50000000}
+{"event":"cell_end","t_ns":3400000,"seq":9,"shard":0,"cell":0,"workload":"alpha","prefetcher":"none","worker":0,"source":"simulated","duration_ns":2000000,"verify_failed":0,"insts":100000}
+{"event":"cell_start","t_ns":3500000,"seq":10,"shard":0,"cell":2,"workload":"beta","prefetcher":"none","worker":0}
+{"event":"cell_end","t_ns":3900000,"seq":11,"shard":0,"cell":2,"workload":"beta","prefetcher":"none","worker":0,"source":"cached","duration_ns":400000,"read_ns":100000,"parse_ns":250000,"bytes":800,"insts":100000}
+{"event":"cell_end","t_ns":5000000,"seq":12,"shard":0,"cell":3,"workload":"beta","prefetcher":"context","worker":1,"source":"simulated","duration_ns":3000000,"verify_failed":0,"insts":100000}
+{"event":"sweep_end","t_ns":5100000,"seq":13,"shard":0,"cells_owned":4,"cells_cached":2,"cells_simulated":2,"trace_cache_hits":1,"cache_read_ns":300000,"cache_parse_ns":500000,"cache_entry_bytes":1700,"cache_verify_failures":0,"trace_gen_ns":800000,"sim_ns":5000000,"stats":{"sweep":{"cells_owned":4}}}
+{"event":"evict","t_ns":5200000,"seq":14,"shard":0,"entry":"00aa.json","bytes":123}
+{"event":"cache_trim","t_ns":5300000,"seq":15,"shard":0,"max_bytes":4096,"scanned_entries":5,"scanned_bytes":4219,"evicted_entries":1,"evicted_bytes":123}
+)";
+
+/** The first 9 lines of kSyntheticJournal — a sweep still in flight
+ *  (two cells running, no sweep_end), for the status golden. */
+std::string
+syntheticPartial()
+{
+    const std::string full = kSyntheticJournal;
+    std::size_t pos = 0;
+    for (int line = 0; line < 9; ++line)
+        pos = full.find('\n', pos) + 1;
+    return full.substr(0, pos);
+}
+
+TEST(SweepEventJournal, LiveJournalIsWellFormed)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/events.jsonl";
+    sim::SweepEventJournal journal;
+    ASSERT_TRUE(journal.open(path));
+    sweep(4, &journal);
+    journal.close();
+
+    diff::SweepJournal parsed;
+    std::string error;
+    ASSERT_TRUE(diff::readJournal(path, parsed, &error)) << error;
+    ASSERT_FALSE(parsed.events.empty());
+
+    // Envelope ordering: seq strictly increasing, t_ns non-decreasing
+    // (both stamped under the writer's mutex).
+    const diff::SweepEvent &first = parsed.events.front();
+    EXPECT_EQ(first.type, "sweep_start");
+    EXPECT_EQ(first.text("schema"), "csp-events-v1");
+    EXPECT_EQ(first.u64("shard_count"), 1u);
+    EXPECT_EQ(first.text("workloads"), "array,list,bst");
+    std::uint64_t prev_seq = 0, prev_t = 0;
+    bool first_event = true;
+    for (const diff::SweepEvent &event : parsed.events) {
+        if (!first_event) {
+            EXPECT_GT(event.seq, prev_seq);
+            EXPECT_GE(event.t_ns, prev_t);
+        }
+        first_event = false;
+        prev_seq = event.seq;
+        prev_t = event.t_ns;
+    }
+
+    // Every cell_start has exactly one cell_end, and the roll-up
+    // agrees with the events it summarizes.
+    std::map<std::uint64_t, int> open;
+    std::uint64_t ends = 0, cached = 0;
+    for (const diff::SweepEvent &event : parsed.events) {
+        if (event.type == "cell_start") {
+            EXPECT_EQ(open.count(event.u64("cell")), 0u);
+            open[event.u64("cell")] = 1;
+        } else if (event.type == "cell_end") {
+            EXPECT_EQ(open.count(event.u64("cell")), 1u);
+            open.erase(event.u64("cell"));
+            ++ends;
+            const std::string source = event.text("source");
+            EXPECT_TRUE(source == "cached" || source == "simulated");
+            if (source == "cached")
+                ++cached;
+            EXPECT_GT(event.u64("insts"), 0u);
+        }
+    }
+    EXPECT_TRUE(open.empty());
+    EXPECT_EQ(ends, kWorkloads.size() * kPrefetchers.size());
+    const diff::SweepEvent *end = parsed.last("sweep_end");
+    ASSERT_NE(end, nullptr);
+    EXPECT_EQ(end, &parsed.events.back());
+    EXPECT_EQ(end->u64("cells_owned"), ends);
+    EXPECT_EQ(end->u64("cells_cached"), cached);
+    EXPECT_EQ(end->u64("cells_simulated"), ends - cached);
+    // The roll-up embeds a stats-registry report.
+    EXPECT_NE(end->u64("stats.sweep.cells_owned"), 0u);
+}
+
+TEST(SweepEventJournal, JournalIsSideBand)
+{
+    // The determinism contract extended to observability: the cell
+    // CSV is bit-identical with events on or off, at any job count.
+    const std::string plain = cellCsv(sweep(1));
+    EXPECT_EQ(plain, cellCsv(sweep(4)));
+    for (const unsigned jobs : {1u, 4u}) {
+        TempDir dir;
+        sim::SweepEventJournal journal;
+        ASSERT_TRUE(journal.open(dir.path + "/events.jsonl"));
+        EXPECT_EQ(plain, cellCsv(sweep(jobs, &journal)))
+            << "jobs=" << jobs;
+        journal.close();
+    }
+}
+
+TEST(SweepReport, GoldenSummary)
+{
+    diff::SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(diff::parseJournal(kSyntheticJournal, journal, &error))
+        << error;
+    std::ostringstream out;
+    ASSERT_TRUE(diff::renderSweepSummary(journal, out, &error))
+        << error;
+    EXPECT_EQ(out.str(),
+              "sweep observatory summary\n"
+              "=========================\n"
+              "journal : 1 shard journal(s), 16 events, span 5.300 ms\n"
+              "sweep   : workloads=alpha,beta prefetchers=none,context\n"
+              "          scale=1000 seed=7 placement=rand "
+              "config=cafe01234567 shards=1\n"
+              "cells   : 4 completed | 2 cached (50.0% hit rate) | 2 "
+              "simulated | 0 verify failure(s)\n"
+              "traces  : 1 cache hit(s), 1 generated (0.800 ms), 0 "
+              "loaded\n"
+              "\n"
+              "cell duration (ms)     count        p50        p90"
+              "        p99        max\n"
+              "  all                       4      0.500      3.000"
+              "      3.000      3.000\n"
+              "  cached                    2      0.400      0.500"
+              "      0.500      0.500\n"
+              "  simulated                 2      2.000      3.000"
+              "      3.000      3.000\n"
+              "\n"
+              "warm-path attribution (cached cells, 0.900 ms wall):\n"
+              "  read  0.300 ms (33.3%) | parse 0.500 ms (55.6%) | "
+              "other 0.100 ms\n"
+              "  entries 1700 bytes total, mean 850 bytes/entry\n"
+              "\n"
+              "per-workload:\n"
+              "  workload            cells  cached   total-ms"
+              "    mean-ms     max-ms\n"
+              "  alpha                   2       1      2.500"
+              "      1.250      2.000\n"
+              "  beta                    2       1      3.400"
+              "      1.700      3.000\n"
+              "\n"
+              "stragglers (longest cells):\n"
+              "  #  workload            prefetcher  source     "
+              "shard  worker  duration-ms\n"
+              "  1  beta                context     simulated      0"
+              "       1        3.000\n"
+              "  2  alpha               none        simulated      0"
+              "       0        2.000\n"
+              "  3  alpha               context     cached         0"
+              "       1        0.500\n"
+              "  4  beta                none        cached         0"
+              "       0        0.400\n"
+              "\n"
+              "workers:\n"
+              "  shard  worker  cells    busy-ms   share\n"
+              "      0       0      2      2.400   40.7%\n"
+              "      0       1      2      3.500   59.3%\n"
+              "\n"
+              "cache trim: 1 entry evicted, 123 bytes reclaimed\n");
+}
+
+TEST(SweepReport, GoldenStatus)
+{
+    diff::SweepJournal journal;
+    std::string error;
+    ASSERT_TRUE(
+        diff::parseJournal(syntheticPartial(), journal, &error))
+        << error;
+    std::ostringstream out;
+    ASSERT_TRUE(diff::renderSweepStatus(journal, out, &error))
+        << error;
+    EXPECT_EQ(out.str(),
+              "sweep status\n"
+              "  sweep    : workloads=alpha,beta "
+              "prefetchers=none,context scale=1000 seed=7 "
+              "placement=rand\n"
+              "  journal  : shard 0/1, 9 events, elapsed 2.500 ms\n"
+              "  progress : 1/4 cells (1 cached), 25.0% of 0.4M "
+              "insts, 40.0M insts/s\n"
+              "  eta      : ~0.0 s\n"
+              "  cache    : 100.0% hit rate so far\n"
+              "  workers  :\n"
+              "    shard 0 worker 0: alpha/none (running 1.100 ms)\n"
+              "    shard 0 worker 1: beta/context (running 0.500 "
+              "ms)\n");
+}
+
+TEST(SweepReport, RejectsMalformedJournals)
+{
+    diff::SweepJournal journal;
+    std::string error;
+    EXPECT_FALSE(diff::parseJournal("{\"event\":\"x\"}\nnot json\n",
+                                    journal, &error));
+    EXPECT_NE(error.find("line"), std::string::npos);
+    // Envelope fields are mandatory.
+    EXPECT_FALSE(
+        diff::parseJournal("{\"event\":\"x\",\"t_ns\":1,\"seq\":0}\n",
+                           journal, &error));
+    // No sweep_start: parses, but has no identity.
+    ASSERT_TRUE(diff::parseJournal(
+        "{\"event\":\"heartbeat\",\"t_ns\":1,\"seq\":0,\"shard\":0}\n",
+        journal, &error));
+    diff::JournalIdentity id;
+    EXPECT_FALSE(diff::journalIdentity(journal, id, &error));
+}
+
+/** Two-shard merge: events interleave by absolute time (per-journal
+ *  unix_ns anchor + t_ns), lines re-emitted verbatim. */
+TEST(SweepReport, MergeOrdersJournalsByAbsoluteTime)
+{
+    TempDir dir;
+    const auto shardJournal = [&](unsigned shard,
+                                  std::uint64_t unix_ns,
+                                  std::uint64_t heartbeat_t) {
+        std::ostringstream text;
+        text << "{\"event\":\"sweep_start\",\"t_ns\":0,\"seq\":0,"
+                "\"shard\":"
+             << shard
+             << ",\"schema\":\"csp-events-v1\",\"unix_ns\":" << unix_ns
+             << ",\"config_digest\":\"cafe\",\"seed\":1,"
+                "\"scale\":100,\"placement\":\"rand\","
+                "\"workloads\":\"a\",\"prefetchers\":\"p\","
+                "\"shard_count\":2,\"jobs\":1,\"git_sha\":\"g\"}\n"
+             << "{\"event\":\"heartbeat\",\"t_ns\":" << heartbeat_t
+             << ",\"seq\":1,\"shard\":" << shard
+             << ",\"cells_done\":0,\"cells_expected\":1,"
+                "\"cells_cached\":0,\"insts_done\":0,"
+                "\"insts_total\":1,\"insts_per_sec\":0}\n";
+        const std::string path =
+            dir.path + "/s" + std::to_string(shard) + ".jsonl";
+        std::ofstream(path) << text.str();
+        return path;
+    };
+    // shard 0 opens at t=1000, heartbeat at abs 1900; shard 1 opens
+    // at abs 1500, heartbeat at abs 1600 — merged order interleaves.
+    const std::string s0 = shardJournal(0, 1000, 900);
+    const std::string s1 = shardJournal(1, 1500, 100);
+    std::ostringstream merged;
+    std::string error;
+    ASSERT_TRUE(
+        diff::mergeJournals({s0, s1}, nullptr, merged, &error))
+        << error;
+    diff::SweepJournal journal;
+    ASSERT_TRUE(diff::parseJournal(merged.str(), journal, &error))
+        << error;
+    ASSERT_EQ(journal.events.size(), 4u);
+    EXPECT_EQ(journal.events[0].type, "sweep_start");
+    EXPECT_EQ(journal.events[0].shard, 0u);
+    EXPECT_EQ(journal.events[1].type, "sweep_start");
+    EXPECT_EQ(journal.events[1].shard, 1u);
+    EXPECT_EQ(journal.events[2].type, "heartbeat");
+    EXPECT_EQ(journal.events[2].shard, 1u);
+    EXPECT_EQ(journal.events[3].type, "heartbeat");
+    EXPECT_EQ(journal.events[3].shard, 0u);
+
+    // Duplicate shard index: refused.
+    std::ostringstream sink;
+    EXPECT_FALSE(diff::mergeJournals({s0, s0}, nullptr, sink, &error));
+    EXPECT_NE(error.find("twice"), std::string::npos);
+
+    // Identity mismatch vs the artefacts: refused.
+    diff::JournalIdentity expect;
+    expect.config_digest = "cafe";
+    expect.seed = 2; // journals say seed=1
+    expect.scale = 100;
+    expect.placement = "rand";
+    expect.workloads = "a";
+    expect.prefetchers = "p";
+    expect.shard_count = 2;
+    EXPECT_FALSE(
+        diff::mergeJournals({s0, s1}, &expect, sink, &error));
+    EXPECT_NE(error.find("seed"), std::string::npos);
+
+    // Incomplete shard set: refused.
+    EXPECT_FALSE(diff::mergeJournals({s0}, nullptr, sink, &error));
+    EXPECT_NE(error.find("expected 2"), std::string::npos);
+}
+
+TEST(CacheTrim, EvictsOldestMtimeFirstUntilUnderBudget)
+{
+    TempDir dir;
+    const auto entry = [&](const std::string &name, std::size_t bytes,
+                           int age_minutes) {
+        const std::string path = dir.path + "/" + name;
+        std::ofstream(path) << std::string(bytes, 'x');
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now() -
+                      std::chrono::minutes(age_minutes));
+        return path;
+    };
+    const std::string a = entry("aa.json", 100, 30); // oldest
+    const std::string b = entry("bb.json", 200, 20);
+    const std::string c = entry("cc.json", 300, 10); // newest
+    entry("ignored.txt", 999, 40); // not a cache entry
+
+    // Unbounded: no-op.
+    const sim::CacheTrimResult untrimmed =
+        sim::trimResultCache(dir.path, 0);
+    EXPECT_EQ(untrimmed.evicted_entries, 0u);
+    EXPECT_TRUE(std::filesystem::exists(a));
+
+    // 350-byte budget over 600 bytes of entries: evict a then b
+    // (oldest first); c alone fits.
+    const sim::CacheTrimResult trimmed =
+        sim::trimResultCache(dir.path, 350);
+    EXPECT_EQ(trimmed.scanned_entries, 3u);
+    EXPECT_EQ(trimmed.scanned_bytes, 600u);
+    EXPECT_EQ(trimmed.evicted_entries, 2u);
+    EXPECT_EQ(trimmed.evicted_bytes, 300u);
+    ASSERT_EQ(trimmed.evicted.size(), 2u);
+    EXPECT_EQ(trimmed.evicted[0].first, "aa.json");
+    EXPECT_EQ(trimmed.evicted[1].first, "bb.json");
+    EXPECT_FALSE(std::filesystem::exists(a));
+    EXPECT_FALSE(std::filesystem::exists(b));
+    EXPECT_TRUE(std::filesystem::exists(c));
+    EXPECT_TRUE(std::filesystem::exists(dir.path + "/ignored.txt"));
+}
+
+TEST(CacheTrim, ParseByteSizeAcceptsSuffixes)
+{
+    std::uint64_t bytes = 0;
+    EXPECT_TRUE(sim::parseByteSize("64", bytes));
+    EXPECT_EQ(bytes, 64u);
+    EXPECT_TRUE(sim::parseByteSize("64K", bytes));
+    EXPECT_EQ(bytes, 64u * 1024);
+    EXPECT_TRUE(sim::parseByteSize("2m", bytes));
+    EXPECT_EQ(bytes, 2u * 1024 * 1024);
+    EXPECT_TRUE(sim::parseByteSize("1G", bytes));
+    EXPECT_EQ(bytes, 1024u * 1024 * 1024);
+    EXPECT_TRUE(sim::parseByteSize("1T", bytes));
+    EXPECT_EQ(bytes, 1099511627776u);
+    EXPECT_FALSE(sim::parseByteSize("", bytes));
+    EXPECT_FALSE(sim::parseByteSize("K", bytes));
+    EXPECT_FALSE(sim::parseByteSize("64X", bytes));
+    EXPECT_FALSE(sim::parseByteSize("-5", bytes));
+}
+
+TEST(CacheTrim, MaxBytesFromEnvironment)
+{
+    setenv("CSP_CACHE_MAX_BYTES", "1M", 1);
+    EXPECT_EQ(sim::cacheMaxBytesFromEnv(), 1048576u);
+    setenv("CSP_CACHE_MAX_BYTES", "garbage", 1);
+    EXPECT_EQ(sim::cacheMaxBytesFromEnv(), 0u);
+    unsetenv("CSP_CACHE_MAX_BYTES");
+    EXPECT_EQ(sim::cacheMaxBytesFromEnv(), 0u);
+}
+
+/** Warm sweeps must attribute where their time went (the warm-path
+ *  JSON-parse cost the journal exists to quantify), and the artefact
+ *  carries the attribution through a write/read round trip. */
+TEST(WarmSweep, AttributesReadAndParseCost)
+{
+    TempDir dir;
+    SystemConfig config;
+    workloads::WorkloadParams params;
+    params.scale = 12000;
+    sim::SweepOptions options;
+    options.verbose = false;
+    options.jobs = 2;
+    options.use_result_cache = true;
+    options.use_trace_cache = true;
+    options.result_cache_dir = dir.path + "/rc";
+    options.trace_cache_dir = dir.path + "/tc";
+    const sim::SweepResult cold = sim::runSweep(
+        kWorkloads, kPrefetchers, params, config, options);
+    EXPECT_EQ(cold.cells_cached, 0u);
+    EXPECT_EQ(cold.cache_entry_bytes, 0u);
+    const sim::SweepResult warm = sim::runSweep(
+        kWorkloads, kPrefetchers, params, config, options);
+    EXPECT_EQ(warm.cells_simulated, 0u);
+    EXPECT_EQ(warm.cells_cached,
+              kWorkloads.size() * kPrefetchers.size());
+    EXPECT_GT(warm.cache_entry_bytes, 0u);
+    EXPECT_GT(warm.cache_read_ns, 0u);
+    EXPECT_GT(warm.cache_parse_ns, 0u);
+    EXPECT_EQ(warm.cache_verify_failures, 0u);
+    EXPECT_EQ(cellCsv(cold), cellCsv(warm));
+
+    const std::string path = dir.path + "/sweep.json";
+    std::ostringstream doc;
+    sim::writeSweepJson(doc, warm);
+    std::ofstream(path) << doc.str();
+    sim::SweepResult reread;
+    std::string error;
+    ASSERT_TRUE(sim::readSweepJson(path, reread, &error)) << error;
+    EXPECT_EQ(reread.cache_read_ns, warm.cache_read_ns);
+    EXPECT_EQ(reread.cache_parse_ns, warm.cache_parse_ns);
+    EXPECT_EQ(reread.cache_entry_bytes, warm.cache_entry_bytes);
+    EXPECT_EQ(reread.cache_verify_failures,
+              warm.cache_verify_failures);
+}
+
+} // namespace
+} // namespace csp

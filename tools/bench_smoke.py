@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Bench smoke: perf gauges for the replay, tracing and profiling paths.
 
-Runs three quick probes against an existing build tree and writes a
-single JSON scorecard (BENCH_PR8.json) so CI tracks the perf trajectory:
+Runs four quick probes against an existing build tree and writes a
+single JSON scorecard (BENCH_PR9.json) so CI tracks the perf trajectory:
 
   1. A reduced fig12 sweep (CSP_SCALE-scaled) timed end to end, with the
      peak resident set of the child process captured via getrusage --
@@ -17,6 +17,15 @@ single JSON scorecard (BENCH_PR8.json) so CI tracks the perf trajectory:
   3. A cold-then-warm `cspsim --workloads` sweep against fresh cache
      directories: the warm pass must be fully memoized (zero cells
      simulated) and at least MIN_WARM_SWEEP_SPEEDUP_X faster end to end.
+     The warm pass runs with --events-out, so the bar also proves a
+     journaled warm sweep stays >= 10x, and the scorecard distills the
+     journal's warm-path read/parse attribution.
+  4. An events-overhead probe: the same uncached sweep timed with the
+     journal off and on, interleaved best-of-2 per side. The journaled
+     sweep must retain at least MIN_EVENTS_ENABLED_RATE of the plain
+     sweep's wall-clock (events are a handful of atomic JSONL writes
+     per cell -- they must stay invisible next to simulation work) and
+     its cell CSV must be byte-identical.
 
 The scorecard embeds the run-provenance manifest reported by
 `cspsim --manifest` (build, config digest, host), so every archived
@@ -60,7 +69,7 @@ And the scale-out sweep-service bars (PR8 mmap replay + result cache):
   - The warm sweep pass must simulate zero cells and run at least
     MIN_WARM_SWEEP_SPEEDUP_X faster than the cold pass.
 
-Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR8.json]
+Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR9.json]
 """
 
 import argparse
@@ -112,6 +121,14 @@ MIN_MMAP_DECODE_RATE = 0.75
 # runners, while a warm pass that re-simulates anything lands near 1x
 # and fails loudly.
 MIN_WARM_SWEEP_SPEEDUP_X = 10.0
+
+# Sweep-observatory bar (PR9). The journal writes one preformatted
+# line per event through an unbuffered FILE* under a mutex -- tens of
+# microseconds across a whole sweep that simulates for seconds. 0.98
+# is one-sided noise tolerance (best-of-2 interleaved passes), not a
+# real budget: any measurable slowdown means an emitter landed on the
+# per-access hot path and should fail loudly.
+MIN_EVENTS_ENABLED_RATE = 0.98
 
 
 def peak_child_rss_mb():
@@ -284,6 +301,11 @@ def run_sweep_probe(build_dir, scale, jobs):
     the cold/warm wall-clock ratio (the perf half). The cell CSVs on
     stdout must match byte for byte -- caching must be invisible in the
     deterministic data.
+
+    The warm pass also runs with --events-out, so the >= 10x bar covers
+    a journaled warm sweep, and the journal's sweep_end roll-up is
+    distilled into the scorecard's warm-path read/parse attribution
+    (the JSON-parse bottleneck the observatory exists to quantify).
     """
     binary = os.path.join(build_dir, "tools", "cspsim")
     with tempfile.TemporaryDirectory(prefix="csp_bench_sweep_") as tmp:
@@ -294,10 +316,11 @@ def run_sweep_probe(build_dir, scale, jobs):
             "--trace-cache", os.path.join(tmp, "traces"),
         ]
 
-        def one_pass(label):
+        def one_pass(label, extra=()):
             out = os.path.join(tmp, label + ".json")
             start = time.monotonic()
-            csv = subprocess.run(cmd + ["--sweep-out", out],
+            csv = subprocess.run(cmd + ["--sweep-out", out] +
+                                 list(extra),
                                  check=True,
                                  stdout=subprocess.PIPE).stdout
             seconds = time.monotonic() - start
@@ -306,7 +329,10 @@ def run_sweep_probe(build_dir, scale, jobs):
             return seconds, cache, csv
 
         cold_seconds, cold_cache, cold_csv = one_pass("cold")
-        warm_seconds, warm_cache, warm_csv = one_pass("warm")
+        events_path = os.path.join(tmp, "warm.events.jsonl")
+        warm_seconds, warm_cache, warm_csv = one_pass(
+            "warm", ["--events-out", events_path])
+        journal = distill_journal(events_path)
     return {
         "scale": scale,
         "jobs": jobs,
@@ -318,19 +344,105 @@ def run_sweep_probe(build_dir, scale, jobs):
         "warm_cells_simulated": int(warm_cache["cells_simulated"]),
         "warm_cells_cached": int(warm_cache["cells_cached"]),
         "csv_identical": cold_csv == warm_csv,
+        "warm_journal": journal,
+    }
+
+
+def distill_journal(path):
+    """Warm-path attribution from a --events-out journal's roll-up.
+
+    Returns the sweep_end cache counters plus event counts; journal_ok
+    is the (gated) structural check: every line parses, the journal
+    opens with sweep_start and carries exactly one sweep_end.
+    """
+    events = []
+    try:
+        with open(path) as f:
+            for line in f:
+                if line.strip():
+                    events.append(json.loads(line))
+    except (OSError, ValueError) as err:
+        print(f"warning: bad events journal {path}: {err}",
+              file=sys.stderr)
+        return {"journal_ok": False}
+    ends = [ev for ev in events if ev.get("event") == "sweep_end"]
+    ok = (bool(events) and events[0].get("event") == "sweep_start"
+          and events[0].get("schema") == "csp-events-v1"
+          and len(ends) == 1)
+    if not ok:
+        return {"journal_ok": False, "events": len(events)}
+    end = ends[0]
+    cached_wall_ns = sum(ev.get("duration_ns", 0) for ev in events
+                         if ev.get("event") == "cell_end"
+                         and ev.get("source") == "cached")
+    return {
+        "journal_ok": True,
+        "events": len(events),
+        "cache_read_ns": int(end["cache_read_ns"]),
+        "cache_parse_ns": int(end["cache_parse_ns"]),
+        "cache_entry_bytes": int(end["cache_entry_bytes"]),
+        "cache_verify_failures": int(end["cache_verify_failures"]),
+        "cached_cell_wall_ns": cached_wall_ns,
+    }
+
+
+def run_events_overhead(build_dir, scale, jobs):
+    """Uncached sweep timed with the journal off and on, interleaved
+    best-of-2 per side.
+
+    Interleaving pairs each off-pass with an adjacent on-pass so slow
+    load drift hits both sides roughly equally; best-of-2 keeps the
+    least contaminated observation of each side (the same reasoning as
+    run_micro's best-of-N). The ratio gate is one-sided: only a
+    journaled sweep measurably *slower* than the plain one fails.
+    """
+    binary = os.path.join(build_dir, "tools", "cspsim")
+    with tempfile.TemporaryDirectory(prefix="csp_bench_events_") as tmp:
+        cmd = [
+            binary, "--workloads", "array,list,bst",
+            "--prefetcher", "all", "--scale", str(scale),
+            "--jobs", str(jobs),
+            "--no-result-cache", "--no-trace-cache",
+        ]
+
+        def one_pass(extra=()):
+            start = time.monotonic()
+            csv = subprocess.run(cmd + list(extra), check=True,
+                                 stdout=subprocess.PIPE).stdout
+            return time.monotonic() - start, csv
+
+        events_path = os.path.join(tmp, "events.jsonl")
+        t_off, t_on = [], []
+        csv_off = csv_on = None
+        for _ in range(2):
+            seconds, csv_off = one_pass()
+            t_off.append(seconds)
+            seconds, csv_on = one_pass(["--events-out", events_path])
+            t_on.append(seconds)
+    best_off, best_on = min(t_off), min(t_on)
+    return {
+        "scale": scale,
+        "jobs": jobs,
+        "off_seconds": round(best_off, 3),
+        "on_seconds": round(best_on, 3),
+        "enabled_rate": round(best_off / max(best_on, 1e-9), 4),
+        "csv_identical": csv_off == csv_on,
     }
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument("--fig12-scale", type=float, default=0.05,
                         help="CSP_SCALE for the reduced fig12 sweep")
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--sweep-scale", type=int, default=100000,
                         help="per-workload scale for the cold/warm "
                              "sweep-cache probe")
+    parser.add_argument("--events-scale", type=int, default=100000,
+                        help="per-workload scale for the events-"
+                             "overhead probe")
     parser.add_argument("--min-time", type=float, default=0.1,
                         help="--benchmark_min_time per microbenchmark")
     parser.add_argument("--repetitions", type=int, default=3,
@@ -349,6 +461,19 @@ def main():
           f"cells): cold {sweep['cold_seconds']} s, warm "
           f"{sweep['warm_seconds']} s ({sweep['speedup_x']}x, "
           f"{sweep['warm_cells_simulated']} cells re-simulated)")
+    journal = sweep["warm_journal"]
+    if journal.get("journal_ok"):
+        print(f"warm journal: {journal['events']} events, read "
+              f"{journal['cache_read_ns'] / 1e6:.3f} ms, parse "
+              f"{journal['cache_parse_ns'] / 1e6:.3f} ms over "
+              f"{journal['cache_entry_bytes']} entry bytes")
+
+    events = run_events_overhead(args.build_dir, args.events_scale,
+                                 args.jobs)
+    print(f"events overhead (scale {args.events_scale}): off "
+          f"{events['off_seconds']} s, on {events['on_seconds']} s "
+          f"(rate {events['enabled_rate']}, "
+          f">= {MIN_EVENTS_ENABLED_RATE} required)")
 
     raw_out = args.out + ".raw"
     (replay, replay_mmap, decode, trace_obs, profile, learn_obs,
@@ -368,7 +493,7 @@ def main():
     mmap_rate = decode.get("mmap", {}).get("insts_per_sec", 0)
     mmap_decode_rate = (mmap_rate / packed_rate if packed_rate else 0.0)
     report = {
-        "schema": "csp-bench-smoke-v5",
+        "schema": "csp-bench-smoke-v6",
         "generated_by": "tools/bench_smoke.py",
         "manifest": run_manifest(args.build_dir),
         "aos_record_bytes": AOS_RECORD_BYTES,
@@ -378,6 +503,7 @@ def main():
         "decode": decode,
         "mmap_decode_rate": round(mmap_decode_rate, 4),
         "warm_sweep": sweep,
+        "events_overhead": events,
         "trace_obs_insts_per_sec": trace_obs,
         "trace_obs_disabled_rate": round(disabled_rate, 4),
         "profile_insts_per_sec": profile,
@@ -392,6 +518,7 @@ def main():
                 MIN_DECODE_PACKED_INSTS_PER_SEC,
             "min_mmap_decode_rate": MIN_MMAP_DECODE_RATE,
             "min_warm_sweep_speedup_x": MIN_WARM_SWEEP_SPEEDUP_X,
+            "min_events_enabled_rate": MIN_EVENTS_ENABLED_RATE,
         },
         "fig12_reduced_sweep": fig12,
     }
@@ -487,6 +614,19 @@ def main():
     if sweep["speedup_x"] < MIN_WARM_SWEEP_SPEEDUP_X:
         print(f"FAIL: warm sweep only {sweep['speedup_x']}x faster "
               f"than cold (bar: {MIN_WARM_SWEEP_SPEEDUP_X}x)",
+              file=sys.stderr)
+        failed = True
+    if not journal.get("journal_ok"):
+        print("FAIL: warm sweep --events-out journal is malformed",
+              file=sys.stderr)
+        failed = True
+    if events["enabled_rate"] < MIN_EVENTS_ENABLED_RATE:
+        print(f"FAIL: journaled sweep keeps only "
+              f"{events['enabled_rate']} of the plain sweep's rate "
+              f"(bar: {MIN_EVENTS_ENABLED_RATE})", file=sys.stderr)
+        failed = True
+    if not events["csv_identical"]:
+        print("FAIL: sweep CSV differs with --events-out on",
               file=sys.stderr)
         failed = True
     return 1 if failed else 0

@@ -10,9 +10,16 @@
  * computed them), and the merge refuses shards whose manifests
  * disagree on what was swept.
  *
+ * With --journal (one per shard), also merges the shards'
+ * csp-events-v1 journals (cspsim --events-out) into one time-ordered
+ * journal — refusing journals whose sweep_start identity does not
+ * match the artefacts being merged.
+ *
  * Examples:
  *   cspmerge shard0.json shard1.json shard2.json
  *   cspmerge shards/*.json --out merged.json --csv merged.csv
+ *   cspmerge shards/*.json --journal s0.jsonl --journal s1.jsonl \
+ *            --events-out merged.jsonl
  */
 
 #include <cstring>
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "diff/sweep_report.h"
 #include "sim/sweep_io.h"
 
 namespace {
@@ -34,12 +42,17 @@ usage()
 {
     std::cout <<
         "usage: cspmerge SHARD.json... [options]\n"
-        "  --out FILE   write the merged csp-sweep-v1 artefact\n"
-        "  --csv FILE   write the merged cell CSV (byte-identical to\n"
-        "               an unsharded run's stdout CSV)\n"
+        "  --out FILE         write the merged csp-sweep-v2 artefact\n"
+        "  --csv FILE         write the merged cell CSV (byte-identical\n"
+        "                     to an unsharded run's stdout CSV)\n"
+        "  --journal FILE     a shard's csp-events-v1 journal (repeat\n"
+        "                     once per shard; from cspsim --events-out)\n"
+        "  --events-out FILE  write the merged time-ordered journal\n"
+        "                     (render with csptop)\n"
         "Without --csv the merged CSV goes to stdout.\n"
         "Exits 1 when shards disagree on what was swept, a cell is\n"
-        "owned twice, or coverage is incomplete.\n";
+        "owned twice, coverage is incomplete, or a journal's identity\n"
+        "does not match the artefacts.\n";
 }
 
 } // namespace
@@ -48,8 +61,10 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> shard_paths;
+    std::vector<std::string> journal_paths;
     std::string out_path;
     std::string csv_path;
+    std::string events_out_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto need_value = [&](int &j) -> const char * {
@@ -64,6 +79,10 @@ main(int argc, char **argv)
             out_path = need_value(i);
         } else if (arg == "--csv") {
             csv_path = need_value(i);
+        } else if (arg == "--journal") {
+            journal_paths.push_back(need_value(i));
+        } else if (arg == "--events-out") {
+            events_out_path = need_value(i);
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown option: %s (try --help)", arg.c_str());
         } else {
@@ -89,6 +108,33 @@ main(int argc, char **argv)
     std::string error;
     if (!sim::mergeSweeps(shards, merged, &error))
         fatal("%s", error.c_str());
+
+    if (!journal_paths.empty() || !events_out_path.empty()) {
+        if (journal_paths.empty() || events_out_path.empty()) {
+            fatal("--journal and --events-out go together (one "
+                  "--journal per shard, one --events-out for the "
+                  "merged journal)");
+        }
+        // The artefacts are the source of truth for what was swept;
+        // the journals must agree with them before being merged.
+        diff::JournalIdentity expect;
+        expect.config_digest = merged.manifest.config_digest;
+        expect.seed = merged.manifest.seed;
+        expect.scale = merged.manifest.scale;
+        expect.placement = merged.manifest.placement;
+        expect.workloads = merged.manifest.workloads;
+        expect.prefetchers = merged.manifest.prefetchers;
+        expect.shard_count = shards.front().shard_count;
+        std::ostringstream journal;
+        if (!diff::mergeJournals(journal_paths, &expect, journal,
+                                 &error)) {
+            fatal("%s", error.c_str());
+        }
+        std::ofstream events(events_out_path, std::ios::binary);
+        if (!events)
+            fatal("cannot write %s", events_out_path.c_str());
+        events << journal.str();
+    }
 
     if (!out_path.empty()) {
         std::ofstream out(out_path);

@@ -39,6 +39,7 @@
 #include "sim/experiment.h"
 #include "sim/result_cache.h"
 #include "sim/simulator.h"
+#include "sim/sweep_events.h"
 #include "sim/sweep_io.h"
 #include "sim/table.h"
 #include "trace/trace_io.h"
@@ -77,12 +78,15 @@ struct Options
     // Sweep-service mode (--workloads): cached, shardable grid runs.
     std::string sweep_workloads;
     std::string sweep_out;
+    std::string events_out;
     unsigned shard_index = 0;
     unsigned shard_count = 1;
     bool no_result_cache = false;
     bool no_trace_cache = false;
     std::string result_cache_dir;
     std::string trace_cache_dir;
+    std::uint64_t cache_max_bytes = 0; ///< 0 = env, then unbounded
+    bool cache_max_bytes_set = false;
     SystemConfig config;
 };
 
@@ -157,8 +161,23 @@ usage()
         "                           work with byte-identical output\n"
         "  --sweep-out FILE         write the sweep artefact (manifest,\n"
         "                           cache/shard accounting, cells) as\n"
-        "                           csp-sweep-v1 JSON; shards feed these\n"
+        "                           csp-sweep-v2 JSON; shards feed these\n"
         "                           files to cspmerge\n"
+        "  --events-out FILE        append-only csp-events-v1 JSONL\n"
+        "                           journal of the sweep (trace gen,\n"
+        "                           per-cell start/end with cached-vs-\n"
+        "                           simulated attribution, heartbeats,\n"
+        "                           roll-ups); watch live or post-hoc\n"
+        "                           with csptop, merge shard journals\n"
+        "                           with cspmerge --journal. Side-band:\n"
+        "                           results are byte-identical with the\n"
+        "                           journal on or off\n"
+        "  --cache-max-bytes SIZE   bound the result cache: after the\n"
+        "                           sweep, evict least-recently-used\n"
+        "                           entries until the cache fits SIZE\n"
+        "                           (K/M/G/T suffixes, powers of 1024;\n"
+        "                           default $CSP_CACHE_MAX_BYTES, else\n"
+        "                           unbounded)\n"
         "  --shard I/N              own only every N-th cell (rank I) of\n"
         "                           the sweep's longest-first schedule;\n"
         "                           N independent shard processes cover\n"
@@ -255,6 +274,14 @@ parse(int argc, char **argv)
             options.sweep_workloads = need_value(i);
         } else if (arg == "--sweep-out") {
             options.sweep_out = need_value(i);
+        } else if (arg == "--events-out") {
+            options.events_out = need_value(i);
+        } else if (arg == "--cache-max-bytes") {
+            const char *spec = need_value(i);
+            if (!sim::parseByteSize(spec, options.cache_max_bytes))
+                fatal("--cache-max-bytes wants BYTES with an optional "
+                      "K/M/G/T suffix, got %s", spec);
+            options.cache_max_bytes_set = true;
         } else if (arg == "--shard") {
             const char *spec = need_value(i);
             if (std::sscanf(spec, "%u/%u", &options.shard_index,
@@ -506,6 +533,12 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (options.sweep_workloads.empty() &&
+        (!options.events_out.empty() || options.cache_max_bytes_set)) {
+        fatal("--events-out / --cache-max-bytes are sweep-mode flags "
+              "(use --workloads)");
+    }
+
     // Sweep-service mode: the whole grid (or one shard of it) through
     // runSweep with both caches on by default — the flags/env knobs
     // above opt out. stdout carries the deterministic cell CSV;
@@ -526,6 +559,16 @@ main(int argc, char **argv)
         sweep_opts.trace_cache_dir = options.trace_cache_dir;
         sweep_opts.shard_index = options.shard_index;
         sweep_opts.shard_count = options.shard_count;
+        // The journal is strictly side-band: runSweep records what it
+        // already computed, so results are byte-identical with events
+        // on or off (enforced by test_sweep_events).
+        sim::SweepEventJournal journal;
+        if (!options.events_out.empty()) {
+            ensureParentDir(options.events_out);
+            if (!journal.open(options.events_out))
+                fatal("cannot write %s", options.events_out.c_str());
+            sweep_opts.journal = &journal;
+        }
         const sim::SweepResult result = sim::runSweep(
             sweepWorkloadList(options.sweep_workloads),
             prefetcherList(options.prefetcher), params,
@@ -539,6 +582,48 @@ main(int argc, char **argv)
                        options.sweep_out.c_str());
             }
         }
+        // Bound the result cache only after the sweep is done — a
+        // concurrent shard may be about to hit an entry mid-sweep. The
+        // trim events are the only ones allowed after sweep_end.
+        const std::uint64_t cache_budget =
+            options.cache_max_bytes_set ? options.cache_max_bytes
+                                        : sim::cacheMaxBytesFromEnv();
+        if (cache_budget != 0) {
+            const std::string cache_dir =
+                !options.result_cache_dir.empty()
+                    ? options.result_cache_dir
+                    : sim::defaultResultCacheDir();
+            const sim::CacheTrimResult trim =
+                sim::trimResultCache(cache_dir, cache_budget);
+            if (journal.isOpen()) {
+                using J = sim::SweepEventJournal;
+                for (const auto &[entry, bytes] : trim.evicted) {
+                    journal.emit("evict", {J::str("entry", entry),
+                                           J::u64("bytes", bytes)});
+                }
+                journal.emit(
+                    "cache_trim",
+                    {J::u64("max_bytes", cache_budget),
+                     J::u64("scanned_entries", trim.scanned_entries),
+                     J::u64("scanned_bytes", trim.scanned_bytes),
+                     J::u64("evicted_entries", trim.evicted_entries),
+                     J::u64("evicted_bytes", trim.evicted_bytes)});
+            }
+            if (options.verbose && trim.evicted_entries != 0) {
+                inform("cache trim: evicted %llu of %llu entries "
+                       "(%llu of %llu bytes) to fit %llu",
+                       static_cast<unsigned long long>(
+                           trim.evicted_entries),
+                       static_cast<unsigned long long>(
+                           trim.scanned_entries),
+                       static_cast<unsigned long long>(
+                           trim.evicted_bytes),
+                       static_cast<unsigned long long>(
+                           trim.scanned_bytes),
+                       static_cast<unsigned long long>(cache_budget));
+            }
+        }
+        journal.close();
         sim::writeSweepCsv(std::cout, result);
         return 0;
     }
