@@ -16,6 +16,7 @@
 #include "core/profiling.h"
 #include "core/rng.h"
 #include "obs/learning.h"
+#include "obs/mem_recorder.h"
 #include "obs/run_observer.h"
 #include "obs/trace_events.h"
 #include "sim/experiment.h"
@@ -513,6 +514,62 @@ BM_LearnObs_Recorder(benchmark::State &s)
 
 BENCHMARK(BM_LearnObs_NullTap);
 BENCHMARK(BM_LearnObs_Recorder);
+
+/** Memory-observer overhead on replay, the LearnObs pair's analogue
+ *  for the hierarchy tap:
+ *   - NullTap:  observer attached but observer.mem == nullptr — the
+ *               observed instantiation with the hierarchy's null guard
+ *               false on every demand access. This is the "hooks
+ *               compiled in, mem observer off" cost the bench gate
+ *               compares against BM_TraceObs_Control.
+ *   - Recorder: full MemRecorder — every demand access fed through the
+ *               infinite tag set, the Fenwick stack distance and the
+ *               demand-only shadow cache, plus per-set fill telemetry.
+ *               This is the real price of the 3C+pollution taxonomy. */
+void
+runMemObsReplay(benchmark::State &state, bool recording)
+{
+    workloads::WorkloadParams params;
+    params.scale = 100000;
+    params.seed = 1;
+    const trace::TraceBuffer trace =
+        workloads::Registry::builtin().create("mcf")->generate(params);
+    SystemConfig config;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto prefetcher = sim::makePrefetcher("context", config);
+        sim::Simulator simulator(config);
+        std::unique_ptr<obs::MemRecorder> recorder;
+        obs::RunObserver observer;
+        if (recording) {
+            obs::MemRecorder::Options opts;
+            opts.queue_sample_every = 20000;
+            recorder = std::make_unique<obs::MemRecorder>(
+                config.memory, opts, nullptr);
+            observer.mem = recorder.get();
+        }
+        simulator.setObserver(&observer);
+        const sim::RunStats stats = simulator.run(trace, *prefetcher);
+        benchmark::DoNotOptimize(stats.cycles);
+        insts += stats.instructions;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_MemObs_NullTap(benchmark::State &s)
+{
+    runMemObsReplay(s, false);
+}
+void
+BM_MemObs_Recorder(benchmark::State &s)
+{
+    runMemObsReplay(s, true);
+}
+
+BENCHMARK(BM_MemObs_NullTap);
+BENCHMARK(BM_MemObs_Recorder);
 
 } // namespace
 

@@ -402,6 +402,7 @@ classify(const std::string &name)
     // key prefix, ...).
     std::size_t begin = 0;
     bool first = true;
+    bool saw_mem = false;
     while (begin <= name.size()) {
         std::size_t dot = name.find('.', begin);
         if (dot == std::string::npos)
@@ -424,6 +425,21 @@ classify(const std::string &name)
         // value drift is a determinism break.
         if (segment == "learn" || segment == "snapshots")
             return StatClass::Learning;
+        // The memory observatory's stats live under "mem." beside the
+        // hierarchy's always-present correctness counters (mem.l1.misses
+        // and friends), so "mem" alone cannot classify: it takes a
+        // "mem" segment followed by one of the observatory subtree
+        // names. Same contract as Learning — one-sided presence is a
+        // note, both-present drift is a determinism break.
+        if (segment == "mem")
+            saw_mem = true;
+        else if (saw_mem &&
+                 (segment == "class" || segment == "classes" ||
+                  segment == "reuse" || segment == "shadow" ||
+                  segment == "pollution" || segment == "timeline" ||
+                  segment == "sets")) {
+            return StatClass::Memory;
+        }
         // Wall-clock / throughput leaves. Suffix matching is exact on
         // purpose: "instructions" must never match "ns".
         if (segment == "ns" || segmentEndsWith(segment, "_ns") ||
@@ -477,10 +493,11 @@ classRank(StatClass cls)
     switch (cls) {
       case StatClass::Correctness: return 0;
       case StatClass::Learning: return 1;
-      case StatClass::Timing: return 2;
-      case StatClass::Provenance: return 3;
+      case StatClass::Memory: return 2;
+      case StatClass::Timing: return 3;
+      case StatClass::Provenance: return 4;
     }
-    return 4;
+    return 5;
 }
 
 } // namespace
@@ -516,6 +533,7 @@ diffDocs(const FlatDoc &a, const FlatDoc &b, const DiffOptions &options)
             switch (cls) {
               case StatClass::Correctness:
               case StatClass::Learning:
+              case StatClass::Memory:
                 differs = isIntegral(va) && isIntegral(*vb)
                               ? va.number != vb->number
                               : rel > options.float_tolerance;
@@ -541,6 +559,7 @@ diffDocs(const FlatDoc &a, const FlatDoc &b, const DiffOptions &options)
         switch (cls) {
           case StatClass::Correctness:
           case StatClass::Learning:
+          case StatClass::Memory:
             f.failing = true;
             result.correctness_drift = true;
             break;
@@ -622,6 +641,7 @@ DiffResult::writeReport(std::ostream &out, std::size_t max_rows) const
         }
         const char *cls = f.cls == StatClass::Correctness ? "corr"
                           : f.cls == StatClass::Learning  ? "lern"
+                          : f.cls == StatClass::Memory    ? "mem "
                           : f.cls == StatClass::Timing    ? "time"
                                                           : "prov";
         out << (f.failing ? "  FAIL " : "  note ") << cls << ' ';

@@ -80,6 +80,10 @@ enum class StatClass : std::uint8_t
                  ///< values must match when present on both sides, but
                  ///< one-sided presence is a note (the subtree only
                  ///< exists when a learning observer was attached)
+    Memory,      ///< observer-conditional memory-observatory subtrees
+                 ///< ("mem.class.*", "mem.reuse.*", ...): same contract
+                 ///< as Learning — drift fails, one-sided presence is a
+                 ///< note (only exists when a mem observer was attached)
     Timing,      ///< tolerance-banded wall-clock / throughput
     Provenance,  ///< manifest block: reported, never failing
 };

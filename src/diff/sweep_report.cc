@@ -375,9 +375,12 @@ renderSweepSummary(const SweepJournal &journal, std::ostream &out,
     durationRow("cached", cached_ns);
     durationRow("simulated", simulated_ns);
 
-    if (n_cached != 0) {
+    if (n_cached != 0 && read_ns + parse_ns != 0) {
         // The cold-vs-warm attribution the ROADMAP asked for: where a
-        // memoized cell's wall-clock actually goes.
+        // memoized cell's wall-clock actually goes. Skipped outright
+        // when nothing was cached — or when the cached cells carry no
+        // read/parse timings (a journal from a shard that predates the
+        // attribution fields) — instead of rendering an all-zero table.
         const std::uint64_t other_ns =
             cached_wall_ns > read_ns + parse_ns
                 ? cached_wall_ns - read_ns - parse_ns

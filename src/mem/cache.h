@@ -134,6 +134,13 @@ class Cache
         return (addr >> line_shift_) << line_shift_;
     }
 
+    /** Number of sets (observability: set-pressure attribution). */
+    std::uint64_t sets() const { return sets_; }
+
+    /** Set index @p addr maps to (observability: set-pressure
+     *  attribution; same shift/mask the lookup path uses). */
+    std::uint64_t setIndexOf(Addr addr) const { return setIndex(addr); }
+
   private:
     /** lookup() body with a compile-time way count (0 = runtime). */
     template <unsigned kWays>

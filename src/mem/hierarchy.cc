@@ -4,8 +4,29 @@
 
 #include "core/stats_registry.h"
 #include "obs/lifecycle.h"
+#include "obs/mem_observer.h"
 
 namespace csp::mem {
+
+namespace {
+
+/** Build the fill notification for one cache insert. */
+obs::MemFillEvent
+fillEvent(std::uint8_t level, std::uint64_t set, Addr line_addr,
+          Addr pc, bool is_prefetch, const EvictInfo &evicted)
+{
+    obs::MemFillEvent event;
+    event.level = level;
+    event.set = set;
+    event.line_addr = line_addr;
+    event.pc = pc;
+    event.is_prefetch = is_prefetch;
+    event.victim_valid = evicted.valid;
+    event.victim_addr = evicted.line_addr;
+    return event;
+}
+
+} // namespace
 
 Hierarchy::Hierarchy(const MemoryConfig &config)
     : config_(config),
@@ -64,6 +85,10 @@ Hierarchy::fillFromBelow(Addr addr, Cycle start, bool is_prefetch,
                                      /*lru_insert=*/is_prefetch);
     if (l2_line_out != nullptr)
         *l2_line_out = &inserted;
+    if (mem_obs_ != nullptr) {
+        mem_obs_->onFill(fillEvent(2, l2_.setIndexOf(addr), addr, pc,
+                                   is_prefetch, evicted));
+    }
     if (evicted.prefetched_unused) {
         ++stats_.prefetch_evicted_unused;
         if (tracker_ != nullptr)
@@ -87,6 +112,23 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store, Addr pc)
                                 l1_mshrs_.slots() - l1_mshrs_.freeAt(now),
                                 l2_mshrs_.slots() - l2_mshrs_.freeAt(now));
     }
+    if (mem_obs_ != nullptr && mem_obs_->queueSampleDue()) {
+        obs::MemQueueSample sample;
+        sample.cycle = now;
+        sample.accesses = stats_.demand_accesses - 1;
+        sample.l1_mshr_busy = l1_mshrs_.slots() - l1_mshrs_.freeAt(now);
+        sample.l2_mshr_busy = l2_mshrs_.slots() - l2_mshrs_.freeAt(now);
+        sample.dram_backlog =
+            dram_next_free_ > now ? dram_next_free_ - now : 0;
+        mem_obs_->onQueueSample(sample);
+    }
+    obs::MemAccessEvent demand_event;
+    if (mem_obs_ != nullptr) {
+        demand_event.line_addr = line_addr;
+        demand_event.pc = pc;
+        demand_event.cycle = now;
+        demand_event.is_store = is_store;
+    }
 
     if (LineState *line = l1_.lookup(line_addr)) {
         if (line->ready <= now) {
@@ -98,6 +140,10 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store, Addr pc)
                 tracker_->onDemandUse(line_addr, pc, now, /*ready=*/true);
             line->used = true;
             line->dirty = line->dirty || is_store;
+            if (mem_obs_ != nullptr) {
+                demand_event.kind = obs::MemAccessKind::L1Hit;
+                mem_obs_->onDemandAccess(demand_event);
+            }
             return result;
         }
         // Line still filling: the access waits only for the remainder.
@@ -115,6 +161,10 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store, Addr pc)
         }
         line->used = true;
         line->dirty = line->dirty || is_store;
+        if (mem_obs_ != nullptr) {
+            demand_event.kind = obs::MemAccessKind::L1InFlight;
+            mem_obs_->onDemandAccess(demand_event);
+        }
         return result;
     }
 
@@ -141,6 +191,11 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store, Addr pc)
     l1_mshrs_.allocate(slot, fill);
     EvictInfo evicted;
     LineState &line = l1_.insert(line_addr, fill, false, &evicted);
+    if (mem_obs_ != nullptr) {
+        mem_obs_->onFill(fillEvent(1, l1_.setIndexOf(line_addr),
+                                   line_addr, pc, /*is_prefetch=*/false,
+                                   evicted));
+    }
     if (evicted.prefetched_unused) {
         ++stats_.prefetch_evicted_unused;
         if (tracker_ != nullptr)
@@ -150,6 +205,11 @@ Hierarchy::access(Addr addr, Cycle now, bool is_store, Addr pc)
     line.used = true;
     line.dirty = is_store;
     result.complete = fill;
+    if (mem_obs_ != nullptr) {
+        demand_event.kind = went_to_memory ? obs::MemAccessKind::Memory
+                                           : obs::MemAccessKind::L2Hit;
+        mem_obs_->onDemandAccess(demand_event);
+    }
     return result;
 }
 
@@ -228,6 +288,11 @@ Hierarchy::prefetch(Addr addr, Cycle now, unsigned min_free_mshrs,
         // displace a hot line in an at-capacity working set.
         l1_.insert(line_addr, fill, true, &evicted,
                    /*lru_insert=*/true);
+        if (mem_obs_ != nullptr) {
+            mem_obs_->onFill(fillEvent(1, l1_.setIndexOf(line_addr),
+                                       line_addr, pc,
+                                       /*is_prefetch=*/true, evicted));
+        }
         if (evicted.prefetched_unused) {
             ++stats_.prefetch_evicted_unused;
             if (tracker_ != nullptr)

@@ -22,6 +22,7 @@ class Registry;
 
 namespace csp::obs {
 class PrefetchTracker;
+class MemObserver;
 }
 
 namespace csp::mem {
@@ -117,6 +118,18 @@ class Hierarchy
         tracker_ = tracker;
     }
 
+    /**
+     * Attach (or detach, with nullptr) a memory-hierarchy observer
+     * (miss taxonomy, set pressure, queue-depth telemetry). Same
+     * contract as setTracker: compiled in at one null check per
+     * access, and attaching one never changes timing, HierarchyStats
+     * or any other simulation result.
+     */
+    void setMemObserver(obs::MemObserver *observer)
+    {
+        mem_obs_ = observer;
+    }
+
     /** Free L1 MSHR slots at @p now (throttling input). */
     unsigned freeL1Mshrs(Cycle now) const;
 
@@ -174,6 +187,7 @@ class Hierarchy
     /// feeds the mem.fill_latency percentile stat.
     Log2Histogram fill_latency_;
     obs::PrefetchTracker *tracker_ = nullptr; ///< borrowed, may be null
+    obs::MemObserver *mem_obs_ = nullptr;     ///< borrowed, may be null
     Cycle now_ = 0; ///< last access cycle (occupancy gauge reads)
 };
 

@@ -14,6 +14,7 @@
 
 #include "obs/learning_observer.h"
 #include "obs/lifecycle.h"
+#include "obs/mem_observer.h"
 #include "obs/taps.h"
 
 namespace csp::obs {
@@ -24,6 +25,7 @@ struct RunObserver
     PrefetchTracker *tracker = nullptr; ///< lifecycle + autopsy sink
     RlTap *rl = nullptr;                ///< learning-event sink
     LearningObserver *learn = nullptr;  ///< learning-dynamics sink
+    MemObserver *mem = nullptr;         ///< memory-hierarchy sink
 };
 
 } // namespace csp::obs

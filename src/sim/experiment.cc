@@ -14,6 +14,7 @@
 #include "core/profiling.h"
 #include "core/thread_pool.h"
 #include "obs/learning.h"
+#include "obs/mem_recorder.h"
 #include "obs/run_observer.h"
 #include "sim/result_cache.h"
 #include "sim/sweep_events.h"
@@ -852,12 +853,20 @@ runSweep(const std::vector<std::string> &workload_names,
                 obs::LearningRecorder learner;
                 obs::RunObserver observer;
                 prof::Profiler profiler;
+                std::unique_ptr<obs::MemRecorder> memrec;
                 if (options.observe)
                     observer.tracker = &tracker;
                 if (options.observe_learning)
                     observer.learn = &learner;
-                if (options.observe || options.observe_learning)
+                if (options.observe_mem) {
+                    memrec = std::make_unique<obs::MemRecorder>(
+                        config.memory);
+                    observer.mem = memrec.get();
+                }
+                if (options.observe || options.observe_learning ||
+                    options.observe_mem) {
                     simulator.setObserver(&observer);
+                }
                 if (options.profile ||
                     options.profiler_sink != nullptr)
                     simulator.setProfiler(&profiler);

@@ -247,6 +247,13 @@ struct SweepOptions
      */
     bool observe_learning = false;
     /**
+     * Attach a per-cell memory-hierarchy recorder (miss taxonomy and
+     * telemetry discarded), the mem-observer analogue of observe:
+     * determinism tests assert that sweeps with the shadow models
+     * live are bit-identical to unobserved ones.
+     */
+    bool observe_mem = false;
+    /**
      * Attach a per-cell self-profiler (phase timings discarded), the
      * prof.* analogue of observe: determinism tests assert that the
      * instrumented replay loop produces bit-identical RunStats.

@@ -163,6 +163,7 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
     mem::Hierarchy hierarchy(config_.memory);
     if constexpr (kObserved) {
         hierarchy.setTracker(observer_->tracker);
+        hierarchy.setMemObserver(observer_->mem);
         prefetcher.setRlTap(observer_->rl);
         prefetcher.setLearningObserver(observer_->learn);
     }
@@ -217,6 +218,8 @@ Simulator::runFrom(Source &source, prefetch::Prefetcher &prefetcher)
     if constexpr (kObserved) {
         if (observer_->learn != nullptr)
             observer_->learn->registerStats(registry);
+        if (observer_->mem != nullptr)
+            observer_->mem->registerStats(registry);
     }
     if constexpr (kProfiled)
         profiler->registerStats(registry);

@@ -164,6 +164,53 @@ TEST(Classify, LearningSubtreeIsObserverConditional)
     EXPECT_EQ(classify("sim.learned_counts"), StatClass::Correctness);
 }
 
+TEST(Classify, MemObservatorySubtreeIsObserverConditional)
+{
+    EXPECT_EQ(classify("mem.class.l1.compulsory"), StatClass::Memory);
+    EXPECT_EQ(classify("stats.mem.class.l2.pollution"),
+              StatClass::Memory);
+    EXPECT_EQ(classify("mem.reuse.l1.p50"), StatClass::Memory);
+    EXPECT_EQ(classify("mem.shadow.compactions"), StatClass::Memory);
+    EXPECT_EQ(classify("mem.pollution.l2.attributed"),
+              StatClass::Memory);
+    EXPECT_EQ(classify("mem.sets.l1.evictions"), StatClass::Memory);
+    EXPECT_EQ(classify("mem.timeline.dram_backlog"), StatClass::Memory);
+    // The hierarchy's own correctness counters live under "mem" too:
+    // only the observatory subtrees are observer-conditional.
+    EXPECT_EQ(classify("mem.l1.demand_misses"), StatClass::Correctness);
+    EXPECT_EQ(classify("mem.dram.accesses"), StatClass::Correctness);
+    // "classes" outside a "mem" prefix stays a correctness stat (the
+    // Figure 9 access-class counters).
+    EXPECT_EQ(classify("sim.classes.shorter_wait"),
+              StatClass::Correctness);
+}
+
+TEST(DiffDocs, MissingMemObservatoryKeyIsNotedNotFailed)
+{
+    // The mem.class.* subtree exists only when the mem observer was
+    // attached: an observed run vs an unobserved baseline stays clean.
+    const FlatDoc a = parseJson(R"({"sim":{"cycles":1}})");
+    const FlatDoc b = parseJson(
+        R"({"sim":{"cycles":1},
+            "mem":{"class":{"l1":{"compulsory":5}}}})");
+    const DiffResult result = diffDocs(a, b);
+    EXPECT_EQ(result.exitCode(), 0);
+    EXPECT_EQ(result.only_b, 1u);
+}
+
+TEST(DiffDocs, MemObservatoryValueDriftFails)
+{
+    // When both runs carried the observer, taxonomy drift is a
+    // determinism break, exactly like a correctness counter.
+    const FlatDoc a = parseJson(
+        R"({"mem":{"class":{"l1":{"pollution":40}}}})");
+    const FlatDoc b = parseJson(
+        R"({"mem":{"class":{"l1":{"pollution":41}}}})");
+    const DiffResult result = diffDocs(a, b);
+    EXPECT_EQ(result.exitCode(), 1);
+    EXPECT_TRUE(result.correctness_drift);
+}
+
 TEST(DiffDocs, MissingLearningKeyIsNotedNotFailed)
 {
     // The learn.* subtree exists only when the learning observer was

@@ -179,7 +179,7 @@ TEST(TraceEvents, StreamIsWellFormed)
 TEST(ObservedSweep, BitIdenticalWithAndWithoutObserver)
 {
     const auto sweep = [](bool observe, bool observe_learning,
-                          unsigned jobs) {
+                          bool observe_mem, unsigned jobs) {
         SystemConfig config;
         workloads::WorkloadParams params;
         params.scale = 8000;
@@ -188,27 +188,36 @@ TEST(ObservedSweep, BitIdenticalWithAndWithoutObserver)
         options.jobs = jobs;
         options.observe = observe;
         options.observe_learning = observe_learning;
+        options.observe_mem = observe_mem;
         return sim::runSweep({"list", "bst"},
                              {"none", "stride", "context"}, params,
                              config, options);
     };
-    const sim::SweepResult plain = sweep(false, false, 1);
-    const sim::SweepResult observed1 = sweep(true, false, 1);
-    const sim::SweepResult observed4 = sweep(true, false, 4);
+    const sim::SweepResult plain = sweep(false, false, false, 1);
+    const sim::SweepResult observed1 = sweep(true, false, false, 1);
+    const sim::SweepResult observed4 = sweep(true, false, false, 4);
     // The learning observer streams every bandit/CST event; it too
     // must never perturb a single simulated count.
-    const sim::SweepResult learning1 = sweep(true, true, 1);
-    const sim::SweepResult learning4 = sweep(true, true, 4);
+    const sim::SweepResult learning1 = sweep(true, true, false, 1);
+    const sim::SweepResult learning4 = sweep(true, true, false, 4);
+    // And the memory observatory's shadow models classify every demand
+    // access — strictly side-band, at any job count.
+    const sim::SweepResult mem1 = sweep(true, false, true, 1);
+    const sim::SweepResult mem4 = sweep(true, false, true, 4);
     ASSERT_EQ(plain.cells.size(), observed1.cells.size());
     ASSERT_EQ(plain.cells.size(), observed4.cells.size());
     ASSERT_EQ(plain.cells.size(), learning1.cells.size());
     ASSERT_EQ(plain.cells.size(), learning4.cells.size());
+    ASSERT_EQ(plain.cells.size(), mem1.cells.size());
+    ASSERT_EQ(plain.cells.size(), mem4.cells.size());
     for (std::size_t i = 0; i < plain.cells.size(); ++i) {
         const sim::RunStats &a = plain.cells[i].stats;
         for (const sim::RunStats *b : {&observed1.cells[i].stats,
                                        &observed4.cells[i].stats,
                                        &learning1.cells[i].stats,
-                                       &learning4.cells[i].stats}) {
+                                       &learning4.cells[i].stats,
+                                       &mem1.cells[i].stats,
+                                       &mem4.cells[i].stats}) {
             EXPECT_EQ(a.instructions, b->instructions) << "cell " << i;
             EXPECT_EQ(a.cycles, b->cycles) << "cell " << i;
             EXPECT_EQ(a.demand_accesses, b->demand_accesses);

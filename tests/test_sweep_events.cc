@@ -250,6 +250,51 @@ TEST(SweepReport, GoldenSummary)
               "cache trim: 1 entry evicted, 123 bytes reclaimed\n");
 }
 
+/** A journal with no cached cells (or cached cells that carry no
+ *  read/parse timings) must skip the warm-path attribution section
+ *  entirely rather than render an all-zero table. */
+TEST(SweepReport, SummarySkipsEmptyWarmPath)
+{
+    const auto replaceAll = [](std::string text,
+                               const std::string &from,
+                               const std::string &to) {
+        for (std::size_t pos = 0;
+             (pos = text.find(from, pos)) != std::string::npos;
+             pos += to.size()) {
+            text.replace(pos, from.size(), to);
+        }
+        return text;
+    };
+    const auto summaryOf = [](const std::string &text) {
+        diff::SweepJournal journal;
+        std::string error;
+        EXPECT_TRUE(diff::parseJournal(text, journal, &error)) << error;
+        std::ostringstream out;
+        EXPECT_TRUE(diff::renderSweepSummary(journal, out, &error))
+            << error;
+        return out.str();
+    };
+
+    // Zero cached cells: every cell re-labelled as simulated.
+    const std::string cold = summaryOf(replaceAll(
+        kSyntheticJournal, "\"source\":\"cached\"",
+        "\"source\":\"simulated\""));
+    EXPECT_EQ(cold.find("warm-path attribution"), std::string::npos);
+    EXPECT_NE(cold.find("0 cached (0.0% hit rate)"), std::string::npos);
+
+    // Cached cells without attribution fields (an older shard's
+    // journal): the section is equally meaningless, so it is skipped.
+    std::string no_attr = kSyntheticJournal;
+    no_attr = replaceAll(no_attr, "\"read_ns\":200000", "\"read_ns\":0");
+    no_attr = replaceAll(no_attr, "\"read_ns\":100000", "\"read_ns\":0");
+    no_attr = replaceAll(no_attr, "\"parse_ns\":250000",
+                         "\"parse_ns\":0");
+    const std::string stale = summaryOf(no_attr);
+    EXPECT_EQ(stale.find("warm-path attribution"), std::string::npos);
+    EXPECT_NE(stale.find("2 cached (50.0% hit rate)"),
+              std::string::npos);
+}
+
 TEST(SweepReport, GoldenStatus)
 {
     diff::SweepJournal journal;

@@ -2,7 +2,7 @@
 """Bench smoke: perf gauges for the replay, tracing and profiling paths.
 
 Runs four quick probes against an existing build tree and writes a
-single JSON scorecard (BENCH_PR9.json) so CI tracks the perf trajectory:
+single JSON scorecard (BENCH_PR10.json) so CI tracks the perf trajectory:
 
   1. A reduced fig12 sweep (CSP_SCALE-scaled) timed end to end, with the
      peak resident set of the child process captured via getrusage --
@@ -36,7 +36,7 @@ compresses worse than MIN_COMPRESSION_X against the retired 56-byte
 array-of-structs record, so a regression in the trace encoding turns
 the bench-smoke job red rather than silently fattening sweeps.
 
-It also gates the three "disabled observability must stay free" bars
+It also gates the four "disabled observability must stay free" bars
 (see MIN_DISABLED_RATE for how the bar relates to timer noise):
 
   - BM_TraceObs_NullSink (observer attached, every sink null) must
@@ -47,6 +47,11 @@ It also gates the three "disabled observability must stay free" bars
   - BM_LearnObs_NullTap (observer attached, learning observer null)
     must retain at least MIN_DISABLED_RATE of the control rate, so the
     learning hooks cost nothing when --learn-out is not requested.
+  - BM_MemObs_NullTap (observer attached, mem observer null) must
+    retain at least MIN_DISABLED_RATE of the control rate, so the
+    memory-hierarchy hooks cost nothing when --mem-out is not
+    requested. BM_MemObs_Recorder (all three shadow models live) is
+    distilled as an ungated overhead gauge.
 
 And two absolute hot-path bars for the context prefetcher (the PR7
 flat-CST/incremental-hash rework), so a hot-path regression turns the
@@ -69,7 +74,7 @@ And the scale-out sweep-service bars (PR8 mmap replay + result cache):
   - The warm sweep pass must simulate zero cells and run at least
     MIN_WARM_SWEEP_SPEEDUP_X faster than the cold pass.
 
-Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR9.json]
+Usage: python3 tools/bench_smoke.py [--build-dir build] [--out BENCH_PR10.json]
 """
 
 import argparse
@@ -167,7 +172,7 @@ def run_micro_once(build_dir, min_time, repetitions, raw_out):
             binary,
             "--benchmark_filter="
             "BM_Replay_|BM_ReplayMmap_|BM_Decode_|"
-            "BM_TraceObs_|BM_Profile_|BM_LearnObs_|"
+            "BM_TraceObs_|BM_Profile_|BM_LearnObs_|BM_MemObs_|"
             "BM_Stride$|BM_Context$",
             f"--benchmark_min_time={min_time}",
             f"--benchmark_repetitions={repetitions}",
@@ -240,6 +245,7 @@ def distill(benchmarks):
     trace_obs = {}
     profile = {}
     learn_obs = {}
+    mem_obs = {}
     observe_ns = {}
     for bench in benchmarks:
         name = bench["name"]
@@ -281,11 +287,15 @@ def distill(benchmarks):
             # BM_LearnObs_<NullTap|Recorder>: learning-observer rates
             mode = name.removeprefix("BM_LearnObs_").lower()
             learn_obs[mode] = round(bench["insts/s"])
+        elif name.startswith("BM_MemObs_"):
+            # BM_MemObs_<NullTap|Recorder>: mem-observer replay rates
+            mode = name.removeprefix("BM_MemObs_").lower()
+            mem_obs[mode] = round(bench["insts/s"])
         else:
             observe_ns[name.removeprefix("BM_").lower()] = round(
                 bench["real_time"], 1)
     return (replay, replay_mmap, decode, trace_obs, profile, learn_obs,
-            observe_ns)
+            mem_obs, observe_ns)
 
 
 def run_sweep_probe(build_dir, scale, jobs):
@@ -433,7 +443,7 @@ def run_events_overhead(build_dir, scale, jobs):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument("--fig12-scale", type=float, default=0.05,
                         help="CSP_SCALE for the reduced fig12 sweep")
     parser.add_argument("--jobs", type=int, default=2)
@@ -477,7 +487,7 @@ def main():
 
     raw_out = args.out + ".raw"
     (replay, replay_mmap, decode, trace_obs, profile, learn_obs,
-     observe_ns) = distill(
+     mem_obs, observe_ns) = distill(
         run_micro(args.build_dir, args.min_time, args.repetitions,
                   args.micro_runs, raw_out))
     os.remove(raw_out)
@@ -488,12 +498,17 @@ def main():
                     if control else 0.0)
     learn_rate = (learn_obs.get("nulltap", 0) / control
                   if control else 0.0)
+    mem_rate = (mem_obs.get("nulltap", 0) / control if control else 0.0)
+    # Ungated gauge: what the live shadow models (infinite tag set +
+    # Fenwick stack distance + shadow cache per access) actually cost.
+    mem_recorder_rate = (mem_obs.get("recorder", 0) / control
+                         if control else 0.0)
     worst = min(replay.values(), key=lambda r: r["compression_x"])
     packed_rate = decode.get("packed", {}).get("insts_per_sec", 0)
     mmap_rate = decode.get("mmap", {}).get("insts_per_sec", 0)
     mmap_decode_rate = (mmap_rate / packed_rate if packed_rate else 0.0)
     report = {
-        "schema": "csp-bench-smoke-v6",
+        "schema": "csp-bench-smoke-v7",
         "generated_by": "tools/bench_smoke.py",
         "manifest": run_manifest(args.build_dir),
         "aos_record_bytes": AOS_RECORD_BYTES,
@@ -510,6 +525,9 @@ def main():
         "profile_disabled_rate": round(profile_rate, 4),
         "learn_obs_insts_per_sec": learn_obs,
         "learn_obs_disabled_rate": round(learn_rate, 4),
+        "mem_obs_insts_per_sec": mem_obs,
+        "mem_obs_disabled_rate": round(mem_rate, 4),
+        "mem_obs_recorder_rate": round(mem_recorder_rate, 4),
         "observe_ns_per_access": observe_ns,
         "hot_path_bars": {
             "min_mcf_context_insts_per_sec": MIN_MCF_CONTEXT_INSTS_PER_SEC,
@@ -547,12 +565,19 @@ def main():
         if mode in learn_obs:
             print(f"learn-obs {mode}: {learn_obs[mode] / 1e6:.2f} "
                   f"M insts/s")
+    for mode in ("nulltap", "recorder"):
+        if mode in mem_obs:
+            print(f"mem-obs {mode}: {mem_obs[mode] / 1e6:.2f} "
+                  f"M insts/s")
     print(f"trace-obs disabled-path rate: {disabled_rate:.4f} "
           f"(>= {MIN_DISABLED_RATE} required)")
     print(f"profile disabled-path rate: {profile_rate:.4f} "
           f"(>= {MIN_DISABLED_RATE} required)")
     print(f"learn-obs disabled-path rate: {learn_rate:.4f} "
           f"(>= {MIN_DISABLED_RATE} required)")
+    print(f"mem-obs disabled-path rate: {mem_rate:.4f} "
+          f"(>= {MIN_DISABLED_RATE} required); recorder rate "
+          f"{mem_recorder_rate:.4f} (gauge)")
     mcf_context = replay.get("mcf/context", {}).get("insts_per_sec", 0)
     context_ns = observe_ns.get("context", float("inf"))
     print(f"hot path: mcf/context {mcf_context / 1e6:.2f} M insts/s "
@@ -579,6 +604,11 @@ def main():
     if learn_rate < MIN_DISABLED_RATE:
         print(f"FAIL: disabled learning observer keeps only "
               f"{learn_rate:.4f} of the control replay rate "
+              f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
+        failed = True
+    if mem_rate < MIN_DISABLED_RATE:
+        print(f"FAIL: disabled mem observer keeps only "
+              f"{mem_rate:.4f} of the control replay rate "
               f"(bar: {MIN_DISABLED_RATE})", file=sys.stderr)
         failed = True
     if mcf_context < MIN_MCF_CONTEXT_INSTS_PER_SEC:

@@ -18,11 +18,15 @@ Checks, in order:
   4. Timestamps are non-negative and counters' args are numeric.
   5. Known counter tracks carry exactly their expected series: the
      "bandit" track {epsilon, accuracy}, the learning observatory's
-     "policy" track {epsilon, entropy}.
+     "policy" track {epsilon, entropy}, and the memory observatory's
+     "mem.l1" / "mem.l2" miss-class tracks {compulsory, capacity,
+     conflict, pollution}.
 
 --require NAME (repeatable) additionally fails the check when the
 named counter track never appears — CI uses it to assert that a
---learn-out run actually produced the "policy" track.
+--learn-out run actually produced the "policy" track. A required name
+is also satisfied by any "NAME."-prefixed track, so --require mem
+asserts the mem.l1/mem.l2 miss-class tracks of a --mem-out run.
 
 Exit 0 and a one-line summary on success; exit 1 with the first few
 violations otherwise.
@@ -48,6 +52,8 @@ REQUIRED_BY_PHASE = {
 COUNTER_TRACK_ARGS = {
     "bandit": {"epsilon", "accuracy"},
     "policy": {"epsilon", "entropy"},
+    "mem.l1": {"compulsory", "capacity", "conflict", "pollution"},
+    "mem.l2": {"compulsory", "capacity", "conflict", "pollution"},
 }
 
 
@@ -116,7 +122,10 @@ def check(path, require_counters=()):
     if phases["b"] == 0:
         errors.append("no lifecycle spans (ph=b) in trace")
     for name in require_counters:
-        if counter_tracks[name] == 0:
+        prefixed = name + "."
+        if counter_tracks[name] == 0 and not any(
+                track.startswith(prefixed) and count > 0
+                for track, count in counter_tracks.items()):
             errors.append(f"required counter track {name!r} never "
                           f"appeared")
     return errors, phases

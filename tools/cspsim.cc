@@ -33,6 +33,7 @@
 #include "core/run_manifest.h"
 #include "core/thread_pool.h"
 #include "obs/learning.h"
+#include "obs/mem_recorder.h"
 #include "obs/run_observer.h"
 #include "obs/trace_events.h"
 #include "prefetch/context/context_prefetcher.h"
@@ -75,6 +76,8 @@ struct Options
     std::uint64_t trace_sample = 1;
     std::string learn_out;
     std::uint64_t learn_snapshot_every = 0; ///< 0 = auto (~32/run)
+    std::string mem_out;
+    std::uint64_t mem_interval = 0; ///< 0 = auto (~64 samples/run)
     // Sweep-service mode (--workloads): cached, shardable grid runs.
     std::string sweep_workloads;
     std::string sweep_out;
@@ -145,6 +148,16 @@ usage()
         "  --learn-snapshot-every N snapshot the learning state every N\n"
         "                           prefetcher lookups (default 0 =\n"
         "                           auto, about 32 per run)\n"
+        "  --mem-out FILE           memory-hierarchy observatory export\n"
+        "                           (3C+pollution miss taxonomy from\n"
+        "                           shadow models, reuse-distance and\n"
+        "                           set-pressure telemetry, MSHR/DRAM\n"
+        "                           queue timeline) as mem.json,\n"
+        "                           manifest embedded; render with\n"
+        "                           cspmem, diff with cspdiff\n"
+        "  --mem-interval N         sample MSHR/DRAM queue depths every\n"
+        "                           N demand accesses (default 0 =\n"
+        "                           auto, about 64 samples per run)\n"
         "  --profile                attribute wall-clock to simulator\n"
         "                           phases (trace-gen, replay, train/\n"
         "                           predict, memory, stats flush) under\n"
@@ -267,6 +280,11 @@ parse(int argc, char **argv)
             options.learn_out = need_value(i);
         } else if (arg == "--learn-snapshot-every") {
             options.learn_snapshot_every =
+                std::strtoull(need_value(i), nullptr, 10);
+        } else if (arg == "--mem-out") {
+            options.mem_out = need_value(i);
+        } else if (arg == "--mem-interval") {
+            options.mem_interval =
                 std::strtoull(need_value(i), nullptr, 10);
         } else if (arg == "--profile") {
             options.profile = true;
@@ -493,6 +511,14 @@ learnOutPath(const Options &options, const std::string &pf_name,
     return taggedPath(options.learn_out, pf_name, multi);
 }
 
+/** Per-prefetcher path for --mem-out. */
+std::string
+memOutPath(const Options &options, const std::string &pf_name,
+           bool multi)
+{
+    return taggedPath(options.mem_out, pf_name, multi);
+}
+
 } // namespace
 
 int
@@ -674,10 +700,14 @@ main(int argc, char **argv)
         /// Learning-dynamics recorder, kept past the worker for the
         /// serial learn.json write; null unless --learn-out.
         std::unique_ptr<obs::LearningRecorder> learner;
+        /// Memory-hierarchy recorder, kept past the worker for the
+        /// serial mem.json write; null unless --mem-out.
+        std::unique_ptr<obs::MemRecorder> memrec;
     };
     const bool observing = !options.autopsy_out.empty() ||
                            !options.trace_events.empty() ||
-                           !options.learn_out.empty();
+                           !options.learn_out.empty() ||
+                           !options.mem_out.empty();
     std::vector<PfOutcome> outcomes(pf_names.size());
     if (options.profile) {
         // Trace generation is shared by every prefetcher's run, so
@@ -773,6 +803,22 @@ main(int argc, char **argv)
                             learn_opts, events.get());
                     observer.learn = outcomes[i].learner.get();
                 }
+                if (!options.mem_out.empty()) {
+                    obs::MemRecorder::Options mem_opts;
+                    // Auto cadence: ~64 queue-depth samples per run.
+                    // Demand-access counts, not wall-clock, so the
+                    // timeline is identical for any --jobs.
+                    mem_opts.queue_sample_every =
+                        options.mem_interval != 0
+                            ? options.mem_interval
+                            : std::max<std::uint64_t>(
+                                  1, trace.memAccesses() / 64);
+                    outcomes[i].memrec =
+                        std::make_unique<obs::MemRecorder>(
+                            options.config.memory, mem_opts,
+                            events.get());
+                    observer.mem = outcomes[i].memrec.get();
+                }
                 if (observing) {
                     outcomes[i].tracker =
                         std::make_unique<obs::PrefetchTracker>(
@@ -864,6 +910,18 @@ main(int argc, char **argv)
                 learn_file, manifest.toJson(), pf_name);
             if (options.verbose)
                 inform("wrote learning snapshots to %s", path.c_str());
+        }
+        if (!options.mem_out.empty()) {
+            const std::string path =
+                memOutPath(options, pf_name, multi);
+            ensureParentDir(path);
+            std::ofstream mem_file(path);
+            if (!mem_file)
+                fatal("cannot write %s", path.c_str());
+            outcomes[i].memrec->writeMemJson(
+                mem_file, manifest.toJson(), pf_name);
+            if (options.verbose)
+                inform("wrote memory observatory to %s", path.c_str());
         }
         if (baseline_ipc == 0.0) {
             // First row is the reference (it is "none" for "all").
